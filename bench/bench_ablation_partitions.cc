@@ -1,0 +1,91 @@
+// Experiment A2 — partition-count and slicing-strategy sweep. The paper
+// fixes p ∈ {5, 10} and lists "different 'slicing' strategies" as future
+// work (§6); this harness explores both axes: p from 2 to 32, random vs
+// contiguous (salami) slicing.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "cluster/metrics.h"
+
+namespace pmkm {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  ExperimentGrid grid;
+  int64_t n = 50000;
+  FlagParser parser;
+  grid.Register(&parser);
+  parser.AddInt("n", &n, "cell size");
+  const Status st = parser.Parse(argc, argv);
+  if (st.IsCancelled()) return 0;
+  PMKM_CHECK_OK(st);
+  grid.Finalize();
+  if (grid.quick) n = std::min<int64_t>(n, 10000);
+
+  PrintBanner("Ablation A2",
+              "partition count p and slicing strategy (random vs salami)",
+              grid);
+  std::cout << "    p | strategy   |  partial(ms) |   merge(ms) |     "
+               "E_pm |   SSE(raw)\n";
+  std::cout << "------+------------+--------------+-------------+---------"
+               "-+-----------\n";
+
+  auto strategy_name = [](PartitionStrategy s) {
+    switch (s) {
+      case PartitionStrategy::kRandom:
+        return "random    ";
+      case PartitionStrategy::kContiguous:
+        return "contiguous";
+      case PartitionStrategy::kSpatial:
+        return "spatial   ";
+      case PartitionStrategy::kStripes:
+        return "stripes   ";
+    }
+    return "?         ";
+  };
+
+  for (int64_t p : {2, 5, 10, 20, 32}) {
+    for (PartitionStrategy strategy :
+         {PartitionStrategy::kRandom, PartitionStrategy::kContiguous,
+          PartitionStrategy::kSpatial, PartitionStrategy::kStripes}) {
+      double partial_ms = 0.0, merge_ms = 0.0, e_pm = 0.0, raw = 0.0;
+      for (int64_t v = 0; v < grid.versions; ++v) {
+        const Dataset cell = MakeCell(n, grid, v);
+        PartialMergeConfig config;
+        config.partial.k = static_cast<size_t>(grid.k);
+        config.partial.restarts = static_cast<size_t>(grid.restarts);
+        config.partial.seed = 6000 + static_cast<uint64_t>(v);
+        config.num_partitions = static_cast<size_t>(p);
+        config.strategy = strategy;
+        config.seed = 31 + static_cast<uint64_t>(v);
+        auto result = PartialMergeKMeans(config).Run(cell);
+        PMKM_CHECK(result.ok()) << result.status();
+        partial_ms += result->partial_seconds * 1e3;
+        merge_ms += result->merge_seconds * 1e3;
+        e_pm += result->model.sse;
+        raw += Sse(result->model.centroids, cell);
+      }
+      const double inv = 1.0 / static_cast<double>(grid.versions);
+      std::cout << FmtInt(p, 5) << " | " << strategy_name(strategy)
+                << " | " << Fmt(partial_ms * inv, 12) << " | "
+                << Fmt(merge_ms * inv, 11) << " | " << Fmt(e_pm * inv, 8, 0)
+                << " | " << Fmt(raw * inv, 10, 0) << "\n";
+    }
+  }
+  std::cout << "\nReading: partial time falls with p (smaller chunks "
+               "converge faster) while the\nmerge cost grows with k·p. "
+               "random = paper's mostly-overlapping chunks; contiguous\n"
+               "= arrival-order salami; spatial/stripes = the paper's §6 "
+               "future-work slicers that\ncut along data axes (partition "
+               "sizes become uneven, and per-chunk clusterings\nsee only "
+               "a sub-region of attribute space).\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pmkm
+
+int main(int argc, char** argv) { return pmkm::bench::Main(argc, argv); }

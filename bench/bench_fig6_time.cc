@@ -1,0 +1,64 @@
+// Experiment F6 — reproduces Figure 6: overall execution time vs number of
+// data points per grid cell, for serial k-means and partial/merge k-means
+// with 5 and 10 chunks. Prints the three series (msec, like the paper's
+// y-axis).
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+namespace pmkm {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  ExperimentGrid grid;
+  grid.versions = 1;  // the curve shape needs fewer repeats than Table 2
+  FlagParser parser;
+  grid.Register(&parser);
+  const Status st = parser.Parse(argc, argv);
+  if (st.IsCancelled()) return 0;
+  PMKM_CHECK_OK(st);
+  grid.Finalize();
+
+  PrintBanner("Figure 6",
+              "overall execution time, serial vs partial/merge k-means",
+              grid);
+  std::cout << "        N |   serial(ms) |  5-chunk(ms) | 10-chunk(ms) | "
+               "serial/10-chunk\n";
+  std::cout << "----------+--------------+--------------+--------------+-"
+               "---------------\n";
+
+  std::vector<int64_t> sizes = grid.sizes;
+  std::sort(sizes.begin(), sizes.end());
+
+  for (int64_t n : sizes) {
+    std::vector<RunStats> serial, five, ten;
+    for (int64_t v = 0; v < grid.versions; ++v) {
+      const Dataset cell = MakeCell(n, grid, v);
+      const uint64_t seed = 2000 + static_cast<uint64_t>(v);
+      serial.push_back(RunSerial(cell, grid, seed));
+      five.push_back(RunPartialMerge(cell, grid, 5, 1, seed));
+      ten.push_back(RunPartialMerge(cell, grid, 10, 1, seed));
+    }
+    const RunStats s = Average(serial);
+    const RunStats f = Average(five);
+    const RunStats t = Average(ten);
+    std::cout << FmtInt(n, 9) << " | " << Fmt(s.total_ms, 12) << " | "
+              << Fmt(f.total_ms, 12) << " | " << Fmt(t.total_ms, 12)
+              << " | " << Fmt(s.total_ms / std::max(t.total_ms, 1e-9), 10,
+                              2)
+              << "x\n";
+  }
+  std::cout << "\nExpected shape (paper Fig. 6): the serial curve grows "
+               "super-linearly in N while\nboth partial/merge curves stay "
+               "far flatter; the gap widens with N.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pmkm
+
+int main(int argc, char** argv) { return pmkm::bench::Main(argc, argv); }

@@ -1,0 +1,60 @@
+// Experiment F8 — reproduces Figure 8: processing time of the partial
+// k-means phase only, 5-split vs 10-split, as a function of cell size.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+namespace pmkm {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  ExperimentGrid grid;
+  grid.versions = 2;
+  FlagParser parser;
+  grid.Register(&parser);
+  const Status st = parser.Parse(argc, argv);
+  if (st.IsCancelled()) return 0;
+  PMKM_CHECK_OK(st);
+  grid.Finalize();
+
+  PrintBanner("Figure 8",
+              "partial k-means phase time, 5-split vs 10-split", grid);
+  std::cout << "        N |  5-split partial(ms) | 10-split partial(ms) | "
+               "5/10 ratio\n";
+  std::cout << "----------+----------------------+----------------------+-"
+               "----------\n";
+
+  std::vector<int64_t> sizes = grid.sizes;
+  std::sort(sizes.begin(), sizes.end());
+
+  for (int64_t n : sizes) {
+    std::vector<RunStats> five, ten;
+    for (int64_t v = 0; v < grid.versions; ++v) {
+      const Dataset cell = MakeCell(n, grid, v);
+      const uint64_t seed = 4000 + static_cast<uint64_t>(v);
+      five.push_back(RunPartialMerge(cell, grid, 5, 1, seed));
+      ten.push_back(RunPartialMerge(cell, grid, 10, 1, seed));
+    }
+    const RunStats f = Average(five);
+    const RunStats t = Average(ten);
+    std::cout << FmtInt(n, 9) << " | " << Fmt(f.partial_ms, 20) << " | "
+              << Fmt(t.partial_ms, 20) << " | "
+              << Fmt(f.partial_ms / std::max(t.partial_ms, 1e-9), 9, 2)
+              << "x\n";
+  }
+  std::cout << "\nExpected shape (paper Fig. 8): smaller partitions "
+               "converge in fewer iterations,\nso the 10-split partial "
+               "phase is substantially cheaper than the 5-split phase\n"
+               "even though both process the same N points — the gap grows "
+               "with N.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pmkm
+
+int main(int argc, char** argv) { return pmkm::bench::Main(argc, argv); }

@@ -1,0 +1,191 @@
+// M1 — micro-benchmarks (google-benchmark) for the kernels the experiment
+// harnesses are built on: distance evaluation, nearest-centroid search,
+// one Lloyd iteration, partial clustering of a chunk, queue throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/distance.h"
+#include "cluster/hamerly.h"
+#include "cluster/kmeans.h"
+#include "cluster/merge.h"
+#include "cluster/parallel_lloyd.h"
+#include "cluster/partial.h"
+#include "data/generator.h"
+#include "stream/queue.h"
+
+namespace pmkm {
+namespace {
+
+Dataset MakePoints(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  MisrCellSpec spec;
+  spec.dim = dim;
+  return GenerateMisrLikeCell(n, &rng, spec);
+}
+
+void BM_SquaredL2(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<double> a(dim), b(dim);
+  for (size_t d = 0; d < dim; ++d) {
+    a[d] = rng.Normal();
+    b[d] = rng.Normal();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SquaredL2(a.data(), b.data(), dim));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SquaredL2)->Arg(6)->Arg(32)->Arg(128);
+
+void BM_NearestCentroid(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const Dataset centroids = MakePoints(k, 6, 2);
+  const Dataset points = MakePoints(1024, 6, 3);
+  const std::vector<double> norms = CentroidSquaredNorms(centroids);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        NearestCentroid(points.data() + (i % 1024) * 6, centroids, norms));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NearestCentroid)->Arg(10)->Arg(40)->Arg(160);
+
+void BM_LloydIteration(benchmark::State& state) {
+  // One full Lloyd pass (assignment + update) over an N-point cell, k=40.
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Dataset points = MakePoints(n, 6, 4);
+  const WeightedDataset data = WeightedDataset::FromUnweighted(points);
+  Rng rng(5);
+  auto seeds = SelectSeeds(data, 40, SeedingMethod::kRandom, &rng);
+  LloydConfig config;
+  config.max_iterations = 1;
+  for (auto _ : state) {
+    Rng iter_rng(6);
+    auto model = RunWeightedLloyd(data, *seeds, config, &iter_rng);
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LloydIteration)->Arg(2500)->Arg(12500)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HamerlyFit(benchmark::State& state) {
+  // Full Hamerly run to convergence vs BM_LloydFit below, same seeds.
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Dataset points = MakePoints(n, 6, 4);
+  const WeightedDataset data = WeightedDataset::FromUnweighted(points);
+  Rng rng(5);
+  auto seeds = SelectSeeds(data, 40, SeedingMethod::kRandom, &rng);
+  for (auto _ : state) {
+    Rng iter_rng(6);
+    auto model =
+        RunHamerlyLloyd(data, *seeds, LloydConfig{}, &iter_rng);
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HamerlyFit)->Arg(2500)->Arg(12500)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LloydFit(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Dataset points = MakePoints(n, 6, 4);
+  const WeightedDataset data = WeightedDataset::FromUnweighted(points);
+  Rng rng(5);
+  auto seeds = SelectSeeds(data, 40, SeedingMethod::kRandom, &rng);
+  for (auto _ : state) {
+    Rng iter_rng(6);
+    auto model =
+        RunWeightedLloyd(data, *seeds, LloydConfig{}, &iter_rng);
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LloydFit)->Arg(2500)->Arg(12500)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ParallelLloydFit(benchmark::State& state) {
+  // §3.4 option 3: the SortDataPoint step fanned over worker threads.
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Dataset points = MakePoints(n, 6, 4);
+  const WeightedDataset data = WeightedDataset::FromUnweighted(points);
+  Rng rng(5);
+  auto seeds = SelectSeeds(data, 40, SeedingMethod::kRandom, &rng);
+  ThreadPool pool(ThreadPool::DefaultThreadCount());
+  for (auto _ : state) {
+    Rng iter_rng(6);
+    auto model = RunWeightedLloydParallel(data, *seeds, LloydConfig{},
+                                          &iter_rng, &pool);
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ParallelLloydFit)->Arg(12500)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PartialChunk(benchmark::State& state) {
+  // Full multi-restart partial k-means of one memory-sized chunk.
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Dataset chunk = MakePoints(n, 6, 7);
+  KMeansConfig config;
+  config.k = 40;
+  config.restarts = 3;
+  const PartialKMeans partial(config);
+  for (auto _ : state) {
+    auto result = partial.Cluster(chunk, 0);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PartialChunk)->Arg(1000)->Arg(5000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_QueueThroughput(benchmark::State& state) {
+  // Producer/consumer pair shuttling PointChunk-sized payloads.
+  const size_t batch = 256;
+  for (auto _ : state) {
+    BoundedBlockingQueue<Dataset> queue(8);
+    queue.AddProducer();
+    std::thread producer([&] {
+      for (size_t i = 0; i < batch; ++i) {
+        queue.Push(MakePoints(64, 6, i));
+      }
+      queue.CloseProducer();
+    });
+    size_t received = 0;
+    while (auto item = queue.Pop()) ++received;
+    producer.join();
+    if (received != batch) state.SkipWithError("lost items");
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_QueueThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_MergeStep(benchmark::State& state) {
+  // Weighted merge of p×k centroids (the paper's M = k·p input).
+  const size_t p = static_cast<size_t>(state.range(0));
+  Rng rng(8);
+  WeightedDataset pooled(6);
+  const Dataset centers = MakePoints(40 * p, 6, 9);
+  for (size_t i = 0; i < centers.size(); ++i) {
+    pooled.Append(centers.Row(i), 1.0 + rng.UniformInt(500));
+  }
+  MergeKMeansConfig config;
+  config.k = 40;
+  const MergeKMeans merger(config);
+  for (auto _ : state) {
+    auto model = merger.Merge(pooled);
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetItemsProcessed(state.iterations() * pooled.size());
+}
+BENCHMARK(BM_MergeStep)->Arg(5)->Arg(10)->Arg(20)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pmkm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,132 @@
+#include "bench/bench_util.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "cluster/metrics.h"
+#include "common/stopwatch.h"
+
+namespace pmkm {
+namespace bench {
+
+void ExperimentGrid::Register(FlagParser* parser) {
+  parser->AddInt("k", &k, "number of clusters (paper: 40)")
+      .AddInt("restarts", &restarts, "random seed sets R (paper: 10)")
+      .AddInt("versions", &versions,
+              "independent data versions per size (paper: 5)")
+      .AddInt("max-n", &max_n, "drop sweep sizes above this (0 = keep all)")
+      .AddBool("quick", &quick,
+               "fast sanity configuration (small sizes, R=3, 1 version)");
+}
+
+void ExperimentGrid::Finalize() {
+  if (quick) {
+    sizes = {250, 2500, 12500};
+    restarts = std::min<int64_t>(restarts, 3);
+    versions = 1;
+  }
+  if (max_n > 0) {
+    std::erase_if(sizes, [&](int64_t n) { return n > max_n; });
+  }
+}
+
+Dataset MakeCell(int64_t n, const ExperimentGrid& grid, int64_t version) {
+  // One master stream per (size, version): every algorithm sees the exact
+  // same cell, like the paper's shared on-disk grid buckets.
+  Rng rng(grid.data_seed ^ (static_cast<uint64_t>(n) * 0x51ed2701u) ^
+          (static_cast<uint64_t>(version) << 32));
+  MisrCellSpec spec;
+  spec.dim = static_cast<size_t>(grid.dim);
+  return GenerateMisrLikeCell(static_cast<size_t>(n), &rng, spec);
+}
+
+RunStats RunSerial(const Dataset& cell, const ExperimentGrid& grid,
+                   uint64_t seed) {
+  KMeansConfig config;
+  config.k = static_cast<size_t>(grid.k);
+  config.restarts = static_cast<size_t>(grid.restarts);
+  config.seed = seed;
+  const Stopwatch watch;
+  auto model = KMeans(config).Fit(cell);
+  PMKM_CHECK(model.ok()) << model.status();
+  RunStats stats;
+  stats.total_ms = watch.ElapsedMillis();
+  stats.min_mse = model->sse;
+  stats.sse_raw = model->sse;
+  stats.iterations = static_cast<double>(model->iterations);
+  return stats;
+}
+
+RunStats RunPartialMerge(const Dataset& cell, const ExperimentGrid& grid,
+                         size_t splits, size_t threads, uint64_t seed) {
+  PartialMergeConfig config;
+  config.partial.k = static_cast<size_t>(grid.k);
+  config.partial.restarts = static_cast<size_t>(grid.restarts);
+  config.partial.seed = seed;
+  config.num_partitions = splits;
+  config.num_threads = threads;
+  config.seed = seed ^ 0xabcdef;
+  auto result = PartialMergeKMeans(config).Run(cell);
+  PMKM_CHECK(result.ok()) << result.status();
+  RunStats stats;
+  stats.partial_ms = result->partial_seconds * 1e3;
+  stats.merge_ms = result->merge_seconds * 1e3;
+  stats.total_ms = result->total_seconds * 1e3;
+  stats.min_mse = result->model.sse;  // E_pm
+  stats.sse_raw = Sse(result->model.centroids, cell);
+  stats.iterations = static_cast<double>(result->model.iterations);
+  return stats;
+}
+
+RunStats Average(const std::vector<RunStats>& runs) {
+  RunStats avg;
+  if (runs.empty()) return avg;
+  for (const RunStats& r : runs) {
+    avg.partial_ms += r.partial_ms;
+    avg.merge_ms += r.merge_ms;
+    avg.total_ms += r.total_ms;
+    avg.min_mse += r.min_mse;
+    avg.sse_raw += r.sse_raw;
+    avg.iterations += r.iterations;
+  }
+  const double n = static_cast<double>(runs.size());
+  avg.partial_ms /= n;
+  avg.merge_ms /= n;
+  avg.total_ms /= n;
+  avg.min_mse /= n;
+  avg.sse_raw /= n;
+  avg.iterations /= n;
+  return avg;
+}
+
+std::string Fmt(double v, int width, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%*.*f", width, precision, v);
+  return buf;
+}
+
+std::string FmtInt(int64_t v, int width) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%*lld", width,
+                static_cast<long long>(v));
+  return buf;
+}
+
+void PrintBanner(const std::string& experiment_id,
+                 const std::string& description,
+                 const ExperimentGrid& grid) {
+  std::cout << "==========================================================="
+               "=====================\n";
+  std::cout << experiment_id << ": " << description << "\n";
+  std::cout << "Nittel, Leung & Braverman, \"Scaling Clustering Algorithms "
+               "for Massive Data\n"
+               "Sets using Data Streams\" — k=" << grid.k
+            << ", R=" << grid.restarts << ", D=" << grid.dim
+            << ", versions=" << grid.versions << "\n";
+  std::cout << "==========================================================="
+               "=====================\n";
+}
+
+}  // namespace bench
+}  // namespace pmkm

@@ -1,0 +1,85 @@
+// Shared support for the experiment harnesses that regenerate the paper's
+// Table 2 and Figures 6-8, plus the ablation and baseline studies.
+//
+// Metric convention (matches the paper, see EXPERIMENTS.md):
+//  - serial "Min MSE"       = E  = Σ ‖x − c(x)‖² over the raw cell points,
+//    minimized over R restarts.
+//  - partial/merge "Min MSE" = E_pm = Σ w_i ‖c_i − µ(c_i)‖² over the pooled
+//    weighted centroids (the merge operator's objective).
+// We additionally report SSE(raw): the merged centroids evaluated on the
+// original points, an apples-to-apples quality number the paper does not
+// print.
+
+#ifndef PMKM_BENCH_BENCH_UTIL_H_
+#define PMKM_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "cluster/partial_merge.h"
+#include "common/flags.h"
+#include "data/generator.h"
+
+namespace pmkm {
+namespace bench {
+
+/// The paper's experiment grid (§5.1): cell sizes swept, D = 6, k = 40,
+/// R = 10 seed sets, 5- and 10-way splits, 5 data versions per size.
+struct ExperimentGrid {
+  std::vector<int64_t> sizes{250, 2500, 12500, 25000, 50000, 75000};
+  int64_t k = 40;
+  int64_t restarts = 10;
+  int64_t versions = 3;      // independent cells per configuration
+  int64_t dim = 6;
+  uint64_t data_seed = 2004; // ICDE 2004 ;-)
+
+  /// Registers --k/--restarts/--versions/--max-n/--quick flags.
+  void Register(FlagParser* parser);
+
+  /// Applies --quick / --max-n adjustments after parsing.
+  void Finalize();
+
+  bool quick = false;
+  int64_t max_n = 0;  // 0 = keep all sizes
+};
+
+/// Measured outcome of one algorithm on one cell.
+struct RunStats {
+  double partial_ms = 0.0;  // t_{C0-Ci} (0 for serial)
+  double merge_ms = 0.0;    // t_merge   (0 for serial)
+  double total_ms = 0.0;    // overall t
+  double min_mse = 0.0;     // the paper's metric (see header comment)
+  double sse_raw = 0.0;     // merged/serial centroids evaluated on raw data
+  double iterations = 0.0;
+};
+
+/// Serial k-means baseline with R restarts (paper §5.1 "serial" rows).
+RunStats RunSerial(const Dataset& cell, const ExperimentGrid& grid,
+                   uint64_t seed);
+
+/// Partial/merge k-means with the given split count, run with the paper's
+/// configuration (R restarts per partition, heaviest-weight merge seeding).
+/// `threads` = 1 reproduces the single-machine rows.
+RunStats RunPartialMerge(const Dataset& cell, const ExperimentGrid& grid,
+                         size_t splits, size_t threads, uint64_t seed);
+
+/// Averages stats over several runs.
+RunStats Average(const std::vector<RunStats>& runs);
+
+/// Generates version `v` of the N-point MISR-like benchmark cell.
+Dataset MakeCell(int64_t n, const ExperimentGrid& grid, int64_t version);
+
+/// Fixed-width cell for table output.
+std::string Fmt(double v, int width = 12, int precision = 1);
+std::string FmtInt(int64_t v, int width = 8);
+
+/// Prints the standard harness banner.
+void PrintBanner(const std::string& experiment_id,
+                 const std::string& description,
+                 const ExperimentGrid& grid);
+
+}  // namespace bench
+}  // namespace pmkm
+
+#endif  // PMKM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Builds everything and regenerates the full evaluation:
+#   test_output.txt   — ctest results
+#   bench_output.txt  — every table/figure harness + ablations + micro
+#
+# Usage: scripts/run_experiments.sh [--quick]
+#   --quick  pass the fast sanity configuration to every harness
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK_FLAG=""
+if [[ "${1:-}" == "--quick" ]]; then
+  QUICK_FLAG="--quick"
+fi
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/bench_*; do
+    echo "######## ${b}"
+    # bench_micro (google-benchmark) does not take --quick.
+    if [[ "$(basename "$b")" == "bench_micro" ]]; then
+      "$b"
+    else
+      "$b" ${QUICK_FLAG}
+    fi
+    echo
+  done
+} 2>&1 | tee bench_output.txt

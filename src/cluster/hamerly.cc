@@ -1,0 +1,240 @@
+#include "cluster/hamerly.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cluster/distance.h"
+
+namespace pmkm {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Exact L2 distance.
+double Dist(const double* a, const double* b, size_t dim) {
+  return std::sqrt(SquaredL2(a, b, dim));
+}
+
+}  // namespace
+
+Result<ClusteringModel> RunHamerlyLloyd(const WeightedDataset& data,
+                                        Dataset initial_centroids,
+                                        const LloydConfig& config,
+                                        Rng* rng, HamerlyStats* stats) {
+  const size_t n = data.size();
+  const size_t k = initial_centroids.size();
+  const size_t dim = data.dim();
+  if (n == 0) return Status::InvalidArgument("empty dataset");
+  if (k == 0) return Status::InvalidArgument("no initial centroids");
+  if (initial_centroids.dim() != dim) {
+    return Status::InvalidArgument("centroid/data dimensionality mismatch");
+  }
+  if (config.epsilon < 0.0) {
+    return Status::InvalidArgument("epsilon must be non-negative");
+  }
+  PMKM_CHECK(rng != nullptr);
+
+  ClusteringModel model;
+  model.centroids = std::move(initial_centroids);
+  model.weights.assign(k, 0.0);
+
+  const double* points = data.points().data();
+  std::vector<uint32_t> assign(n);
+  std::vector<double> upper(n);   // u(i): bound on dist to assigned
+  std::vector<double> lower(n);   // l(i): bound on dist to all others
+  std::vector<double> sums(k * dim, 0.0);
+  std::vector<double> mass(k, 0.0);
+
+  // --- Initial exact assignment, builds running sums -------------------
+  {
+    for (size_t i = 0; i < n; ++i) {
+      const double* x = points + i * dim;
+      size_t best = 0;
+      double d_best = kInf, d_second = kInf;
+      for (size_t j = 0; j < k; ++j) {
+        const double d =
+            Dist(x, model.centroids.data() + j * dim, dim);
+        if (d < d_best) {
+          d_second = d_best;
+          d_best = d;
+          best = j;
+        } else if (d < d_second) {
+          d_second = d;
+        }
+      }
+      assign[i] = static_cast<uint32_t>(best);
+      upper[i] = d_best;
+      lower[i] = d_second;
+      const double w = data.weight(i);
+      double* sum = sums.data() + best * dim;
+      for (size_t d = 0; d < dim; ++d) sum[d] += w * x[d];
+      mass[best] += w;
+    }
+  }
+
+  std::vector<double> drift(k, 0.0);
+  std::vector<double> s(k, 0.0);  // half-distance to nearest other center
+  std::vector<double> old_center(dim);
+
+  size_t iter = 0;
+  bool need_full_rescan = false;
+  for (iter = 0; iter < config.max_iterations; ++iter) {
+    // Update centroids from the running sums; record drifts.
+    double max_drift = 0.0;
+    for (size_t j = 0; j < k; ++j) {
+      if (mass[j] <= 0.0) {
+        drift[j] = 0.0;
+        continue;  // starved; repaired below
+      }
+      double* c = model.centroids.mutable_data() + j * dim;
+      std::copy(c, c + dim, old_center.begin());
+      const double inv = 1.0 / mass[j];
+      const double* sum = sums.data() + j * dim;
+      for (size_t d = 0; d < dim; ++d) c[d] = sum[d] * inv;
+      drift[j] = Dist(old_center.data(), c, dim);
+      max_drift = std::max(max_drift, drift[j]);
+    }
+
+    // Empty-cluster repair (rare): re-seed to the point farthest from its
+    // centroid, computed exactly, then force a full rescan so every bound
+    // is rebuilt against the patched codebook.
+    bool repaired = false;
+    for (size_t j = 0; j < k; ++j) {
+      if (mass[j] > 0.0) continue;
+      size_t far_i = n;
+      double far_d = -1.0;
+      for (size_t i = 0; i < n; ++i) {
+        if (mass[assign[i]] <= data.weight(i)) continue;  // would starve
+        const double d = Dist(points + i * dim,
+                              model.centroids.data() + assign[i] * dim,
+                              dim);
+        if (d > far_d) {
+          far_d = d;
+          far_i = i;
+        }
+      }
+      if (far_i == n || far_d <= 0.0) continue;  // duplicates; leave empty
+      const double w = data.weight(far_i);
+      const double* x = points + far_i * dim;
+      const size_t old = assign[far_i];
+      double* old_sum = sums.data() + old * dim;
+      double* new_sum = sums.data() + j * dim;
+      double* c = model.centroids.mutable_data() + j * dim;
+      for (size_t d = 0; d < dim; ++d) {
+        old_sum[d] -= w * x[d];
+        new_sum[d] = w * x[d];
+        c[d] = x[d];
+      }
+      mass[old] -= w;
+      mass[j] = w;
+      assign[far_i] = static_cast<uint32_t>(j);
+      repaired = true;
+    }
+    if (repaired) need_full_rescan = true;
+
+    // Loosen bounds by the centroid drifts.
+    if (max_drift > 0.0 && !need_full_rescan) {
+      for (size_t i = 0; i < n; ++i) {
+        upper[i] += drift[assign[i]];
+        lower[i] -= max_drift;
+      }
+    }
+
+    // s(j): half the distance to the nearest other centroid.
+    for (size_t j = 0; j < k; ++j) {
+      double nearest = kInf;
+      for (size_t j2 = 0; j2 < k; ++j2) {
+        if (j2 == j) continue;
+        nearest = std::min(
+            nearest, Dist(model.centroids.data() + j * dim,
+                          model.centroids.data() + j2 * dim, dim));
+      }
+      s[j] = 0.5 * nearest;
+    }
+
+    // Assignment pass with bound pruning.
+    size_t changed = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const size_t a = assign[i];
+      const double* x = points + i * dim;
+      if (need_full_rescan) {
+        // fall through to the full scan below with bounds reset
+      } else {
+        const double m = std::max(s[a], lower[i]);
+        if (upper[i] <= m) {
+          if (stats != nullptr) ++stats->bound_skips;
+          continue;
+        }
+        // Tighten the upper bound with one exact distance.
+        upper[i] = Dist(x, model.centroids.data() + a * dim, dim);
+        if (upper[i] <= m) {
+          if (stats != nullptr) ++stats->bound_skips;
+          continue;
+        }
+      }
+      if (stats != nullptr) ++stats->full_scans;
+      size_t best = 0;
+      double d_best = kInf, d_second = kInf;
+      for (size_t j = 0; j < k; ++j) {
+        const double d = Dist(x, model.centroids.data() + j * dim, dim);
+        if (d < d_best) {
+          d_second = d_best;
+          d_best = d;
+          best = j;
+        } else if (d < d_second) {
+          d_second = d;
+        }
+      }
+      upper[i] = d_best;
+      lower[i] = d_second;
+      if (best != a) {
+        const double w = data.weight(i);
+        double* old_sum = sums.data() + a * dim;
+        double* new_sum = sums.data() + best * dim;
+        for (size_t d = 0; d < dim; ++d) {
+          old_sum[d] -= w * x[d];
+          new_sum[d] += w * x[d];
+        }
+        mass[a] -= w;
+        mass[best] += w;
+        assign[i] = static_cast<uint32_t>(best);
+        ++changed;
+      }
+    }
+    need_full_rescan = false;
+
+    // Fixpoint: nothing moved, so the next centroid update is a no-op and
+    // the SSE delta is 0 ≤ epsilon (the paper's criterion at convergence).
+    if (changed == 0 && !repaired) {
+      model.converged = true;
+      ++iter;
+      break;
+    }
+  }
+  if (stats != nullptr) stats->iterations = iter;
+
+  // Final exact bookkeeping (same as RunWeightedLloyd).
+  {
+    const std::vector<double> norms = CentroidSquaredNorms(model.centroids);
+    std::fill(model.weights.begin(), model.weights.end(), 0.0);
+    double final_sse = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double* x = points + i * dim;
+      const Nearest nearest = NearestCentroid(x, model.centroids, norms);
+      assign[i] = static_cast<uint32_t>(nearest.index);
+      const double w = data.weight(i);
+      model.weights[nearest.index] += w;
+      final_sse += w * nearest.distance_sq;
+    }
+    model.sse = final_sse;
+    const double total = data.TotalWeight();
+    model.mse_per_point = total > 0.0 ? final_sse / total : 0.0;
+  }
+  model.iterations = std::min(iter, config.max_iterations);
+  if (config.track_assignments) model.assignments = std::move(assign);
+  return model;
+}
+
+}  // namespace pmkm

@@ -1,0 +1,33 @@
+#include "cluster/kmeans.h"
+
+#include "cluster/hamerly.h"
+
+namespace pmkm {
+
+Result<ClusteringModel> KMeans::FitWeighted(
+    const WeightedDataset& data) const {
+  PMKM_RETURN_NOT_OK(config_.Validate());
+  if (data.size() < config_.k) {
+    return Status::InvalidArgument(
+        "dataset has " + std::to_string(data.size()) +
+        " points, fewer than k=" + std::to_string(config_.k));
+  }
+  Rng master(config_.seed);
+  ClusteringModel best;
+  for (size_t r = 0; r < config_.restarts; ++r) {
+    Rng rng = master.Fork(r + 1);
+    PMKM_ASSIGN_OR_RETURN(
+        Dataset seeds,
+        SelectSeeds(data, config_.k, config_.seeding, &rng));
+    PMKM_ASSIGN_OR_RETURN(
+        ClusteringModel model,
+        config_.accelerate
+            ? RunHamerlyLloyd(data, std::move(seeds), config_.lloyd, &rng)
+            : RunWeightedLloyd(data, std::move(seeds), config_.lloyd,
+                               &rng));
+    if (model.sse < best.sse) best = std::move(model);
+  }
+  return best;
+}
+
+}  // namespace pmkm

@@ -1,0 +1,147 @@
+#include "cluster/lloyd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cluster/distance.h"
+
+namespace pmkm {
+
+Result<ClusteringModel> RunWeightedLloyd(const WeightedDataset& data,
+                                         Dataset initial_centroids,
+                                         const LloydConfig& config,
+                                         Rng* rng) {
+  const size_t n = data.size();
+  const size_t k = initial_centroids.size();
+  const size_t dim = data.dim();
+  if (n == 0) return Status::InvalidArgument("empty dataset");
+  if (k == 0) return Status::InvalidArgument("no initial centroids");
+  if (initial_centroids.dim() != dim) {
+    return Status::InvalidArgument("centroid/data dimensionality mismatch");
+  }
+  if (config.epsilon < 0.0) {
+    return Status::InvalidArgument("epsilon must be non-negative");
+  }
+  PMKM_CHECK(rng != nullptr);
+
+  ClusteringModel model;
+  model.centroids = std::move(initial_centroids);
+  model.weights.assign(k, 0.0);
+
+  std::vector<uint32_t> assign(n, 0);
+  std::vector<double> sums(k * dim);
+  std::vector<double> cluster_weight(k);
+  // Farthest assigned point per cluster: the donor pool for re-seeding
+  // starved centroids.
+  std::vector<double> farthest_dist(k);
+  std::vector<size_t> farthest_idx(k);
+
+  double prev_sse = std::numeric_limits<double>::infinity();
+  double sse = prev_sse;
+  const double* points = data.points().data();
+
+  size_t iter = 0;
+  for (iter = 0; iter < config.max_iterations; ++iter) {
+    // --- Assignment step -------------------------------------------------
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(cluster_weight.begin(), cluster_weight.end(), 0.0);
+    std::fill(farthest_dist.begin(), farthest_dist.end(), -1.0);
+    const std::vector<double> norms = CentroidSquaredNorms(model.centroids);
+    sse = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double* x = points + i * dim;
+      const Nearest nearest = NearestCentroid(x, model.centroids, norms);
+      const size_t j = nearest.index;
+      const double w = data.weight(i);
+      assign[i] = static_cast<uint32_t>(j);
+      sse += w * nearest.distance_sq;
+      double* sum = sums.data() + j * dim;
+      for (size_t d = 0; d < dim; ++d) sum[d] += w * x[d];
+      cluster_weight[j] += w;
+      if (nearest.distance_sq > farthest_dist[j]) {
+        farthest_dist[j] = nearest.distance_sq;
+        farthest_idx[j] = i;
+      }
+    }
+
+    // --- Empty-cluster repair --------------------------------------------
+    // Re-seed each starved centroid to the globally farthest point, then
+    // continue iterating (its sum/weight are patched as a singleton).
+    for (size_t j = 0; j < k; ++j) {
+      if (cluster_weight[j] > 0.0) continue;
+      // Donor: cluster with the largest farthest-point distance.
+      size_t donor = k;
+      double best = -1.0;
+      for (size_t c = 0; c < k; ++c) {
+        if (cluster_weight[c] > 0.0 && farthest_dist[c] > best) {
+          best = farthest_dist[c];
+          donor = c;
+        }
+      }
+      if (donor == k || best <= 0.0) {
+        // All points coincide with their centroids (fewer distinct points
+        // than k). Leave the centroid where it is with zero weight.
+        continue;
+      }
+      const size_t i = farthest_idx[donor];
+      const double* x = points + i * dim;
+      const double w = data.weight(i);
+      // Move the donor point's mass from its cluster to j.
+      double* donor_sum = sums.data() + donor * dim;
+      double* new_sum = sums.data() + j * dim;
+      for (size_t d = 0; d < dim; ++d) {
+        donor_sum[d] -= w * x[d];
+        new_sum[d] = w * x[d];
+      }
+      cluster_weight[donor] -= w;
+      cluster_weight[j] = w;
+      assign[i] = static_cast<uint32_t>(j);
+      sse -= w * farthest_dist[donor];
+      farthest_dist[donor] = 0.0;  // donor no longer eligible this round
+    }
+
+    // --- Centroid recalculation ------------------------------------------
+    for (size_t j = 0; j < k; ++j) {
+      if (cluster_weight[j] <= 0.0) continue;  // unrecoverable starvation
+      double* c = model.centroids.mutable_data() + j * dim;
+      const double* sum = sums.data() + j * dim;
+      const double inv = 1.0 / cluster_weight[j];
+      for (size_t d = 0; d < dim; ++d) c[d] = sum[d] * inv;
+    }
+
+    // --- Convergence -----------------------------------------------------
+    // The paper's criterion compares the error of consecutive clustering
+    // iterations; sse here is the error of the *pre-update* centroids, so
+    // the first comparison happens at iter >= 1.
+    if (iter > 0 && prev_sse - sse <= config.epsilon) {
+      model.converged = true;
+      break;
+    }
+    prev_sse = sse;
+  }
+
+  // Final bookkeeping against the final centroids.
+  {
+    const std::vector<double> norms = CentroidSquaredNorms(model.centroids);
+    std::fill(model.weights.begin(), model.weights.end(), 0.0);
+    double final_sse = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double* x = points + i * dim;
+      const Nearest nearest = NearestCentroid(x, model.centroids, norms);
+      assign[i] = static_cast<uint32_t>(nearest.index);
+      const double w = data.weight(i);
+      model.weights[nearest.index] += w;
+      final_sse += w * nearest.distance_sq;
+    }
+    model.sse = final_sse;
+    const double total_weight = data.TotalWeight();
+    model.mse_per_point =
+        total_weight > 0.0 ? final_sse / total_weight : 0.0;
+  }
+  model.iterations = std::min(iter + 1, config.max_iterations);
+  if (config.track_assignments) model.assignments = std::move(assign);
+  return model;
+}
+
+}  // namespace pmkm

@@ -1,0 +1,48 @@
+// Weighted Lloyd iteration: the shared fixed-point core of serial k-means
+// (unit weights), partial k-means (unit weights) and merge k-means
+// (centroid weights). Implements the paper's steps 2-4 exactly:
+// assignment by Euclidean distance, weighted centroid recalculation
+// µ_j = Σ w_i c_i / Σ w_i, and the convergence criterion
+// MSE(n-1) − MSE(n) ≤ ε with ε = 1e-9 (paper §2/§3.3).
+
+#ifndef PMKM_CLUSTER_LLOYD_H_
+#define PMKM_CLUSTER_LLOYD_H_
+
+#include "cluster/model.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/weighted.h"
+
+namespace pmkm {
+
+/// Parameters of one Lloyd run (seed selection happens outside).
+struct LloydConfig {
+  /// Convergence: stop when E(n-1) − E(n) ≤ epsilon (E is the weighted SSE,
+  /// the paper's "MSE").
+  double epsilon = 1e-9;
+
+  /// Hard iteration cap. The paper reports I growing with N; 300 is far
+  /// above every converged run in our sweeps and bounds pathological
+  /// oscillation.
+  size_t max_iterations = 300;
+
+  /// Record per-point assignments in the returned model.
+  bool track_assignments = false;
+};
+
+/// Runs weighted Lloyd from the given initial centroids until convergence.
+///
+/// Empty-cluster policy (documented deviation, DESIGN.md §4): a centroid
+/// that attracts no weight is re-seeded to the in-cluster point currently
+/// farthest from its centroid, keeping k constant as the paper's
+/// formulation requires ("k disjoint non-empty subsets").
+///
+/// Fails if `data` is empty, dimensionalities mismatch, or k = 0.
+Result<ClusteringModel> RunWeightedLloyd(const WeightedDataset& data,
+                                         Dataset initial_centroids,
+                                         const LloydConfig& config,
+                                         Rng* rng);
+
+}  // namespace pmkm
+
+#endif  // PMKM_CLUSTER_LLOYD_H_

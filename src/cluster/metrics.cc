@@ -1,0 +1,57 @@
+#include "cluster/metrics.h"
+
+#include "cluster/distance.h"
+
+namespace pmkm {
+
+double Sse(const Dataset& centroids, const Dataset& data) {
+  PMKM_CHECK(!centroids.empty());
+  PMKM_CHECK(centroids.dim() == data.dim());
+  const std::vector<double> norms = CentroidSquaredNorms(centroids);
+  const size_t dim = data.dim();
+  double acc = 0.0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    acc += NearestCentroid(data.data() + i * dim, centroids, norms)
+               .distance_sq;
+  }
+  return acc;
+}
+
+double WeightedSse(const Dataset& centroids, const WeightedDataset& data) {
+  PMKM_CHECK(!centroids.empty());
+  PMKM_CHECK(centroids.dim() == data.dim());
+  const std::vector<double> norms = CentroidSquaredNorms(centroids);
+  const size_t dim = data.dim();
+  double acc = 0.0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    acc += data.weight(i) *
+           NearestCentroid(data.points().data() + i * dim, centroids, norms)
+               .distance_sq;
+  }
+  return acc;
+}
+
+double MsePerPoint(const Dataset& centroids, const Dataset& data) {
+  PMKM_CHECK(!data.empty());
+  return Sse(centroids, data) / static_cast<double>(data.size());
+}
+
+std::vector<size_t> AssignmentCounts(const Dataset& centroids,
+                                     const Dataset& data) {
+  PMKM_CHECK(!centroids.empty());
+  PMKM_CHECK(centroids.dim() == data.dim());
+  const std::vector<double> norms = CentroidSquaredNorms(centroids);
+  const size_t dim = data.dim();
+  std::vector<size_t> counts(centroids.size(), 0);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ++counts[NearestCentroid(data.data() + i * dim, centroids, norms)
+                 .index];
+  }
+  return counts;
+}
+
+double ModelSseOn(const ClusteringModel& model, const Dataset& data) {
+  return Sse(model.centroids, data);
+}
+
+}  // namespace pmkm

@@ -1,0 +1,12 @@
+#include "cluster/model.h"
+
+#include "cluster/distance.h"
+
+namespace pmkm {
+
+size_t ClusteringModel::Predict(std::span<const double> point) const {
+  PMKM_CHECK(!centroids.empty());
+  return NearestCentroid(point, centroids).index;
+}
+
+}  // namespace pmkm

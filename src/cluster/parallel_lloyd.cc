@@ -1,0 +1,185 @@
+#include "cluster/parallel_lloyd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <limits>
+
+#include "cluster/distance.h"
+
+namespace pmkm {
+
+namespace {
+
+// Per-worker accumulator for one assignment pass over a point range.
+struct RangeAccumulator {
+  std::vector<double> sums;           // k * dim weighted coordinate sums
+  std::vector<double> cluster_weight; // k
+  std::vector<double> farthest_dist;  // k
+  std::vector<size_t> farthest_idx;   // k
+  double sse = 0.0;
+
+  void Reset(size_t k, size_t dim) {
+    sums.assign(k * dim, 0.0);
+    cluster_weight.assign(k, 0.0);
+    farthest_dist.assign(k, -1.0);
+    farthest_idx.assign(k, 0);
+    sse = 0.0;
+  }
+};
+
+}  // namespace
+
+Result<ClusteringModel> RunWeightedLloydParallel(
+    const WeightedDataset& data, Dataset initial_centroids,
+    const LloydConfig& config, Rng* rng, ThreadPool* pool) {
+  if (pool == nullptr || pool->num_threads() <= 1 || data.size() < 1024) {
+    // Parallelism would not pay for tiny inputs; keep exact serial parity.
+    return RunWeightedLloyd(data, std::move(initial_centroids), config,
+                            rng);
+  }
+  const size_t n = data.size();
+  const size_t k = initial_centroids.size();
+  const size_t dim = data.dim();
+  if (k == 0) return Status::InvalidArgument("no initial centroids");
+  if (initial_centroids.dim() != dim) {
+    return Status::InvalidArgument("centroid/data dimensionality mismatch");
+  }
+  if (config.epsilon < 0.0) {
+    return Status::InvalidArgument("epsilon must be non-negative");
+  }
+  PMKM_CHECK(rng != nullptr);
+
+  ClusteringModel model;
+  model.centroids = std::move(initial_centroids);
+  model.weights.assign(k, 0.0);
+
+  const size_t num_workers =
+      std::min(pool->num_threads(), (n + 1023) / 1024);
+  std::vector<RangeAccumulator> acc(num_workers);
+  std::vector<uint32_t> assign(n, 0);
+  const double* points = data.points().data();
+
+  double prev_sse = std::numeric_limits<double>::infinity();
+  double sse = prev_sse;
+  size_t iter = 0;
+  for (iter = 0; iter < config.max_iterations; ++iter) {
+    const std::vector<double> norms = CentroidSquaredNorms(model.centroids);
+
+    // --- Parallel assignment over contiguous ranges -------------------
+    std::vector<std::future<void>> futures;
+    futures.reserve(num_workers);
+    const size_t per = (n + num_workers - 1) / num_workers;
+    for (size_t w = 0; w < num_workers; ++w) {
+      futures.push_back(pool->Submit([&, w] {
+        RangeAccumulator& a = acc[w];
+        a.Reset(k, dim);
+        const size_t begin = w * per;
+        const size_t end = std::min(n, begin + per);
+        for (size_t i = begin; i < end; ++i) {
+          const double* x = points + i * dim;
+          const Nearest nearest =
+              NearestCentroid(x, model.centroids, norms);
+          const size_t j = nearest.index;
+          const double weight = data.weight(i);
+          assign[i] = static_cast<uint32_t>(j);
+          a.sse += weight * nearest.distance_sq;
+          double* sum = a.sums.data() + j * dim;
+          for (size_t d = 0; d < dim; ++d) sum[d] += weight * x[d];
+          a.cluster_weight[j] += weight;
+          if (nearest.distance_sq > a.farthest_dist[j]) {
+            a.farthest_dist[j] = nearest.distance_sq;
+            a.farthest_idx[j] = i;
+          }
+        }
+      }));
+    }
+    for (auto& f : futures) f.wait();
+
+    // --- Deterministic reduction (fixed worker order) -----------------
+    std::vector<double> sums(k * dim, 0.0);
+    std::vector<double> cluster_weight(k, 0.0);
+    std::vector<double> farthest_dist(k, -1.0);
+    std::vector<size_t> farthest_idx(k, 0);
+    sse = 0.0;
+    for (const RangeAccumulator& a : acc) {
+      sse += a.sse;
+      for (size_t v = 0; v < k * dim; ++v) sums[v] += a.sums[v];
+      for (size_t j = 0; j < k; ++j) {
+        cluster_weight[j] += a.cluster_weight[j];
+        if (a.farthest_dist[j] > farthest_dist[j]) {
+          farthest_dist[j] = a.farthest_dist[j];
+          farthest_idx[j] = a.farthest_idx[j];
+        }
+      }
+    }
+
+    // --- Empty-cluster repair (same policy as the serial path) --------
+    for (size_t j = 0; j < k; ++j) {
+      if (cluster_weight[j] > 0.0) continue;
+      size_t donor = k;
+      double best = -1.0;
+      for (size_t c = 0; c < k; ++c) {
+        if (cluster_weight[c] > 0.0 && farthest_dist[c] > best) {
+          best = farthest_dist[c];
+          donor = c;
+        }
+      }
+      if (donor == k || best <= 0.0) continue;
+      const size_t i = farthest_idx[donor];
+      const double* x = points + i * dim;
+      const double weight = data.weight(i);
+      double* donor_sum = sums.data() + donor * dim;
+      double* new_sum = sums.data() + j * dim;
+      for (size_t d = 0; d < dim; ++d) {
+        donor_sum[d] -= weight * x[d];
+        new_sum[d] = weight * x[d];
+      }
+      cluster_weight[donor] -= weight;
+      cluster_weight[j] = weight;
+      assign[i] = static_cast<uint32_t>(j);
+      sse -= weight * farthest_dist[donor];
+      farthest_dist[donor] = 0.0;
+    }
+
+    // --- ComputeClusterMean --------------------------------------------
+    for (size_t j = 0; j < k; ++j) {
+      if (cluster_weight[j] <= 0.0) continue;
+      double* c = model.centroids.mutable_data() + j * dim;
+      const double* sum = sums.data() + j * dim;
+      const double inv = 1.0 / cluster_weight[j];
+      for (size_t d = 0; d < dim; ++d) c[d] = sum[d] * inv;
+    }
+
+    if (iter > 0 && prev_sse - sse <= config.epsilon) {
+      model.converged = true;
+      break;
+    }
+    prev_sse = sse;
+  }
+
+  // Final exact bookkeeping against the final centroids (serial; cheap
+  // relative to the iterations and keeps reported numbers reduction-order
+  // independent of the worker count).
+  {
+    const std::vector<double> norms = CentroidSquaredNorms(model.centroids);
+    std::fill(model.weights.begin(), model.weights.end(), 0.0);
+    double final_sse = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double* x = points + i * dim;
+      const Nearest nearest = NearestCentroid(x, model.centroids, norms);
+      assign[i] = static_cast<uint32_t>(nearest.index);
+      const double w = data.weight(i);
+      model.weights[nearest.index] += w;
+      final_sse += w * nearest.distance_sq;
+    }
+    model.sse = final_sse;
+    const double total = data.TotalWeight();
+    model.mse_per_point = total > 0.0 ? final_sse / total : 0.0;
+  }
+  model.iterations = std::min(iter + 1, config.max_iterations);
+  if (config.track_assignments) model.assignments = std::move(assign);
+  return model;
+}
+
+}  // namespace pmkm

@@ -1,0 +1,35 @@
+// Intra-operator parallel Lloyd iteration — the paper's §3.4 option 3:
+// "A third option is to break up the partial k-means into several finer
+// grained operators such as ChooseRandomSeeds, and SortDataPoint,
+// ComputeClusterMean ... Within the partial k-means, the SortDataPoint
+// [sorting] is the most expensive operation, and could be parallelized."
+//
+// RunWeightedLloydParallel splits the assignment ("sort data point") step
+// across worker threads with per-worker accumulators reduced in fixed
+// worker order, so results are deterministic for a given worker count.
+// Assignments per iteration are the same as the serial path; centroid
+// coordinates can differ from it only by floating-point summation order
+// (≈1 ulp), so the fitted quality matches RunWeightedLloyd to ~1e-12
+// relative. The centroid-recalculation ("ComputeClusterMean") step reduces
+// the per-worker sums serially (k·D work, negligible).
+
+#ifndef PMKM_CLUSTER_PARALLEL_LLOYD_H_
+#define PMKM_CLUSTER_PARALLEL_LLOYD_H_
+
+#include "cluster/lloyd.h"
+#include "common/thread_pool.h"
+
+namespace pmkm {
+
+/// Parallel variant of RunWeightedLloyd. `pool` supplies the workers (its
+/// size caps the parallelism); pass nullptr to run the serial code path.
+/// Semantics (convergence rule, empty-cluster repair, returned fields)
+/// match RunWeightedLloyd exactly; for identical inputs the two return the
+/// same model.
+Result<ClusteringModel> RunWeightedLloydParallel(
+    const WeightedDataset& data, Dataset initial_centroids,
+    const LloydConfig& config, Rng* rng, ThreadPool* pool);
+
+}  // namespace pmkm
+
+#endif  // PMKM_CLUSTER_PARALLEL_LLOYD_H_

@@ -1,0 +1,134 @@
+#include "cluster/partial_merge.h"
+
+#include <cmath>
+
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "data/slicing.h"
+
+namespace pmkm {
+
+Status PartialMergeConfig::Validate() const {
+  PMKM_RETURN_NOT_OK(partial.Validate());
+  if (num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be >= 1");
+  }
+  if (num_threads == 0) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  return Status::OK();
+}
+
+Result<PartialMergeResult> PartialMergeKMeans::Run(
+    const Dataset& cell) const {
+  PMKM_RETURN_NOT_OK(config_.Validate());
+  if (cell.empty()) return Status::InvalidArgument("empty cell");
+  Rng rng(config_.seed);
+  std::vector<Dataset> chunks;
+  switch (config_.strategy) {
+    case PartitionStrategy::kRandom:
+      chunks = SplitRandom(cell, config_.num_partitions, &rng);
+      break;
+    case PartitionStrategy::kContiguous:
+      chunks = SplitContiguous(cell, config_.num_partitions);
+      break;
+    case PartitionStrategy::kSpatial: {
+      size_t side = config_.spatial_grid_side;
+      if (side == 0) {
+        side = static_cast<size_t>(std::ceil(
+            std::sqrt(static_cast<double>(config_.num_partitions))));
+      }
+      PMKM_ASSIGN_OR_RETURN(chunks, SplitSpatialGrid(cell, side));
+      break;
+    }
+    case PartitionStrategy::kStripes:
+      PMKM_ASSIGN_OR_RETURN(
+          chunks, SplitStripes(cell, config_.num_partitions,
+                               config_.stripe_dim));
+      break;
+  }
+  // A cell smaller than p produces empty tail chunks; drop them.
+  std::erase_if(chunks, [](const Dataset& d) { return d.empty(); });
+  return RunChunks(chunks);
+}
+
+Result<PartialMergeResult> PartialMergeKMeans::RunChunks(
+    const std::vector<Dataset>& chunks) const {
+  PMKM_RETURN_NOT_OK(config_.Validate());
+  if (chunks.empty()) return Status::InvalidArgument("no partitions");
+  const size_t dim = chunks[0].dim();
+  for (const Dataset& c : chunks) {
+    if (c.empty()) return Status::InvalidArgument("empty partition");
+    if (c.dim() != dim) {
+      return Status::InvalidArgument("partition dimensionality mismatch");
+    }
+  }
+
+  const Stopwatch total_watch;
+  PartialMergeResult out;
+  out.num_partitions = chunks.size();
+
+  const PartialKMeans partial(config_.partial);
+  std::vector<Result<PartialResult>> partials(
+      chunks.size(), Result<PartialResult>(Status::Internal("not run")));
+
+  Stopwatch partial_watch;
+  if (config_.num_threads <= 1 || chunks.size() == 1) {
+    for (size_t p = 0; p < chunks.size(); ++p) {
+      partials[p] = partial.Cluster(chunks[p], p);
+    }
+  } else {
+    ThreadPool pool(std::min(config_.num_threads, chunks.size()));
+    std::vector<std::future<void>> futures;
+    futures.reserve(chunks.size());
+    for (size_t p = 0; p < chunks.size(); ++p) {
+      futures.push_back(pool.Submit([&, p] {
+        partials[p] = partial.Cluster(chunks[p], p);
+      }));
+    }
+    for (auto& f : futures) f.wait();
+  }
+  out.partial_seconds = partial_watch.ElapsedSeconds();
+
+  WeightedDataset pooled(dim);
+  for (size_t p = 0; p < chunks.size(); ++p) {
+    PMKM_RETURN_NOT_OK(partials[p].status());
+    const PartialResult& pr = partials[p].value();
+    pooled.AppendAll(pr.centroids);
+    out.partition_sse.push_back(pr.sse);
+    out.partition_iters.push_back(pr.iterations);
+  }
+  out.pooled_centroids = pooled.size();
+
+  MergeKMeansConfig merge_cfg = config_.merge;
+  if (merge_cfg.k == 0) merge_cfg.k = config_.partial.k;
+  const MergeKMeans merger(merge_cfg);
+
+  const Stopwatch merge_watch;
+  PMKM_ASSIGN_OR_RETURN(out.model, merger.Merge(pooled));
+  out.merge_seconds = merge_watch.ElapsedSeconds();
+
+  if (config_.refine_iterations > 0) {
+    // Second look over the raw points: polish the merged centroids with a
+    // bounded Lloyd budget. Seeds are the merged model, so refinement can
+    // only improve the raw-data error (Lloyd is monotone).
+    const Stopwatch refine_watch;
+    Dataset raw(dim);
+    size_t total_points = 0;
+    for (const Dataset& c : chunks) total_points += c.size();
+    raw.Reserve(total_points);
+    for (const Dataset& c : chunks) raw.AppendAll(c);
+    LloydConfig refine_cfg = config_.partial.lloyd;
+    refine_cfg.max_iterations = config_.refine_iterations;
+    Rng refine_rng(config_.seed ^ 0x726566696eULL);
+    PMKM_ASSIGN_OR_RETURN(
+        out.model,
+        RunWeightedLloyd(WeightedDataset::FromUnweighted(raw),
+                         out.model.centroids, refine_cfg, &refine_rng));
+    out.refine_seconds = refine_watch.ElapsedSeconds();
+  }
+  out.total_seconds = total_watch.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace pmkm

@@ -1,0 +1,112 @@
+// PartialMergeKMeans: the end-to-end algorithm of the paper (Fig. 4/5),
+// as an in-memory driver. Splits a grid cell into p partitions, runs
+// partial k-means on each (optionally in parallel, modelling the cloned
+// operators on separate machines), pools the weighted centroids and runs
+// the merge k-means. Phase timings are recorded to reproduce Table 2's
+// t_{C0−Ci} and t_merge columns.
+//
+// The stream-operator deployment of the same computation lives in
+// src/stream/ops.h; this driver shares all of its pieces.
+
+#ifndef PMKM_CLUSTER_PARTIAL_MERGE_H_
+#define PMKM_CLUSTER_PARTIAL_MERGE_H_
+
+#include <vector>
+
+#include "cluster/merge.h"
+#include "cluster/partial.h"
+
+namespace pmkm {
+
+/// How a cell's points are sliced into partitions (the paper's §6 design
+/// space: mostly-overlapping, salami, spatially non-overlapping).
+enum class PartitionStrategy {
+  kRandom,      // random shuffle into p chunks (the paper's test setup)
+  kContiguous,  // arrival-order "salami" slices (paper's future work)
+  kSpatial,     // spatially disjoint subcells on coords 0/1 (future work)
+  kStripes,     // sorted stripes along one coordinate (1-D salami)
+};
+
+struct PartialMergeConfig {
+  /// Per-partition k-means (k, restarts R, seeding, Lloyd parameters).
+  KMeansConfig partial;
+
+  /// Merge step configuration. merge.k of 0 (the default here) means
+  /// "use partial.k", which is the paper's setup.
+  MergeKMeansConfig merge = InheritPartialK();
+
+  /// A merge config whose k defers to the partial step's k.
+  static MergeKMeansConfig InheritPartialK() {
+    MergeKMeansConfig m;
+    m.k = 0;
+    return m;
+  }
+
+  /// Number of partitions p (paper: 5- and 10-split). Used by Run(); the
+  /// chunked entry points take pre-built partitions instead.
+  size_t num_partitions = 5;
+
+  PartitionStrategy strategy = PartitionStrategy::kRandom;
+
+  /// kSpatial: subcell grid side; 0 derives ceil(sqrt(num_partitions)).
+  size_t spatial_grid_side = 0;
+
+  /// kStripes: the coordinate to sort/slice along.
+  size_t stripe_dim = 0;
+
+  /// Worker threads for partial steps. 1 reproduces the paper's
+  /// "run serially on one machine" rows; >1 models cloned operators.
+  size_t num_threads = 1;
+
+  /// Seed for the partition shuffle.
+  uint64_t seed = 99;
+
+  /// Post-merge refinement: run up to this many Lloyd iterations over the
+  /// *raw* cell seeded with the merged centroids. 0 (default) keeps the
+  /// paper's strict one-look pipeline; a small budget (2-5) typically
+  /// closes most of the raw-SSE gap to serial k-means at a fraction of a
+  /// full serial run. Requires the cell to be re-readable (Run() has it in
+  /// memory; RunChunks() re-concatenates the chunks).
+  size_t refine_iterations = 0;
+
+  Status Validate() const;
+};
+
+/// End-to-end outcome, including everything Table 2 reports.
+struct PartialMergeResult {
+  ClusteringModel model;
+
+  double partial_seconds = 0.0;  // t_{C0−Ci}: sum (serial) / wall (parallel)
+  double merge_seconds = 0.0;    // t_merge
+  double refine_seconds = 0.0;   // post-merge refinement (0 if disabled)
+  double total_seconds = 0.0;    // overall t
+
+  size_t num_partitions = 0;
+  size_t pooled_centroids = 0;           // M = Σ_p k_p
+  std::vector<double> partition_sse;     // per-partition min-restart error
+  std::vector<size_t> partition_iters;   // winning-restart iterations
+};
+
+class PartialMergeKMeans {
+ public:
+  explicit PartialMergeKMeans(PartialMergeConfig config)
+      : config_(std::move(config)) {}
+
+  const PartialMergeConfig& config() const { return config_; }
+
+  /// Splits `cell` per the configured strategy and runs the full pipeline.
+  Result<PartialMergeResult> Run(const Dataset& cell) const;
+
+  /// Runs the pipeline over pre-built partitions (e.g. chunks streamed from
+  /// a grid-bucket file). Partitions must be non-empty and share one
+  /// dimensionality.
+  Result<PartialMergeResult> RunChunks(
+      const std::vector<Dataset>& chunks) const;
+
+ private:
+  PartialMergeConfig config_;
+};
+
+}  // namespace pmkm
+
+#endif  // PMKM_CLUSTER_PARTIAL_MERGE_H_

@@ -1,0 +1,149 @@
+#include "cluster/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "data/io.h"
+
+namespace pmkm {
+namespace {
+
+constexpr uint32_t kModelMagic = 0x4d4b4d50;  // "PMKM"
+constexpr uint32_t kModelVersion = 1;
+constexpr uint32_t kFlagHasAssignments = 1u << 0;
+
+// Appends raw bytes of `value` to `out`.
+template <typename T>
+void PutPod(std::vector<char>* out, const T& value) {
+  const char* p = reinterpret_cast<const char*>(&value);
+  out->insert(out->end(), p, p + sizeof(T));
+}
+
+template <typename T>
+Status GetPod(std::ifstream* in, T* value) {
+  in->read(reinterpret_cast<char*>(value), sizeof(T));
+  if (!*in) return Status::IOError("truncated model file");
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveModel(const std::string& path, const ClusteringModel& model) {
+  if (model.k() == 0) {
+    return Status::InvalidArgument("cannot save an empty model");
+  }
+  if (model.weights.size() != model.k()) {
+    return Status::InvalidArgument("model weights/centroids mismatch");
+  }
+  std::vector<char> buf;
+  PutPod(&buf, kModelMagic);
+  PutPod(&buf, kModelVersion);
+  PutPod(&buf, static_cast<uint64_t>(model.k()));
+  PutPod(&buf, static_cast<uint64_t>(model.dim()));
+  const uint32_t flags =
+      model.assignments.empty() ? 0u : kFlagHasAssignments;
+  PutPod(&buf, flags);
+  PutPod(&buf, uint32_t{0});
+  PutPod(&buf, model.sse);
+  PutPod(&buf, model.mse_per_point);
+  PutPod(&buf, static_cast<uint64_t>(model.iterations));
+  PutPod(&buf, static_cast<uint32_t>(model.converged ? 1 : 0));
+  PutPod(&buf, uint32_t{0});
+  for (double v : model.centroids.values()) PutPod(&buf, v);
+  for (double w : model.weights) PutPod(&buf, w);
+  if (flags & kFlagHasAssignments) {
+    PutPod(&buf, static_cast<uint64_t>(model.assignments.size()));
+    for (uint32_t a : model.assignments) PutPod(&buf, a);
+  }
+  const uint64_t hash =
+      internal::Fnv1a64(buf.data(), buf.size(), internal::kFnvOffset);
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  out.write(reinterpret_cast<const char*>(&hash), sizeof(hash));
+  out.flush();
+  if (!out) return Status::IOError("short write: " + path);
+  return Status::OK();
+}
+
+Result<ClusteringModel> LoadModel(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+
+  // Read everything, verify the trailer checksum first.
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  if (size < static_cast<std::streamoff>(sizeof(uint64_t) + 8)) {
+    return Status::IOError("file too small to be a model: " + path);
+  }
+  std::vector<char> buf(static_cast<size_t>(size));
+  in.read(buf.data(), size);
+  if (!in) return Status::IOError("short read: " + path);
+  uint64_t stored;
+  std::memcpy(&stored, buf.data() + buf.size() - sizeof(uint64_t),
+              sizeof(uint64_t));
+  const uint64_t computed = internal::Fnv1a64(
+      buf.data(), buf.size() - sizeof(uint64_t), internal::kFnvOffset);
+  if (stored != computed) {
+    return Status::IOError("checksum mismatch (corrupt model): " + path);
+  }
+
+  size_t pos = 0;
+  auto take = [&](auto* value) -> Status {
+    using T = std::remove_pointer_t<decltype(value)>;
+    if (pos + sizeof(T) > buf.size() - sizeof(uint64_t)) {
+      return Status::IOError("truncated model payload: " + path);
+    }
+    std::memcpy(value, buf.data() + pos, sizeof(T));
+    pos += sizeof(T);
+    return Status::OK();
+  };
+
+  uint32_t magic, version, flags, pad;
+  uint64_t k, dim;
+  PMKM_RETURN_NOT_OK(take(&magic));
+  if (magic != kModelMagic) {
+    return Status::IOError("bad magic (not a model file): " + path);
+  }
+  PMKM_RETURN_NOT_OK(take(&version));
+  if (version != kModelVersion) {
+    return Status::IOError("unsupported model version: " + path);
+  }
+  PMKM_RETURN_NOT_OK(take(&k));
+  PMKM_RETURN_NOT_OK(take(&dim));
+  if (k == 0 || dim == 0) {
+    return Status::IOError("degenerate model shape: " + path);
+  }
+  PMKM_RETURN_NOT_OK(take(&flags));
+  PMKM_RETURN_NOT_OK(take(&pad));
+
+  ClusteringModel model;
+  uint64_t iterations;
+  uint32_t converged;
+  PMKM_RETURN_NOT_OK(take(&model.sse));
+  PMKM_RETURN_NOT_OK(take(&model.mse_per_point));
+  PMKM_RETURN_NOT_OK(take(&iterations));
+  PMKM_RETURN_NOT_OK(take(&converged));
+  PMKM_RETURN_NOT_OK(take(&pad));
+  model.iterations = iterations;
+  model.converged = converged != 0;
+
+  std::vector<double> centroid_values(k * dim);
+  for (double& v : centroid_values) PMKM_RETURN_NOT_OK(take(&v));
+  PMKM_ASSIGN_OR_RETURN(model.centroids,
+                        Dataset::FromFlat(dim, std::move(centroid_values)));
+  model.weights.resize(k);
+  for (double& w : model.weights) PMKM_RETURN_NOT_OK(take(&w));
+  if (flags & kFlagHasAssignments) {
+    uint64_t n;
+    PMKM_RETURN_NOT_OK(take(&n));
+    model.assignments.resize(n);
+    for (uint32_t& a : model.assignments) PMKM_RETURN_NOT_OK(take(&a));
+  }
+  return model;
+}
+
+}  // namespace pmkm

@@ -1,0 +1,37 @@
+// Internal cluster-validity indices.
+//
+// The paper evaluates quality only through its error function E; these
+// indices give the standard scale-free complements (the "high quality
+// clustering results ... easily interpretable" requirement of §1.1):
+// silhouette (cohesion vs separation per point) and Davies-Bouldin
+// (average worst-pair cluster similarity). Both are exact up to the
+// documented sampling cap.
+
+#ifndef PMKM_CLUSTER_VALIDITY_H_
+#define PMKM_CLUSTER_VALIDITY_H_
+
+#include "cluster/model.h"
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace pmkm {
+
+/// Mean silhouette coefficient of `data` under nearest-centroid
+/// assignment to `model`. In [-1, 1]; higher is better. For n >
+/// `sample_cap` a uniform sample of that size is scored (silhouette is
+/// O(n²)); pass 0 to force the exact computation. Requires at least 2
+/// non-empty clusters.
+Result<double> SilhouetteScore(const ClusteringModel& model,
+                               const Dataset& data,
+                               size_t sample_cap = 2000,
+                               uint64_t seed = 1);
+
+/// Davies-Bouldin index: mean over clusters of the worst
+/// (σ_i + σ_j) / d(c_i, c_j). Lower is better; 0 is ideal. Requires at
+/// least 2 non-empty clusters.
+Result<double> DaviesBouldinIndex(const ClusteringModel& model,
+                                  const Dataset& data);
+
+}  // namespace pmkm
+
+#endif  // PMKM_CLUSTER_VALIDITY_H_

@@ -1,0 +1,156 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace pmkm {
+
+FlagParser& FlagParser::AddInt(const std::string& name, int64_t* target,
+                               const std::string& help) {
+  flags_[name] = Flag{Type::kInt, target, help};
+  return *this;
+}
+
+FlagParser& FlagParser::AddDouble(const std::string& name, double* target,
+                                  const std::string& help) {
+  flags_[name] = Flag{Type::kDouble, target, help};
+  return *this;
+}
+
+FlagParser& FlagParser::AddString(const std::string& name,
+                                  std::string* target,
+                                  const std::string& help) {
+  flags_[name] = Flag{Type::kString, target, help};
+  return *this;
+}
+
+FlagParser& FlagParser::AddBool(const std::string& name, bool* target,
+                                const std::string& help) {
+  flags_[name] = Flag{Type::kBool, target, help};
+  return *this;
+}
+
+Status FlagParser::SetValue(const std::string& name, const Flag& flag,
+                            const std::string& value) {
+  char* end = nullptr;
+  switch (flag.type) {
+    case Type::kInt: {
+      const long long v = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects an integer, got '" + value +
+                                       "'");
+      }
+      *static_cast<int64_t*>(flag.target) = v;
+      return Status::OK();
+    }
+    case Type::kDouble: {
+      const double v = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects a number, got '" + value +
+                                       "'");
+      }
+      *static_cast<double*>(flag.target) = v;
+      return Status::OK();
+    }
+    case Type::kString:
+      *static_cast<std::string*>(flag.target) = value;
+      return Status::OK();
+    case Type::kBool: {
+      if (value == "true" || value == "1") {
+        *static_cast<bool*>(flag.target) = true;
+      } else if (value == "false" || value == "0") {
+        *static_cast<bool*>(flag.target) = false;
+      } else {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects true/false, got '" + value +
+                                       "'");
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable flag type");
+}
+
+Status FlagParser::Parse(int argc, char** argv) {
+  positional_.clear();
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << Usage(argv[0]);
+      return Status::Cancelled("help requested");
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string name;
+    std::string value;
+    bool has_value = false;
+    const size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    } else {
+      name = body;
+    }
+
+    // Boolean negation: --no-foo.
+    if (!has_value && name.rfind("no-", 0) == 0) {
+      const std::string base = name.substr(3);
+      auto it = flags_.find(base);
+      if (it != flags_.end() && it->second.type == Type::kBool) {
+        *static_cast<bool*>(it->second.target) = false;
+        continue;
+      }
+    }
+
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag --" + name);
+    }
+    if (!has_value) {
+      if (it->second.type == Type::kBool) {
+        *static_cast<bool*>(it->second.target) = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("flag --" + name +
+                                       " is missing a value");
+      }
+      value = argv[++i];
+    }
+    PMKM_RETURN_NOT_OK(SetValue(name, it->second, value));
+  }
+  return Status::OK();
+}
+
+std::string FlagParser::Usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "Usage: " << program << " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name;
+    switch (flag.type) {
+      case Type::kInt:
+        os << "=<int>";
+        break;
+      case Type::kDouble:
+        os << "=<num>";
+        break;
+      case Type::kString:
+        os << "=<str>";
+        break;
+      case Type::kBool:
+        os << "[=true|false]";
+        break;
+    }
+    os << "\n      " << flag.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pmkm

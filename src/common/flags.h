@@ -1,0 +1,57 @@
+// Tiny command-line flag parser for the bench harnesses and examples.
+//
+// Supports --name=value and --name value forms plus boolean --name /
+// --no-name. Unknown flags are reported as errors so experiment scripts fail
+// loudly instead of silently running the wrong configuration.
+
+#ifndef PMKM_COMMON_FLAGS_H_
+#define PMKM_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pmkm {
+
+/// Declarative flag registry: declare typed flags, then Parse(argc, argv).
+class FlagParser {
+ public:
+  FlagParser& AddInt(const std::string& name, int64_t* target,
+                     const std::string& help);
+  FlagParser& AddDouble(const std::string& name, double* target,
+                        const std::string& help);
+  FlagParser& AddString(const std::string& name, std::string* target,
+                        const std::string& help);
+  FlagParser& AddBool(const std::string& name, bool* target,
+                      const std::string& help);
+
+  /// Parses argv, writing values into the registered targets. Positional
+  /// (non-flag) arguments are collected into positional(). `--help` prints
+  /// usage and returns Cancelled.
+  Status Parse(int argc, char** argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Human-readable usage text listing all registered flags.
+  std::string Usage(const std::string& program) const;
+
+ private:
+  enum class Type { kInt, kDouble, kString, kBool };
+  struct Flag {
+    Type type;
+    void* target;
+    std::string help;
+  };
+
+  Status SetValue(const std::string& name, const Flag& flag,
+                  const std::string& value);
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace pmkm
+
+#endif  // PMKM_COMMON_FLAGS_H_

@@ -1,0 +1,72 @@
+// Minimal leveled logging plus CHECK macros.
+//
+// Logging is for the bench harnesses and examples; library code logs only at
+// kWarning and above. PMKM_CHECK* are for programmer-error invariants that
+// must hold regardless of build type (they are not compiled out).
+
+#ifndef PMKM_COMMON_LOGGING_H_
+#define PMKM_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace pmkm {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Global minimum level; messages below it are discarded. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+/// A kFatal message aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace pmkm
+
+#define PMKM_LOG(level)                                              \
+  ::pmkm::internal::LogMessage(::pmkm::LogLevel::k##level, __FILE__, \
+                               __LINE__)
+
+#define PMKM_CHECK(cond)                                      \
+  if (!(cond))                                                \
+  PMKM_LOG(Fatal) << "Check failed: " #cond " "
+
+#define PMKM_CHECK_OK(expr)                                   \
+  do {                                                        \
+    ::pmkm::Status _st = (expr);                              \
+    if (!_st.ok())                                            \
+      PMKM_LOG(Fatal) << "Check failed (status): "            \
+                      << _st.ToString();                      \
+  } while (false)
+
+#define PMKM_DCHECK(cond) PMKM_CHECK(cond)
+
+#endif  // PMKM_COMMON_LOGGING_H_

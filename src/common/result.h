@@ -1,0 +1,88 @@
+// Result<T>: value-or-Status, the return type of fallible constructors and
+// factories throughout pmkm (Arrow-style).
+
+#ifndef PMKM_COMMON_RESULT_H_
+#define PMKM_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace pmkm {
+
+/// Holds either a successfully produced T or the Status explaining why it
+/// could not be produced. A Result never holds an OK status without a value.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: success.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from a non-OK status: failure. Constructing from an OK status
+  /// is a programming error and is reported as an internal error.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Value accessors; must not be called on a failed Result (aborts).
+  const T& value() const& {
+    DieIfError();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    DieIfError();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    DieIfError();
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Moves the value out, or dies with the error message.
+  T ValueOrDie() && { return std::move(*this).value(); }
+
+ private:
+  void DieIfError() const {
+    if (!ok()) {
+      std::cerr << "Result accessed with error: "
+                << std::get<Status>(repr_).ToString() << std::endl;
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace pmkm
+
+/// Evaluates an expression yielding Result<T>; on failure propagates the
+/// status, on success assigns the value to `lhs`.
+#define PMKM_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value();
+
+#define PMKM_ASSIGN_OR_RETURN_CAT(a, b) a##b
+#define PMKM_ASSIGN_OR_RETURN_NAME(a, b) PMKM_ASSIGN_OR_RETURN_CAT(a, b)
+
+#define PMKM_ASSIGN_OR_RETURN(lhs, expr)                                 \
+  PMKM_ASSIGN_OR_RETURN_IMPL(                                            \
+      PMKM_ASSIGN_OR_RETURN_NAME(_pmkm_result_, __COUNTER__), lhs, expr)
+
+#endif  // PMKM_COMMON_RESULT_H_

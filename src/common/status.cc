@@ -1,0 +1,39 @@
+#include "common/status.h"
+
+namespace pmkm {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kIOError:
+      return "I/O error";
+    case StatusCode::kOutOfRange:
+      return "out of range";
+    case StatusCode::kNotFound:
+      return "not found";
+    case StatusCode::kAlreadyExists:
+      return "already exists";
+    case StatusCode::kFailedPrecondition:
+      return "failed precondition";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kInternal:
+      return "internal error";
+    case StatusCode::kNotImplemented:
+      return "not implemented";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+}  // namespace pmkm

@@ -1,0 +1,137 @@
+// Status: lightweight error propagation for the pmkm library.
+//
+// The library does not throw exceptions across API boundaries. Fallible
+// operations return a Status (or a Result<T>, see result.h) in the style of
+// Apache Arrow / RocksDB. A Status is cheap to copy in the OK case (a single
+// pointer compare) and carries a code plus a human-readable message
+// otherwise.
+
+#ifndef PMKM_COMMON_STATUS_H_
+#define PMKM_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace pmkm {
+
+/// Machine-readable category of a failure.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kIOError = 2,
+  kOutOfRange = 3,
+  kNotFound = 4,
+  kAlreadyExists = 5,
+  kFailedPrecondition = 6,
+  kCancelled = 7,
+  kInternal = 8,
+  kNotImplemented = 9,
+};
+
+/// Returns a stable lowercase name for a status code ("invalid argument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation: OK, or a code plus message.
+class Status {
+ public:
+  /// Constructs an OK status. Equivalent to Status::OK().
+  Status() = default;
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(msg)});
+    }
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+
+  StatusCode code() const {
+    return state_ == nullptr ? StatusCode::kOk : state_->code;
+  }
+
+  /// Message supplied at construction; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ == nullptr ? kEmpty : state_->msg;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const {
+    return code() == StatusCode::kAlreadyExists;
+  }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsNotImplemented() const {
+    return code() == StatusCode::kNotImplemented;
+  }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+  bool operator!=(const Status& other) const { return !(*this == other); }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  // Null iff OK; shared so copies of an error status are cheap too.
+  std::shared_ptr<const State> state_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace pmkm
+
+/// Propagates a non-OK Status to the caller of the enclosing function.
+#define PMKM_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::pmkm::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+#endif  // PMKM_COMMON_STATUS_H_

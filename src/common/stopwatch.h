@@ -1,0 +1,39 @@
+// Wall-clock stopwatch used by the experiment harnesses to report the
+// paper's t_partial / t_merge / overall-time columns.
+
+#ifndef PMKM_COMMON_STOPWATCH_H_
+#define PMKM_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace pmkm {
+
+/// Monotonic stopwatch; starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pmkm
+
+#endif  // PMKM_COMMON_STOPWATCH_H_

@@ -1,0 +1,72 @@
+// Fixed-size thread pool backing operator clones in the stream engine and
+// the parallel partial-k-means driver.
+
+#ifndef PMKM_COMMON_THREAD_POOL_H_
+#define PMKM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pmkm {
+
+/// A fixed pool of worker threads executing submitted tasks FIFO.
+///
+/// Shutdown() (or destruction) drains already-submitted tasks before the
+/// workers exit; tasks submitted after Shutdown() are rejected by returning
+/// an invalid future.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn`; the returned future resolves with its result.
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_) return std::future<R>();
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Blocks until every submitted task has finished.
+  void WaitIdle();
+
+  /// Stops accepting tasks and joins the workers after draining the queue.
+  void Shutdown();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Hardware concurrency with a floor of 1.
+  static size_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace pmkm
+
+#endif  // PMKM_COMMON_THREAD_POOL_H_

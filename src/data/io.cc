@@ -1,0 +1,233 @@
+#include "data/io.h"
+
+#include <cstring>
+#include <filesystem>
+
+namespace pmkm {
+namespace internal {
+
+uint64_t Fnv1a64(const void* data, size_t len, uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace internal
+
+namespace {
+
+constexpr uint32_t kMagic = 0x424b4d50;  // "PMKB" little-endian
+constexpr uint32_t kVersion = 1;
+
+struct Header {
+  uint32_t magic;
+  uint32_t version;
+  uint32_t dim;
+  int32_t lat;
+  int32_t lon;
+  uint32_t pad;
+  uint64_t count;
+};
+static_assert(sizeof(Header) == 32, "header layout is part of the format");
+
+}  // namespace
+
+Status WriteGridBucket(const std::string& path, const GridBucket& bucket) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+
+  Header h{};
+  h.magic = kMagic;
+  h.version = kVersion;
+  h.dim = static_cast<uint32_t>(bucket.points.dim());
+  h.lat = bucket.cell.lat_index;
+  h.lon = bucket.cell.lon_index;
+  h.pad = 0;
+  h.count = bucket.points.size();
+  out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+
+  const auto& values = bucket.points.values();
+  const size_t bytes = values.size() * sizeof(double);
+  out.write(reinterpret_cast<const char*>(values.data()),
+            static_cast<std::streamsize>(bytes));
+
+  const uint64_t hash =
+      internal::Fnv1a64(values.data(), bytes, internal::kFnvOffset);
+  out.write(reinterpret_cast<const char*>(&hash), sizeof(hash));
+  out.flush();
+  if (!out) return Status::IOError("short write: " + path);
+  return Status::OK();
+}
+
+Result<GridBucket> ReadGridBucket(const std::string& path) {
+  PMKM_ASSIGN_OR_RETURN(GridBucketReader reader,
+                        GridBucketReader::Open(path));
+  GridBucket bucket;
+  bucket.cell = reader.cell();
+  bucket.points = Dataset(reader.dim());
+  bucket.points.Reserve(reader.total_points());
+  Dataset chunk(reader.dim());
+  for (;;) {
+    PMKM_ASSIGN_OR_RETURN(bool more, reader.Next(1 << 16, &chunk));
+    if (!more) break;
+    bucket.points.AppendAll(chunk);
+  }
+  return bucket;
+}
+
+Result<std::vector<std::string>> WriteGridBuckets(const std::string& dir,
+                                                  const GridIndex& index) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IOError("cannot create directory: " + dir);
+
+  std::vector<std::string> paths;
+  paths.reserve(index.num_cells());
+  for (const auto& [id, points] : index.buckets()) {
+    GridBucket bucket;
+    bucket.cell = id;
+    bucket.points = points;
+    const std::string path = dir + "/" + id.ToString() + ".pmkb";
+    PMKM_RETURN_NOT_OK(WriteGridBucket(path, bucket));
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+Result<GridBucketWriter> GridBucketWriter::Open(const std::string& path,
+                                                GridCellId cell,
+                                                size_t dim) {
+  if (dim == 0) {
+    return Status::InvalidArgument("dimensionality must be >= 1");
+  }
+  auto out = std::make_shared<std::ofstream>(
+      path, std::ios::binary | std::ios::trunc);
+  if (!*out) return Status::IOError("cannot open for writing: " + path);
+
+  Header h{};
+  h.magic = kMagic;
+  h.version = kVersion;
+  h.dim = static_cast<uint32_t>(dim);
+  h.lat = cell.lat_index;
+  h.lon = cell.lon_index;
+  h.pad = 0;
+  h.count = 0;  // patched on Close()
+  out->write(reinterpret_cast<const char*>(&h), sizeof(h));
+  if (!*out) return Status::IOError("short header write: " + path);
+
+  GridBucketWriter writer;
+  writer.out_ = std::move(out);
+  writer.path_ = path;
+  writer.dim_ = dim;
+  writer.running_hash_ = internal::kFnvOffset;
+  return writer;
+}
+
+Status GridBucketWriter::Append(std::span<const double> point) {
+  if (out_ == nullptr) {
+    return Status::FailedPrecondition("writer already closed");
+  }
+  if (point.size() != dim_) {
+    return Status::InvalidArgument("point dimensionality mismatch");
+  }
+  const size_t bytes = dim_ * sizeof(double);
+  out_->write(reinterpret_cast<const char*>(point.data()),
+              static_cast<std::streamsize>(bytes));
+  if (!*out_) return Status::IOError("short write: " + path_);
+  running_hash_ = internal::Fnv1a64(point.data(), bytes, running_hash_);
+  ++points_written_;
+  return Status::OK();
+}
+
+Status GridBucketWriter::AppendAll(const Dataset& points) {
+  if (points.dim() != dim_) {
+    return Status::InvalidArgument("dataset dimensionality mismatch");
+  }
+  for (size_t i = 0; i < points.size(); ++i) {
+    PMKM_RETURN_NOT_OK(Append(points.Row(i)));
+  }
+  return Status::OK();
+}
+
+Status GridBucketWriter::Close() {
+  if (out_ == nullptr) {
+    return Status::FailedPrecondition("writer already closed");
+  }
+  out_->write(reinterpret_cast<const char*>(&running_hash_),
+              sizeof(running_hash_));
+  // Back-patch the point count in the header.
+  const uint64_t count = points_written_;
+  out_->seekp(offsetof(Header, count), std::ios::beg);
+  out_->write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out_->flush();
+  const bool ok = static_cast<bool>(*out_);
+  out_.reset();
+  if (!ok) return Status::IOError("failed to finalize: " + path_);
+  return Status::OK();
+}
+
+Result<GridBucketReader> GridBucketReader::Open(const std::string& path) {
+  auto in = std::make_shared<std::ifstream>(path, std::ios::binary);
+  if (!*in) return Status::IOError("cannot open for reading: " + path);
+
+  Header h{};
+  in->read(reinterpret_cast<char*>(&h), sizeof(h));
+  if (!*in) return Status::IOError("short header: " + path);
+  if (h.magic != kMagic) {
+    return Status::IOError("bad magic (not a grid bucket file): " + path);
+  }
+  if (h.version != kVersion) {
+    return Status::IOError("unsupported bucket version " +
+                           std::to_string(h.version) + ": " + path);
+  }
+  if (h.dim == 0) return Status::IOError("zero dimensionality: " + path);
+
+  GridBucketReader reader;
+  reader.in_ = std::move(in);
+  reader.path_ = path;
+  reader.cell_ = GridCellId{h.lat, h.lon};
+  reader.dim_ = h.dim;
+  reader.total_points_ = h.count;
+  reader.running_hash_ = internal::kFnvOffset;
+  return reader;
+}
+
+Result<bool> GridBucketReader::Next(size_t max_points, Dataset* out) {
+  PMKM_CHECK(out != nullptr);
+  if (max_points == 0) {
+    return Status::InvalidArgument("max_points must be > 0");
+  }
+  *out = Dataset(dim_);
+  if (points_read_ >= total_points_) {
+    // Verify trailer checksum exactly once, on first end-of-stream call.
+    if (in_) {
+      uint64_t stored = 0;
+      in_->read(reinterpret_cast<char*>(&stored), sizeof(stored));
+      if (!*in_) return Status::IOError("missing checksum: " + path_);
+      if (stored != running_hash_) {
+        return Status::IOError("checksum mismatch (corrupt bucket): " +
+                               path_);
+      }
+      in_.reset();
+    }
+    return false;
+  }
+  const size_t take = std::min(max_points, total_points_ - points_read_);
+  std::vector<double> buf(take * dim_);
+  in_->read(reinterpret_cast<char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size() * sizeof(double)));
+  if (!*in_) {
+    return Status::IOError("truncated bucket payload: " + path_);
+  }
+  running_hash_ = internal::Fnv1a64(
+      buf.data(), buf.size() * sizeof(double), running_hash_);
+  points_read_ += take;
+  PMKM_ASSIGN_OR_RETURN(*out, Dataset::FromFlat(dim_, std::move(buf)));
+  return true;
+}
+
+}  // namespace pmkm

@@ -1,0 +1,39 @@
+// Spatial slicing strategies — the paper's §6 future work: "data cells can
+// be partitioned into spatially non-overlapping subcells, or a mostly
+// overlapping cells as in our test cases, or in a 'salami'-type slicing
+// strategy".
+//
+// SplitRandom (dataset.h) is the paper's "mostly overlapping" test setup
+// and SplitContiguous is the salami strategy; this module adds the
+// spatially non-overlapping subcell split.
+
+#ifndef PMKM_DATA_SLICING_H_
+#define PMKM_DATA_SLICING_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace pmkm {
+
+/// Splits `cell` into at most grid_side × grid_side spatially disjoint
+/// subcells by bucketing coordinates (dim `x_dim`, `y_dim`) on a uniform
+/// grid over their bounding box. Empty subcells are dropped, so fewer than
+/// grid_side² parts may be returned; points on the max edge fall into the
+/// last row/column. Requires grid_side ≥ 1 and x_dim ≠ y_dim < dim.
+Result<std::vector<Dataset>> SplitSpatialGrid(const Dataset& cell,
+                                              size_t grid_side,
+                                              size_t x_dim = 0,
+                                              size_t y_dim = 1);
+
+/// Splits `cell` into `num_parts` stripes by sorting on one coordinate —
+/// a 1-D "salami" slicer that, unlike SplitContiguous, cuts along a
+/// spatial axis rather than arrival order. Stripe sizes differ by at most
+/// one point.
+Result<std::vector<Dataset>> SplitStripes(const Dataset& cell,
+                                          size_t num_parts,
+                                          size_t sort_dim = 0);
+
+}  // namespace pmkm
+
+#endif  // PMKM_DATA_SLICING_H_

@@ -1,0 +1,97 @@
+#include "data/stats.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace pmkm {
+
+Result<DatasetProfile> ProfileDataset(const Dataset& data) {
+  if (data.empty()) return Status::InvalidArgument("empty dataset");
+  const size_t n = data.size();
+  const size_t dim = data.dim();
+
+  DatasetProfile profile;
+  profile.num_points = n;
+  profile.dim = dim;
+  profile.attributes.resize(dim);
+
+  // Pass 1: range and mean.
+  for (size_t d = 0; d < dim; ++d) {
+    profile.attributes[d].min = data(0, d);
+    profile.attributes[d].max = data(0, d);
+  }
+  std::vector<double> sums(dim, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t d = 0; d < dim; ++d) {
+      const double v = data(i, d);
+      sums[d] += v;
+      if (v < profile.attributes[d].min) profile.attributes[d].min = v;
+      if (v > profile.attributes[d].max) profile.attributes[d].max = v;
+    }
+  }
+  for (size_t d = 0; d < dim; ++d) {
+    profile.attributes[d].mean = sums[d] / static_cast<double>(n);
+  }
+
+  // Pass 2: central second moments (full covariance).
+  std::vector<double> cov(dim * dim, 0.0);
+  std::vector<double> centered(dim);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t d = 0; d < dim; ++d) {
+      centered[d] = data(i, d) - profile.attributes[d].mean;
+    }
+    for (size_t a = 0; a < dim; ++a) {
+      for (size_t b = a; b < dim; ++b) {
+        cov[a * dim + b] += centered[a] * centered[b];
+      }
+    }
+  }
+  for (size_t a = 0; a < dim; ++a) {
+    for (size_t b = a; b < dim; ++b) {
+      cov[a * dim + b] /= static_cast<double>(n);
+      cov[b * dim + a] = cov[a * dim + b];
+    }
+    profile.attributes[a].stddev = std::sqrt(std::max(0.0, cov[a * dim + a]));
+  }
+
+  profile.correlation.assign(dim * dim, 0.0);
+  for (size_t a = 0; a < dim; ++a) {
+    for (size_t b = 0; b < dim; ++b) {
+      const double sa = profile.attributes[a].stddev;
+      const double sb = profile.attributes[b].stddev;
+      if (a == b) {
+        profile.correlation[a * dim + b] = 1.0;
+      } else if (sa > 0.0 && sb > 0.0) {
+        profile.correlation[a * dim + b] = cov[a * dim + b] / (sa * sb);
+      }
+    }
+  }
+  return profile;
+}
+
+std::string DatasetProfile::ToString() const {
+  std::ostringstream os;
+  char buf[128];
+  os << num_points << " points x " << dim << " attributes\n";
+  for (size_t d = 0; d < dim; ++d) {
+    const AttributeStats& a = attributes[d];
+    std::snprintf(buf, sizeof(buf),
+                  "  [%zu] min=%-10.3f mean=%-10.3f max=%-10.3f "
+                  "stddev=%-10.3f\n",
+                  d, a.min, a.mean, a.max, a.stddev);
+    os << buf;
+  }
+  os << "  correlation:\n";
+  for (size_t a = 0; a < dim; ++a) {
+    os << "   ";
+    for (size_t b = 0; b < dim; ++b) {
+      std::snprintf(buf, sizeof(buf), " %6.2f", Correlation(a, b));
+      os << buf;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pmkm

@@ -1,0 +1,49 @@
+// Dataset profiling: per-attribute summaries and the attribute correlation
+// matrix. Backs the inspect tool and sanity checks on generated workloads
+// (the MISR-like cells must show the cross-channel correlation the
+// compression approach exploits — "capture the high order interaction
+// between the attributes", paper §1).
+
+#ifndef PMKM_DATA_STATS_H_
+#define PMKM_DATA_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace pmkm {
+
+/// Moments and range of one attribute.
+struct AttributeStats {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population (1/N)
+};
+
+/// Full profile of a dataset.
+struct DatasetProfile {
+  size_t num_points = 0;
+  size_t dim = 0;
+  std::vector<AttributeStats> attributes;
+
+  /// Row-major dim × dim Pearson correlation matrix. Attributes with zero
+  /// variance correlate 1 with themselves and 0 with everything else.
+  std::vector<double> correlation;
+
+  double Correlation(size_t a, size_t b) const {
+    return correlation[a * dim + b];
+  }
+
+  /// Multi-line human-readable rendering (used by pmkm_inspect).
+  std::string ToString() const;
+};
+
+/// Profiles `data` in two passes. Fails on an empty dataset.
+Result<DatasetProfile> ProfileDataset(const Dataset& data);
+
+}  // namespace pmkm
+
+#endif  // PMKM_DATA_STATS_H_

@@ -1,0 +1,71 @@
+#include "histogram/adaptive.h"
+
+#include <algorithm>
+
+#include "data/dataset.h"
+
+namespace pmkm {
+
+Status AdaptivePartialMergeConfig::Validate() const {
+  if (partial.max_k == 0) {
+    return Status::InvalidArgument("partial.max_k must be >= 1");
+  }
+  if (partial.lambda < 0.0) {
+    return Status::InvalidArgument("partial.lambda must be non-negative");
+  }
+  if (num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be >= 1");
+  }
+  return Status::OK();
+}
+
+Result<AdaptivePartialMergeResult> AdaptivePartialMergeKMeans::Run(
+    const Dataset& cell) const {
+  PMKM_RETURN_NOT_OK(config_.Validate());
+  if (cell.empty()) return Status::InvalidArgument("empty cell");
+  Rng rng(config_.seed);
+  std::vector<Dataset> chunks =
+      SplitRandom(cell, config_.num_partitions, &rng);
+  std::erase_if(chunks, [](const Dataset& d) { return d.empty(); });
+  return RunChunks(chunks);
+}
+
+Result<AdaptivePartialMergeResult> AdaptivePartialMergeKMeans::RunChunks(
+    const std::vector<Dataset>& chunks) const {
+  PMKM_RETURN_NOT_OK(config_.Validate());
+  if (chunks.empty()) return Status::InvalidArgument("no partitions");
+  const size_t dim = chunks[0].dim();
+  for (const Dataset& c : chunks) {
+    if (c.empty()) return Status::InvalidArgument("empty partition");
+    if (c.dim() != dim) {
+      return Status::InvalidArgument("partition dimensionality mismatch");
+    }
+  }
+
+  AdaptivePartialMergeResult out;
+  WeightedDataset pooled(dim);
+  size_t max_effective_k = 1;
+  for (size_t p = 0; p < chunks.size(); ++p) {
+    EcvqConfig cfg = config_.partial;
+    cfg.seed = Rng(config_.partial.seed).Fork(p ^ 0x65637671ULL).Next();
+    PMKM_ASSIGN_OR_RETURN(EcvqResult result, FitEcvq(chunks[p], cfg));
+    out.partition_effective_k.push_back(result.effective_k);
+    out.partition_rate_bits.push_back(result.rate_bits);
+    max_effective_k = std::max(max_effective_k, result.effective_k);
+    for (size_t j = 0; j < result.model.k(); ++j) {
+      if (result.model.weights[j] > 0.0) {
+        pooled.Append(result.model.centroids.Row(j),
+                      result.model.weights[j]);
+      }
+    }
+  }
+  out.pooled_centroids = pooled.size();
+
+  MergeKMeansConfig merge_cfg = config_.merge;
+  if (merge_cfg.k == 0) merge_cfg.k = max_effective_k;
+  out.final_k = merge_cfg.k;
+  PMKM_ASSIGN_OR_RETURN(out.model, MergeKMeans(merge_cfg).Merge(pooled));
+  return out;
+}
+
+}  // namespace pmkm

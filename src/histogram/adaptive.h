@@ -1,0 +1,74 @@
+// Adaptive-k partial/merge clustering — the paper's §3.3 "Remarks"
+// realized: "ECVQ-based algorithms do not fix the parameter k at the
+// beginning of the k-means computation, but define a maximum k, and use a
+// penalizing function ... This allows to find an optimal k for a partition
+// on the fly."
+//
+// Each partition is quantized with ECVQ (max_k codewords, rate penalty λ),
+// so small or simple partitions emit few weighted centroids and rich ones
+// emit many; the weighted centroids then flow through the ordinary merge
+// k-means. Weighted centroids make the merge agnostic to the per-partition
+// k, exactly as the paper anticipates ("Still, weighted centroids can be
+// used in the merge step").
+
+#ifndef PMKM_HISTOGRAM_ADAPTIVE_H_
+#define PMKM_HISTOGRAM_ADAPTIVE_H_
+
+#include <vector>
+
+#include "cluster/merge.h"
+#include "histogram/ecvq.h"
+
+namespace pmkm {
+
+struct AdaptivePartialMergeConfig {
+  /// Per-partition ECVQ (max_k is the paper's "maximum k").
+  EcvqConfig partial;
+
+  /// Final merge. merge.k = 0 (the default here) adopts the largest
+  /// per-partition effective k — a fully data-driven final k.
+  MergeKMeansConfig merge = AdoptEffectiveK();
+
+  /// A merge config whose k defers to the adaptive effective k.
+  static MergeKMeansConfig AdoptEffectiveK() {
+    MergeKMeansConfig m;
+    m.k = 0;
+    return m;
+  }
+
+  size_t num_partitions = 10;
+  uint64_t seed = 99;
+
+  Status Validate() const;
+};
+
+struct AdaptivePartialMergeResult {
+  ClusteringModel model;
+  std::vector<size_t> partition_effective_k;  // adaptive k per partition
+  std::vector<double> partition_rate_bits;    // entropy per partition
+  size_t pooled_centroids = 0;
+  size_t final_k = 0;
+};
+
+class AdaptivePartialMergeKMeans {
+ public:
+  explicit AdaptivePartialMergeKMeans(AdaptivePartialMergeConfig config)
+      : config_(std::move(config)) {}
+
+  const AdaptivePartialMergeConfig& config() const { return config_; }
+
+  /// Random-splits `cell` into num_partitions chunks and runs the
+  /// adaptive pipeline.
+  Result<AdaptivePartialMergeResult> Run(const Dataset& cell) const;
+
+  /// Runs over pre-built partitions.
+  Result<AdaptivePartialMergeResult> RunChunks(
+      const std::vector<Dataset>& chunks) const;
+
+ private:
+  AdaptivePartialMergeConfig config_;
+};
+
+}  // namespace pmkm
+
+#endif  // PMKM_HISTOGRAM_ADAPTIVE_H_

@@ -1,0 +1,32 @@
+#include "stream/explain.h"
+
+#include <sstream>
+
+#include "cluster/seeding.h"
+
+namespace pmkm {
+
+std::string ExplainPartialMergePlan(size_t num_buckets,
+                                    size_t total_points, size_t dim,
+                                    const KMeansConfig& partial,
+                                    const MergeKMeansConfig& merge,
+                                    const PhysicalPlan& plan) {
+  std::ostringstream os;
+  os << "merge-kmeans (k=" << merge.k
+     << ", seeding=" << SeedingMethodToString(merge.seeding)
+     << ", restarts=" << merge.restarts << ")\n";
+  os << "└─ exchange (queue cap " << plan.queue_capacity
+     << ", centroid sets)\n";
+  os << "   └─ partial-kmeans ×" << plan.partial_clones
+     << " clone" << (plan.partial_clones == 1 ? "" : "s") << " (k="
+     << partial.k << ", R=" << partial.restarts << ", chunk="
+     << plan.chunk_points << " pts)\n";
+  os << "      └─ exchange (queue cap " << plan.queue_capacity
+     << ", point chunks)\n";
+  os << "         └─ scan (" << num_buckets << " bucket"
+     << (num_buckets == 1 ? "" : "s") << ", ~" << total_points
+     << " pts, dim " << dim << ")\n";
+  return os.str();
+}
+
+}  // namespace pmkm

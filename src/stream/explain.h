@@ -1,0 +1,34 @@
+// EXPLAIN rendering for partial/merge query plans: a textual tree in the
+// spirit of a DBMS EXPLAIN, showing what the optimizer chose (partition
+// size from the memory budget, clone count from the cores) before a plan
+// runs. Exposed through `pmkm_cluster --algo=stream --explain`.
+
+#ifndef PMKM_STREAM_EXPLAIN_H_
+#define PMKM_STREAM_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "cluster/merge.h"
+#include "stream/plan.h"
+
+namespace pmkm {
+
+/// Renders the physical plan the optimizer would execute for the given
+/// inputs, e.g.:
+///
+///   merge-kmeans (k=40, seeding=heaviest)
+///   └─ exchange (queue cap 8, centroid sets)
+///      └─ partial-kmeans ×7 clones (k=40, R=10, chunk=5461 pts)
+///         └─ exchange (queue cap 8, point chunks)
+///            └─ scan (3 buckets, ~60000 pts, dim 6)
+std::string ExplainPartialMergePlan(size_t num_buckets,
+                                    size_t total_points, size_t dim,
+                                    const KMeansConfig& partial,
+                                    const MergeKMeansConfig& merge,
+                                    const PhysicalPlan& plan);
+
+}  // namespace pmkm
+
+#endif  // PMKM_STREAM_EXPLAIN_H_

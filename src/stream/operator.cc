@@ -1,0 +1,39 @@
+#include "stream/operator.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+namespace pmkm {
+
+Status Executor::Run() {
+  std::mutex mu;
+  Status first_error;
+  std::atomic<bool> failed{false};
+
+  auto on_error = [&](const Status& st) {
+    bool expected = false;
+    if (failed.compare_exchange_strong(expected, true)) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        first_error = st;
+      }
+      for (auto& op : ops_) op->Abort();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(ops_.size());
+  for (auto& op : ops_) {
+    threads.emplace_back([&, raw = op.get()] {
+      const Status st = raw->Run();
+      if (!st.ok()) on_error(st);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::lock_guard<std::mutex> lock(mu);
+  return first_error;
+}
+
+}  // namespace pmkm

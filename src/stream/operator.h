@@ -1,0 +1,58 @@
+// Operator and Executor: the minimal Conquest-style execution environment.
+//
+// A pipeline is a set of operator instances connected by bounded queues;
+// the executor runs each instance on its own thread (paper Fig. 3: data
+// stream operators process data in a pipelined fashion). Cloning an
+// operator = adding another instance that shares the same input and output
+// queues; the queues' producer counting makes end-of-stream exact.
+
+#ifndef PMKM_STREAM_OPERATOR_H_
+#define PMKM_STREAM_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pmkm {
+
+/// One physical operator instance. Run() executes the whole operator on
+/// the executor's thread; Abort() must unblock a Run() in progress (cancel
+/// the operator's queues) and is called on pipeline failure.
+class Operator {
+ public:
+  explicit Operator(std::string name) : name_(std::move(name)) {}
+  virtual ~Operator() = default;
+
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  virtual Status Run() = 0;
+  virtual void Abort() = 0;
+
+ private:
+  std::string name_;
+};
+
+/// Runs a set of operator instances to completion, one thread each.
+class Executor {
+ public:
+  /// Adds an operator instance to the pipeline (before Run).
+  void Add(std::unique_ptr<Operator> op) { ops_.push_back(std::move(op)); }
+
+  size_t num_operators() const { return ops_.size(); }
+
+  /// Executes every operator concurrently and joins them. If any operator
+  /// fails, all operators are aborted and the first error is returned.
+  Status Run();
+
+ private:
+  std::vector<std::unique_ptr<Operator>> ops_;
+};
+
+}  // namespace pmkm
+
+#endif  // PMKM_STREAM_OPERATOR_H_

@@ -1,0 +1,233 @@
+#include "stream/ops.h"
+
+#include "common/stopwatch.h"
+
+namespace pmkm {
+
+namespace {
+
+// Number of chunks a bucket of `total` points yields at `chunk_points`.
+uint32_t NumChunks(size_t total, size_t chunk_points) {
+  if (total == 0) return 0;
+  return static_cast<uint32_t>((total + chunk_points - 1) / chunk_points);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ScanOperator
+
+ScanOperator::ScanOperator(std::vector<std::string> paths,
+                           size_t chunk_points,
+                           std::shared_ptr<PointChunkQueue> out)
+    : Operator("scan"),
+      paths_(std::move(paths)),
+      chunk_points_(chunk_points),
+      out_(std::move(out)) {
+  PMKM_CHECK(chunk_points_ > 0);
+  PMKM_CHECK(out_ != nullptr);
+  out_->AddProducer();
+}
+
+Status ScanOperator::Run() {
+  // CloseProducer exactly once, on every exit path.
+  struct Closer {
+    PointChunkQueue* q;
+    ~Closer() { q->CloseProducer(); }
+  } closer{out_.get()};
+
+  for (const std::string& path : paths_) {
+    PMKM_ASSIGN_OR_RETURN(GridBucketReader reader,
+                          GridBucketReader::Open(path));
+    const uint32_t total =
+        NumChunks(reader.total_points(), chunk_points_);
+    uint32_t id = 0;
+    Dataset chunk(reader.dim());
+    for (;;) {
+      PMKM_ASSIGN_OR_RETURN(bool more, reader.Next(chunk_points_, &chunk));
+      if (!more) break;
+      PointChunk msg;
+      msg.cell = reader.cell();
+      msg.partition_id = id++;
+      msg.total_partitions = total;
+      msg.points = std::move(chunk);
+      chunk = Dataset(reader.dim());
+      if (!out_->Push(std::move(msg))) {
+        return Status::Cancelled("scan output queue cancelled");
+      }
+      ++chunks_emitted_;
+    }
+  }
+  return Status::OK();
+}
+
+void ScanOperator::Abort() { out_->Cancel(); }
+
+// ---------------------------------------------------------------------------
+// MemoryScanOperator
+
+MemoryScanOperator::MemoryScanOperator(std::vector<GridBucket> cells,
+                                       size_t chunk_points,
+                                       std::shared_ptr<PointChunkQueue> out)
+    : Operator("memory-scan"),
+      cells_(std::move(cells)),
+      chunk_points_(chunk_points),
+      out_(std::move(out)) {
+  PMKM_CHECK(chunk_points_ > 0);
+  PMKM_CHECK(out_ != nullptr);
+  out_->AddProducer();
+}
+
+Status MemoryScanOperator::Run() {
+  struct Closer {
+    PointChunkQueue* q;
+    ~Closer() { q->CloseProducer(); }
+  } closer{out_.get()};
+
+  for (const GridBucket& cell : cells_) {
+    const size_t n = cell.points.size();
+    const uint32_t total = NumChunks(n, chunk_points_);
+    uint32_t id = 0;
+    for (size_t begin = 0; begin < n; begin += chunk_points_) {
+      const size_t end = std::min(n, begin + chunk_points_);
+      PointChunk msg;
+      msg.cell = cell.cell;
+      msg.partition_id = id++;
+      msg.total_partitions = total;
+      msg.points = cell.points.Slice(begin, end);
+      if (!out_->Push(std::move(msg))) {
+        return Status::Cancelled("scan output queue cancelled");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void MemoryScanOperator::Abort() { out_->Cancel(); }
+
+// ---------------------------------------------------------------------------
+// PartialKMeansOperator
+
+PartialKMeansOperator::PartialKMeansOperator(
+    const KMeansConfig& config, std::shared_ptr<PointChunkQueue> in,
+    std::shared_ptr<CentroidQueue> out, std::string name)
+    : Operator(std::move(name)),
+      partial_(config),
+      in_(std::move(in)),
+      out_(std::move(out)) {
+  PMKM_CHECK(in_ != nullptr && out_ != nullptr);
+  out_->AddProducer();
+}
+
+Status PartialKMeansOperator::Run() {
+  struct Closer {
+    CentroidQueue* q;
+    ~Closer() { q->CloseProducer(); }
+  } closer{out_.get()};
+
+  for (;;) {
+    std::optional<PointChunk> chunk = in_->Pop();
+    if (!chunk.has_value()) {
+      if (in_->cancelled()) {
+        return Status::Cancelled("partial input queue cancelled");
+      }
+      return Status::OK();  // end of stream
+    }
+    // Partition id feeds the seed derivation so clones stay reproducible
+    // regardless of which clone picks up which chunk.
+    const uint64_t tag =
+        (static_cast<uint64_t>(
+             static_cast<uint32_t>(chunk->cell.lat_index))
+         << 32) ^
+        static_cast<uint32_t>(chunk->cell.lon_index) ^
+        (static_cast<uint64_t>(chunk->partition_id) << 17);
+    PMKM_ASSIGN_OR_RETURN(PartialResult result,
+                          partial_.Cluster(chunk->points, tag));
+    CentroidMessage msg;
+    msg.cell = chunk->cell;
+    msg.partition_id = chunk->partition_id;
+    msg.total_partitions = chunk->total_partitions;
+    msg.centroids = std::move(result.centroids);
+    msg.partial_sse = result.sse;
+    msg.partial_iterations = result.iterations;
+    msg.input_points = result.input_points;
+    if (!out_->Push(std::move(msg))) {
+      return Status::Cancelled("partial output queue cancelled");
+    }
+    ++chunks_processed_;
+  }
+}
+
+void PartialKMeansOperator::Abort() {
+  in_->Cancel();
+  out_->Cancel();
+}
+
+// ---------------------------------------------------------------------------
+// MergeKMeansOperator
+
+MergeKMeansOperator::MergeKMeansOperator(const MergeKMeansConfig& config,
+                                         std::shared_ptr<CentroidQueue> in)
+    : Operator("merge-kmeans"), merger_(config), in_(std::move(in)) {
+  PMKM_CHECK(in_ != nullptr);
+}
+
+Status MergeKMeansOperator::MergeCell(GridCellId cell) {
+  PendingCell& pc = pending_.at(cell);
+  WeightedDataset pooled(pc.dim);
+  for (const auto& [id, part] : pc.parts) {
+    pooled.AppendAll(part);
+  }
+  const Stopwatch watch;
+  PMKM_ASSIGN_OR_RETURN(ClusteringModel model, merger_.Merge(pooled));
+  CellClustering result;
+  result.cell = cell;
+  result.pooled_centroids = pooled.size();
+  result.input_points = pc.input_points;
+  result.merge_seconds = watch.ElapsedSeconds();
+  result.model = std::move(model);
+  results_[cell] = std::move(result);
+  pending_.erase(cell);
+  return Status::OK();
+}
+
+Status MergeKMeansOperator::Run() {
+  for (;;) {
+    std::optional<CentroidMessage> msg = in_->Pop();
+    if (!msg.has_value()) {
+      if (in_->cancelled()) {
+        return Status::Cancelled("merge input queue cancelled");
+      }
+      break;  // end of stream
+    }
+    PendingCell& pc = pending_[msg->cell];
+    if (!pc.initialized) {
+      pc.dim = msg->centroids.dim();
+      pc.expected = msg->total_partitions;
+      pc.initialized = true;
+    } else if (pc.expected != msg->total_partitions) {
+      return Status::Internal("inconsistent partition count for cell " +
+                              msg->cell.ToString());
+    }
+    if (!pc.parts.emplace(msg->partition_id, std::move(msg->centroids))
+             .second) {
+      return Status::Internal("duplicate partition " +
+                              std::to_string(msg->partition_id) +
+                              " for cell " + msg->cell.ToString());
+    }
+    pc.input_points += msg->input_points;
+    if (pc.parts.size() == pc.expected) {
+      PMKM_RETURN_NOT_OK(MergeCell(msg->cell));
+    }
+  }
+  if (!pending_.empty()) {
+    return Status::Internal(
+        "stream ended with " + std::to_string(pending_.size()) +
+        " incomplete cell(s)");
+  }
+  return Status::OK();
+}
+
+void MergeKMeansOperator::Abort() { in_->Cancel(); }
+
+}  // namespace pmkm

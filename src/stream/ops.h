@@ -1,0 +1,133 @@
+// Concrete operators of the partial/merge k-means query plan (paper Fig. 5):
+// scan → cloned partial k-means → merge k-means.
+
+#ifndef PMKM_STREAM_OPS_H_
+#define PMKM_STREAM_OPS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/merge.h"
+#include "cluster/partial.h"
+#include "data/io.h"
+#include "stream/message.h"
+#include "stream/operator.h"
+#include "stream/queue.h"
+
+namespace pmkm {
+
+using PointChunkQueue = BoundedBlockingQueue<PointChunk>;
+using CentroidQueue = BoundedBlockingQueue<CentroidMessage>;
+
+/// Scan operator: streams grid-bucket files chunk-by-chunk into the point
+/// queue, honoring the one-look constraint (each bucket is read exactly
+/// once, `chunk_points` rows at a time — the memory budget of a partial
+/// operator).
+class ScanOperator : public Operator {
+ public:
+  /// `paths`: bucket files to scan. `chunk_points`: partition size N' (> 0).
+  /// The operator registers itself as a producer of `out` at construction.
+  ScanOperator(std::vector<std::string> paths, size_t chunk_points,
+               std::shared_ptr<PointChunkQueue> out);
+
+  Status Run() override;
+  void Abort() override;
+
+  size_t chunks_emitted() const { return chunks_emitted_; }
+
+ private:
+  std::vector<std::string> paths_;
+  size_t chunk_points_;
+  std::shared_ptr<PointChunkQueue> out_;
+  size_t chunks_emitted_ = 0;
+};
+
+/// In-memory scan: partitions already-materialized cells (used by tests and
+/// by experiments that pre-generate cells). Same chunking contract as
+/// ScanOperator.
+class MemoryScanOperator : public Operator {
+ public:
+  MemoryScanOperator(std::vector<GridBucket> cells, size_t chunk_points,
+                     std::shared_ptr<PointChunkQueue> out);
+
+  Status Run() override;
+  void Abort() override;
+
+ private:
+  std::vector<GridBucket> cells_;
+  size_t chunk_points_;
+  std::shared_ptr<PointChunkQueue> out_;
+};
+
+/// Partial k-means operator: one clone. Pops point chunks, clusters them,
+/// pushes weighted centroid messages. Instantiate several with the same
+/// queues to clone (paper §3.4 option 1).
+class PartialKMeansOperator : public Operator {
+ public:
+  PartialKMeansOperator(const KMeansConfig& config,
+                        std::shared_ptr<PointChunkQueue> in,
+                        std::shared_ptr<CentroidQueue> out,
+                        std::string name = "partial-kmeans");
+
+  Status Run() override;
+  void Abort() override;
+
+  size_t chunks_processed() const { return chunks_processed_; }
+
+ private:
+  PartialKMeans partial_;
+  std::shared_ptr<PointChunkQueue> in_;
+  std::shared_ptr<CentroidQueue> out_;
+  size_t chunks_processed_ = 0;
+};
+
+/// Final clustering of one grid cell, produced by the merge operator.
+struct CellClustering {
+  GridCellId cell;
+  ClusteringModel model;
+  size_t pooled_centroids = 0;
+  size_t input_points = 0;
+  double merge_seconds = 0.0;
+};
+
+/// Merge k-means operator: the consumer root of the plan. Buffers weighted
+/// centroids per cell; when a cell's partitions are complete, runs the
+/// collective merge. Results are available via results() after the pipeline
+/// finishes.
+class MergeKMeansOperator : public Operator {
+ public:
+  MergeKMeansOperator(const MergeKMeansConfig& config,
+                      std::shared_ptr<CentroidQueue> in);
+
+  Status Run() override;
+  void Abort() override;
+
+  const std::map<GridCellId, CellClustering>& results() const {
+    return results_;
+  }
+
+ private:
+  Status MergeCell(GridCellId cell);
+
+  MergeKMeans merger_;
+  std::shared_ptr<CentroidQueue> in_;
+
+  // Arrived centroid sets are buffered per partition id and pooled in
+  // ascending id order at merge time, so the result is independent of the
+  // arrival interleaving produced by cloned partial operators.
+  struct PendingCell {
+    std::map<uint32_t, WeightedDataset> parts;
+    uint32_t expected = 0;
+    size_t input_points = 0;
+    size_t dim = 1;
+    bool initialized = false;
+  };
+  std::map<GridCellId, PendingCell> pending_;
+  std::map<GridCellId, CellClustering> results_;
+};
+
+}  // namespace pmkm
+
+#endif  // PMKM_STREAM_OPS_H_

@@ -1,0 +1,128 @@
+#include "stream/plan.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/stopwatch.h"
+
+namespace pmkm {
+
+size_t ResourceModel::EffectiveCores() const {
+  if (cores > 0) return cores;
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+PhysicalPlan PlanPartialMerge(size_t dim, size_t expected_points_per_cell,
+                              const ResourceModel& resources) {
+  PMKM_CHECK(dim >= 1);
+  PhysicalPlan plan;
+
+  // Memory → partition size. Factor 4: the point buffer itself, the
+  // assignment array, centroid sums, and queue slack.
+  const size_t bytes_per_point = dim * sizeof(double) * 4;
+  plan.chunk_points = std::max<size_t>(
+      1, resources.memory_bytes_per_operator / bytes_per_point);
+
+  // Cores → clones: one core is reserved for scan+merge, the rest run
+  // partial operators; never more clones than there are chunks to chew.
+  const size_t cores = resources.EffectiveCores();
+  size_t clones = cores > 1 ? cores - 1 : 1;
+  if (expected_points_per_cell > 0) {
+    const size_t chunks = std::max<size_t>(
+        1,
+        (expected_points_per_cell + plan.chunk_points - 1) /
+            plan.chunk_points);
+    clones = std::min(clones, chunks);
+  }
+  plan.partial_clones = std::max<size_t>(1, clones);
+
+  // Queue depth: enough for every clone to have one chunk in flight plus
+  // one buffered, bounded so back-pressure still binds memory.
+  plan.queue_capacity = std::max<size_t>(2, 2 * plan.partial_clones);
+  return plan;
+}
+
+namespace {
+
+Result<StreamRunResult> RunPlan(std::unique_ptr<Operator> scan,
+                                std::shared_ptr<PointChunkQueue> points,
+                                const KMeansConfig& partial_config,
+                                const MergeKMeansConfig& merge_config,
+                                const PhysicalPlan& plan) {
+  auto centroids =
+      std::make_shared<CentroidQueue>(plan.queue_capacity);
+
+  Executor executor;
+  executor.Add(std::move(scan));
+  for (size_t c = 0; c < plan.partial_clones; ++c) {
+    executor.Add(std::make_unique<PartialKMeansOperator>(
+        partial_config, points, centroids,
+        "partial-kmeans#" + std::to_string(c)));
+  }
+  auto merge =
+      std::make_unique<MergeKMeansOperator>(merge_config, centroids);
+  MergeKMeansOperator* merge_raw = merge.get();
+  executor.Add(std::move(merge));
+
+  const Stopwatch watch;
+  PMKM_RETURN_NOT_OK(executor.Run());
+
+  StreamRunResult out;
+  out.plan = plan;
+  out.wall_seconds = watch.ElapsedSeconds();
+  out.cells = merge_raw->results();
+  return out;
+}
+
+}  // namespace
+
+Result<StreamRunResult> RunPartialMergeStream(
+    const std::vector<std::string>& bucket_paths,
+    const KMeansConfig& partial_config,
+    const MergeKMeansConfig& merge_config, const ResourceModel& resources) {
+  if (bucket_paths.empty()) {
+    return Status::InvalidArgument("no bucket files given");
+  }
+  // Peek at the first bucket for dimensionality / sizing.
+  PMKM_ASSIGN_OR_RETURN(GridBucketReader probe,
+                        GridBucketReader::Open(bucket_paths[0]));
+  const PhysicalPlan plan =
+      PlanPartialMerge(probe.dim(), probe.total_points(), resources);
+
+  auto points = std::make_shared<PointChunkQueue>(plan.queue_capacity);
+  auto scan = std::make_unique<ScanOperator>(bucket_paths,
+                                             plan.chunk_points, points);
+  return RunPlan(std::move(scan), points, partial_config, merge_config,
+                 plan);
+}
+
+Result<StreamRunResult> RunPartialMergeStreamInMemory(
+    std::vector<GridBucket> cells, const KMeansConfig& partial_config,
+    const MergeKMeansConfig& merge_config, const ResourceModel& resources,
+    size_t chunk_points_override) {
+  if (cells.empty()) return Status::InvalidArgument("no cells given");
+  const size_t dim = cells[0].points.dim();
+  size_t max_points = 0;
+  for (const GridBucket& c : cells) {
+    max_points = std::max(max_points, c.points.size());
+  }
+  PhysicalPlan plan = PlanPartialMerge(dim, max_points, resources);
+  if (chunk_points_override > 0) {
+    // Re-plan the clone count against the forced partition size.
+    plan.chunk_points = chunk_points_override;
+    const size_t chunks = std::max<size_t>(
+        1, (max_points + plan.chunk_points - 1) / plan.chunk_points);
+    const size_t cores = resources.EffectiveCores();
+    plan.partial_clones =
+        std::max<size_t>(1, std::min(cores > 1 ? cores - 1 : 1, chunks));
+    plan.queue_capacity = std::max<size_t>(2, 2 * plan.partial_clones);
+  }
+  auto points = std::make_shared<PointChunkQueue>(plan.queue_capacity);
+  auto scan = std::make_unique<MemoryScanOperator>(
+      std::move(cells), plan.chunk_points, points);
+  return RunPlan(std::move(scan), points, partial_config, merge_config,
+                 plan);
+}
+
+}  // namespace pmkm

@@ -1,0 +1,70 @@
+// Logical → physical planning for the partial/merge query.
+//
+// Mirrors the paper's §3.4: "the parallelization of the operators is
+// performed automatically during query optimization when the logical data
+// streaming query is compiled into a query execution plan". The planner
+// turns a resource model (RAM budget per operator, cores) into the two
+// physical knobs: the partition size N' (chunks must fit in volatile
+// memory) and the number of partial-operator clones.
+
+#ifndef PMKM_STREAM_PLAN_H_
+#define PMKM_STREAM_PLAN_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stream/ops.h"
+
+namespace pmkm {
+
+/// Available computing resources, as the optimizer sees them.
+struct ResourceModel {
+  /// Volatile memory one partial operator may use for its state.
+  size_t memory_bytes_per_operator = 16ULL << 20;  // 16 MiB
+
+  /// Worker cores available for cloned operators (0 = autodetect).
+  size_t cores = 0;
+
+  size_t EffectiveCores() const;
+};
+
+/// The physical plan the optimizer chose.
+struct PhysicalPlan {
+  size_t chunk_points = 0;     // partition size N'
+  size_t partial_clones = 1;   // cloned partial operators
+  size_t queue_capacity = 4;   // smart-queue depth (back-pressure bound)
+};
+
+/// Chooses the physical plan for clustering buckets of dimensionality
+/// `dim`. The k-means working set per point is roughly
+/// point + assignment + shares of the sums array; a conservative factor of
+/// 4 over raw point bytes keeps a clone inside its budget.
+PhysicalPlan PlanPartialMerge(size_t dim, size_t expected_points_per_cell,
+                              const ResourceModel& resources);
+
+/// Outcome of a streamed partial/merge run over many cells.
+struct StreamRunResult {
+  std::map<GridCellId, CellClustering> cells;
+  PhysicalPlan plan;
+  double wall_seconds = 0.0;
+};
+
+/// Compiles and executes the full plan over bucket files: one scan, the
+/// planned number of partial clones, one merge. This is the library's
+/// highest-level entry point for on-disk data.
+Result<StreamRunResult> RunPartialMergeStream(
+    const std::vector<std::string>& bucket_paths,
+    const KMeansConfig& partial_config,
+    const MergeKMeansConfig& merge_config, const ResourceModel& resources);
+
+/// Same, over in-memory cells (used by the speed-up experiment where the
+/// clone count is forced via `resources.cores`).
+Result<StreamRunResult> RunPartialMergeStreamInMemory(
+    std::vector<GridBucket> cells, const KMeansConfig& partial_config,
+    const MergeKMeansConfig& merge_config, const ResourceModel& resources,
+    size_t chunk_points_override = 0);
+
+}  // namespace pmkm
+
+#endif  // PMKM_STREAM_PLAN_H_

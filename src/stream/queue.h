@@ -1,0 +1,100 @@
+// BoundedBlockingQueue: the "smart queue" connecting producer and consumer
+// operators (paper Fig. 3). Bounded capacity gives back-pressure so a fast
+// producer cannot overflow memory; producer reference counting closes the
+// queue when the last clone of the upstream operator finishes.
+
+#ifndef PMKM_STREAM_QUEUE_H_
+#define PMKM_STREAM_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "common/logging.h"
+
+namespace pmkm {
+
+/// MPMC bounded blocking queue with producer-count close semantics.
+template <typename T>
+class BoundedBlockingQueue {
+ public:
+  explicit BoundedBlockingQueue(size_t capacity) : capacity_(capacity) {
+    PMKM_CHECK(capacity >= 1);
+  }
+
+  /// Registers one producer; must be balanced by CloseProducer(). A queue
+  /// starts with zero producers, so register before any Push.
+  void AddProducer() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++producers_;
+  }
+
+  /// Signals that one producer is done. When the last producer closes, all
+  /// blocked consumers wake and Pop drains the remainder then returns
+  /// nullopt.
+  void CloseProducer() {
+    std::lock_guard<std::mutex> lock(mu_);
+    PMKM_CHECK(producers_ > 0);
+    if (--producers_ == 0) not_empty_.notify_all();
+  }
+
+  /// Blocks while full; returns false if the queue was cancelled.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return items_.size() < capacity_ || cancelled_; });
+    if (cancelled_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty and producers remain; nullopt = end of stream (all
+  /// producers closed and queue drained) or cancelled.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] {
+      return !items_.empty() || producers_ == 0 || cancelled_;
+    });
+    if (cancelled_ || items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Aborts the stream: wakes everyone, Push/Pop fail from now on. Used to
+  /// tear a pipeline down on operator error.
+  void Cancel() {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancelled_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool cancelled() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cancelled_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  size_t producers_ = 0;
+  bool cancelled_ = false;
+};
+
+}  // namespace pmkm
+
+#endif  // PMKM_STREAM_QUEUE_H_

@@ -1,0 +1,92 @@
+#include "baselines/online.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cluster/metrics.h"
+#include "data/generator.h"
+
+namespace pmkm {
+namespace {
+
+TEST(OnlineKMeansTest, SnapshotBeforeDataFails) {
+  OnlineKMeans online(2, {});
+  EXPECT_TRUE(online.Snapshot().status().IsFailedPrecondition());
+}
+
+TEST(OnlineKMeansTest, FirstKPointsBecomeCentroids) {
+  OnlineKMeansConfig config;
+  config.k = 3;
+  OnlineKMeans online(1, config);
+  for (double x : {1.0, 2.0, 3.0}) {
+    ASSERT_TRUE(online.Observe({&x, 1}).ok());
+  }
+  auto model = online.Snapshot();
+  ASSERT_TRUE(model.ok());
+  ASSERT_EQ(model->k(), 3u);
+  EXPECT_DOUBLE_EQ(model->centroids(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(model->centroids(2, 0), 3.0);
+}
+
+TEST(OnlineKMeansTest, IncrementalMeanIsExactForOneCluster) {
+  OnlineKMeansConfig config;
+  config.k = 1;
+  OnlineKMeans online(1, config);
+  double sum = 0.0;
+  for (int i = 1; i <= 100; ++i) {
+    const double x = static_cast<double>(i);
+    ASSERT_TRUE(online.Observe({&x, 1}).ok());
+    sum += x;
+  }
+  auto model = online.Snapshot();
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->centroids(0, 0), sum / 100.0, 1e-9);
+  EXPECT_DOUBLE_EQ(model->weights[0], 100.0);
+}
+
+TEST(OnlineKMeansTest, DimensionMismatchRejected) {
+  OnlineKMeans online(3, {});
+  EXPECT_TRUE(
+      online.Observe(std::vector<double>{1.0}).IsInvalidArgument());
+}
+
+TEST(OnlineKMeansTest, TracksSeparatedBlobs) {
+  Rng rng(1);
+  OnlineKMeansConfig config;
+  config.k = 2;
+  OnlineKMeans online(1, config);
+  Dataset data(1);
+  // Seed points from both blobs first so initialization spans them.
+  data.Append(std::vector<double>{0.0});
+  data.Append(std::vector<double>{300.0});
+  for (int i = 0; i < 1000; ++i) {
+    data.Append(std::vector<double>{rng.Normal(0.0, 1.0)});
+    data.Append(std::vector<double>{rng.Normal(300.0, 1.0)});
+  }
+  ASSERT_TRUE(online.ObserveAll(data).ok());
+  auto model = online.Snapshot(&data);
+  ASSERT_TRUE(model.ok());
+  std::vector<double> c{model->centroids(0, 0), model->centroids(1, 0)};
+  std::sort(c.begin(), c.end());
+  EXPECT_NEAR(c[0], 0.0, 1.0);
+  EXPECT_NEAR(c[1], 300.0, 1.0);
+  EXPECT_LT(model->mse_per_point, 3.0);
+}
+
+TEST(OnlineKMeansTest, SnapshotEvaluatesAgainstProvidedData) {
+  Rng rng(2);
+  const Dataset data = GenerateMisrLikeCell(1000, &rng);
+  OnlineKMeansConfig config;
+  config.k = 10;
+  OnlineKMeans online(data.dim(), config);
+  ASSERT_TRUE(online.ObserveAll(data).ok());
+  auto model = online.Snapshot(&data);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->sse, Sse(model->centroids, data),
+              1e-6 * (1.0 + model->sse));
+  EXPECT_EQ(online.points_seen(), 1000u);
+}
+
+}  // namespace
+}  // namespace pmkm

@@ -1,0 +1,107 @@
+#include "cluster/distance.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generator.h"
+
+namespace pmkm {
+namespace {
+
+TEST(SquaredL2Test, KnownValues) {
+  const std::vector<double> a{0.0, 0.0, 0.0};
+  const std::vector<double> b{1.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(SquaredL2(a, b), 9.0);
+  EXPECT_DOUBLE_EQ(SquaredL2(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(SquaredL2(b, a), 9.0);  // symmetric
+}
+
+TEST(SquaredL2Test, SingleDimension) {
+  const std::vector<double> a{3.0};
+  const std::vector<double> b{-1.0};
+  EXPECT_DOUBLE_EQ(SquaredL2(a, b), 16.0);
+}
+
+TEST(NearestCentroidTest, PicksClosest) {
+  Dataset centroids(2);
+  centroids.Append(std::vector<double>{0.0, 0.0});
+  centroids.Append(std::vector<double>{10.0, 0.0});
+  centroids.Append(std::vector<double>{0.0, 10.0});
+
+  const std::vector<double> p{7.0, 1.0};
+  const Nearest n = NearestCentroid(p, centroids);
+  EXPECT_EQ(n.index, 1u);
+  EXPECT_DOUBLE_EQ(n.distance_sq, 9.0 + 1.0);
+}
+
+TEST(NearestCentroidTest, ExactPointDistanceZero) {
+  Dataset centroids(3);
+  centroids.Append(std::vector<double>{1.0, 2.0, 3.0});
+  const std::vector<double> p{1.0, 2.0, 3.0};
+  const Nearest n = NearestCentroid(p, centroids);
+  EXPECT_EQ(n.index, 0u);
+  EXPECT_DOUBLE_EQ(n.distance_sq, 0.0);
+}
+
+TEST(NearestCentroidTest, TieBreaksToFirst) {
+  Dataset centroids(1);
+  centroids.Append(std::vector<double>{-1.0});
+  centroids.Append(std::vector<double>{1.0});
+  const std::vector<double> p{0.0};
+  EXPECT_EQ(NearestCentroid(p, centroids).index, 0u);
+}
+
+TEST(NearestCentroidTest, ExpandedFormMatchesNaive) {
+  // Property check: the ‖c‖²−2x·c argmin must agree with the direct
+  // subtract-square argmin on random data, and the returned distance must
+  // match the naive distance to within FP tolerance.
+  Rng rng(11);
+  const Dataset centroids = GenerateUniform(40, 6, -100.0, 100.0, &rng);
+  const Dataset points = GenerateUniform(500, 6, -100.0, 100.0, &rng);
+  const std::vector<double> norms = CentroidSquaredNorms(centroids);
+  for (size_t i = 0; i < points.size(); ++i) {
+    const auto row = points.Row(i);
+    const Nearest fast = NearestCentroid(row.data(), centroids, norms);
+    size_t best = 0;
+    double best_d = SquaredL2(row, centroids.Row(0));
+    for (size_t j = 1; j < centroids.size(); ++j) {
+      const double d = SquaredL2(row, centroids.Row(j));
+      if (d < best_d) {
+        best_d = d;
+        best = j;
+      }
+    }
+    EXPECT_EQ(fast.index, best);
+    EXPECT_NEAR(fast.distance_sq, best_d, 1e-6 * (1.0 + best_d));
+  }
+}
+
+TEST(NearestCentroidTest, NeverNegativeDistance) {
+  // Large-magnitude coordinates stress the cancellation in the expanded
+  // form; the clamp must keep distances non-negative.
+  Rng rng(13);
+  Dataset centroids(4);
+  std::vector<double> big(4);
+  for (int j = 0; j < 10; ++j) {
+    for (auto& v : big) v = 1e8 + rng.Uniform(0.0, 1.0);
+    centroids.Append(big);
+  }
+  for (int i = 0; i < 100; ++i) {
+    for (auto& v : big) v = 1e8 + rng.Uniform(0.0, 1.0);
+    const Nearest n = NearestCentroid(big, centroids);
+    EXPECT_GE(n.distance_sq, 0.0);
+  }
+}
+
+TEST(CentroidSquaredNormsTest, Values) {
+  Dataset centroids(2);
+  centroids.Append(std::vector<double>{3.0, 4.0});
+  centroids.Append(std::vector<double>{0.0, 0.0});
+  const auto norms = CentroidSquaredNorms(centroids);
+  ASSERT_EQ(norms.size(), 2u);
+  EXPECT_DOUBLE_EQ(norms[0], 25.0);
+  EXPECT_DOUBLE_EQ(norms[1], 0.0);
+}
+
+}  // namespace
+}  // namespace pmkm

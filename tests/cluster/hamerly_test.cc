@@ -1,0 +1,166 @@
+#include "cluster/hamerly.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cluster/kmeans.h"
+#include "cluster/metrics.h"
+#include "data/generator.h"
+
+namespace pmkm {
+namespace {
+
+TEST(HamerlyTest, ValidatesInput) {
+  Rng rng(1);
+  const LloydConfig config;
+  WeightedDataset empty(2);
+  Dataset seed(2);
+  seed.Append(std::vector<double>{0.0, 0.0});
+  EXPECT_TRUE(RunHamerlyLloyd(empty, seed, config, &rng)
+                  .status()
+                  .IsInvalidArgument());
+
+  WeightedDataset data(2);
+  data.Append(std::vector<double>{1.0, 1.0}, 1.0);
+  EXPECT_TRUE(RunHamerlyLloyd(data, Dataset(2), config, &rng)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(HamerlyTest, SingleClusterIsWeightedMean) {
+  Rng rng(2);
+  WeightedDataset data(1);
+  data.Append(std::vector<double>{0.0}, 1.0);
+  data.Append(std::vector<double>{10.0}, 3.0);
+  Dataset seed(1);
+  seed.Append(std::vector<double>{-50.0});
+  auto model = RunHamerlyLloyd(data, seed, LloydConfig{}, &rng);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->centroids(0, 0), 7.5, 1e-12);
+  EXPECT_TRUE(model->converged);
+}
+
+// The core property: Hamerly is an exact accelerator, so from identical
+// seeds it must converge to the same fixed point as plain Lloyd.
+class HamerlyEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(HamerlyEquivalence, MatchesPlainLloydFixedPoint) {
+  const int n = GetParam();
+  Rng data_rng(static_cast<uint64_t>(n));
+  const Dataset points =
+      GenerateMisrLikeCell(static_cast<size_t>(n), &data_rng);
+  const WeightedDataset data = WeightedDataset::FromUnweighted(points);
+  Rng seed_rng(77);
+  auto seeds = SelectSeeds(data, 15, SeedingMethod::kRandom, &seed_rng);
+  ASSERT_TRUE(seeds.ok());
+
+  LloydConfig config;
+  config.max_iterations = 500;
+  Rng r1(1), r2(1);
+  auto lloyd = RunWeightedLloyd(data, *seeds, config, &r1);
+  HamerlyStats stats;
+  auto hamerly = RunHamerlyLloyd(data, *seeds, config, &r2, &stats);
+  ASSERT_TRUE(lloyd.ok() && hamerly.ok());
+  // Same local optimum: SSE agrees tightly (iteration-count granularity of
+  // the stopping rules allows last-ulp differences, not different optima).
+  EXPECT_NEAR(hamerly->sse, lloyd->sse, 1e-6 * (1.0 + lloyd->sse));
+  // And the bounds actually did something.
+  EXPECT_GT(stats.bound_skips, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HamerlyEquivalence,
+                         ::testing::Values(300, 1500, 6000));
+
+TEST(HamerlyTest, WeightedEquivalenceWithLloyd) {
+  Rng rng(3);
+  WeightedDataset data(3);
+  for (int i = 0; i < 400; ++i) {
+    data.Append(std::vector<double>{rng.Uniform(0, 20), rng.Uniform(0, 20),
+                                    rng.Uniform(0, 20)},
+                1.0 + rng.UniformInt(9));
+  }
+  Rng seed_rng(5);
+  auto seeds = SelectSeeds(data, 8, SeedingMethod::kRandom, &seed_rng);
+  ASSERT_TRUE(seeds.ok());
+  Rng r1(1), r2(1);
+  auto lloyd = RunWeightedLloyd(data, *seeds, LloydConfig{}, &r1);
+  auto hamerly = RunHamerlyLloyd(data, *seeds, LloydConfig{}, &r2);
+  ASSERT_TRUE(lloyd.ok() && hamerly.ok());
+  EXPECT_NEAR(hamerly->sse, lloyd->sse, 1e-6 * (1.0 + lloyd->sse));
+}
+
+TEST(HamerlyTest, SkipsDominateOnWellSeparatedData) {
+  // Once clusters are tight and far apart, nearly every point should be
+  // proven stable by its bounds.
+  Rng rng(4);
+  const Dataset points =
+      GenerateSeparatedClusters(5000, 4, 8, 500.0, 1.0, &rng);
+  const WeightedDataset data = WeightedDataset::FromUnweighted(points);
+  Rng seed_rng(6);
+  auto seeds =
+      SelectSeeds(data, 8, SeedingMethod::kKMeansPlusPlus, &seed_rng);
+  ASSERT_TRUE(seeds.ok());
+  HamerlyStats stats;
+  Rng r(1);
+  auto model = RunHamerlyLloyd(data, *seeds, LloydConfig{}, &r, &stats);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(stats.bound_skips, stats.full_scans);
+}
+
+TEST(HamerlyTest, EmptyClusterRepaired) {
+  Rng rng(5);
+  WeightedDataset data(1);
+  for (int i = 0; i < 30; ++i) {
+    data.Append(std::vector<double>{rng.Normal(0.0, 0.1)}, 1.0);
+    data.Append(std::vector<double>{rng.Normal(80.0, 0.1)}, 1.0);
+  }
+  Dataset seeds(1);
+  seeds.Append(std::vector<double>{-500.0});
+  seeds.Append(std::vector<double>{-500.0});
+  auto model = RunHamerlyLloyd(data, std::move(seeds), LloydConfig{}, &rng);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(model->weights[0], 0.0);
+  EXPECT_GT(model->weights[1], 0.0);
+  std::vector<double> c{model->centroids(0, 0), model->centroids(1, 0)};
+  std::sort(c.begin(), c.end());
+  EXPECT_NEAR(c[0], 0.0, 1.0);
+  EXPECT_NEAR(c[1], 80.0, 1.0);
+}
+
+TEST(HamerlyTest, TrackAssignmentsMatchesNearest) {
+  Rng rng(6);
+  const Dataset points = GenerateMisrLikeCell(500, &rng);
+  const WeightedDataset data = WeightedDataset::FromUnweighted(points);
+  Rng seed_rng(7);
+  auto seeds = SelectSeeds(data, 6, SeedingMethod::kRandom, &seed_rng);
+  LloydConfig config;
+  config.track_assignments = true;
+  Rng r(1);
+  auto model = RunHamerlyLloyd(data, *seeds, config, &r);
+  ASSERT_TRUE(model.ok());
+  ASSERT_EQ(model->assignments.size(), 500u);
+  for (size_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(model->assignments[i], model->Predict(points.Row(i)));
+  }
+}
+
+TEST(HamerlyTest, AcceleratedKMeansEndToEnd) {
+  // KMeansConfig::accelerate dispatches to Hamerly: the multi-restart fit
+  // must return the same quality as the plain path from the same seeds.
+  Rng rng(7);
+  const Dataset cell = GenerateMisrLikeCell(3000, &rng);
+  KMeansConfig plain;
+  plain.k = 20;
+  plain.restarts = 3;
+  plain.seed = 9;
+  KMeansConfig fast = plain;
+  fast.accelerate = true;
+  auto a = KMeans(plain).Fit(cell);
+  auto b = KMeans(fast).Fit(cell);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NEAR(a->sse, b->sse, 1e-6 * (1.0 + a->sse));
+}
+
+}  // namespace
+}  // namespace pmkm

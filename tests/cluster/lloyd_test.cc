@@ -1,0 +1,203 @@
+#include "cluster/lloyd.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/metrics.h"
+#include "data/generator.h"
+
+namespace pmkm {
+namespace {
+
+Dataset MakeCentroids(std::vector<std::vector<double>> rows) {
+  Dataset d(rows[0].size());
+  for (const auto& r : rows) d.Append(r);
+  return d;
+}
+
+TEST(LloydTest, ValidatesInput) {
+  Rng rng(1);
+  const LloydConfig config;
+  WeightedDataset empty(2);
+  EXPECT_TRUE(
+      RunWeightedLloyd(empty, MakeCentroids({{0.0, 0.0}}), config, &rng)
+          .status()
+          .IsInvalidArgument());
+
+  WeightedDataset data(2);
+  data.Append(std::vector<double>{1.0, 1.0}, 1.0);
+  EXPECT_TRUE(RunWeightedLloyd(data, Dataset(2), config, &rng)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      RunWeightedLloyd(data, MakeCentroids({{1.0}}), config, &rng)
+          .status()
+          .IsInvalidArgument());
+
+  LloydConfig bad = config;
+  bad.epsilon = -1.0;
+  EXPECT_TRUE(
+      RunWeightedLloyd(data, MakeCentroids({{0.0, 0.0}}), bad, &rng)
+          .status()
+          .IsInvalidArgument());
+}
+
+TEST(LloydTest, SingleClusterConvergesToWeightedMean) {
+  Rng rng(2);
+  WeightedDataset data(1);
+  data.Append(std::vector<double>{0.0}, 1.0);
+  data.Append(std::vector<double>{10.0}, 3.0);
+  auto model = RunWeightedLloyd(data, MakeCentroids({{100.0}}),
+                                LloydConfig{}, &rng);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->centroids(0, 0), 7.5, 1e-12);  // (0·1+10·3)/4
+  EXPECT_DOUBLE_EQ(model->weights[0], 4.0);
+  EXPECT_TRUE(model->converged);
+}
+
+TEST(LloydTest, TwoObviousClusters) {
+  Rng rng(3);
+  WeightedDataset data(1);
+  for (double x : {0.0, 1.0, 2.0}) data.Append({&x, 1}, 1.0);
+  for (double x : {100.0, 101.0, 102.0}) data.Append({&x, 1}, 1.0);
+  auto model = RunWeightedLloyd(data, MakeCentroids({{0.0}, {90.0}}),
+                                LloydConfig{}, &rng);
+  ASSERT_TRUE(model.ok());
+  std::vector<double> c{model->centroids(0, 0), model->centroids(1, 0)};
+  std::sort(c.begin(), c.end());
+  EXPECT_NEAR(c[0], 1.0, 1e-9);
+  EXPECT_NEAR(c[1], 101.0, 1e-9);
+  EXPECT_NEAR(model->sse, 4.0, 1e-9);  // 2·(1+0+1)
+}
+
+TEST(LloydTest, SseMatchesIndependentMetric) {
+  Rng rng(4);
+  const Dataset points = GenerateUniform(500, 3, -5.0, 5.0, &rng);
+  const WeightedDataset data = WeightedDataset::FromUnweighted(points);
+  Dataset seeds(3);
+  for (size_t i = 0; i < 8; ++i) seeds.Append(points.Row(i * 11));
+  auto model =
+      RunWeightedLloyd(data, std::move(seeds), LloydConfig{}, &rng);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->sse, Sse(model->centroids, points),
+              1e-6 * (1.0 + model->sse));
+  EXPECT_NEAR(model->mse_per_point, model->sse / 500.0, 1e-12);
+}
+
+TEST(LloydTest, SseNeverIncreasesAcrossRuns) {
+  // Monotonicity property of Lloyd: a converged model's error cannot be
+  // worse than the error of the initial seeds.
+  Rng rng(5);
+  const Dataset points = GenerateMisrLikeCell(2000, &rng);
+  const WeightedDataset data = WeightedDataset::FromUnweighted(points);
+  Dataset seeds(points.dim());
+  for (size_t i = 0; i < 10; ++i) seeds.Append(points.Row(i * 37));
+  const double initial_sse = Sse(seeds, points);
+  auto model = RunWeightedLloyd(data, seeds, LloydConfig{}, &rng);
+  ASSERT_TRUE(model.ok());
+  EXPECT_LE(model->sse, initial_sse * (1.0 + 1e-12));
+}
+
+TEST(LloydTest, WeightsSumToTotalWeight) {
+  Rng rng(6);
+  WeightedDataset data(2);
+  for (int i = 0; i < 100; ++i) {
+    data.Append(std::vector<double>{rng.Normal(), rng.Normal()},
+                1.0 + rng.UniformDouble());
+  }
+  Dataset seeds(2);
+  for (size_t i = 0; i < 5; ++i) seeds.Append(data.Row(i));
+  auto model =
+      RunWeightedLloyd(data, std::move(seeds), LloydConfig{}, &rng);
+  ASSERT_TRUE(model.ok());
+  double sum = 0.0;
+  for (double w : model->weights) sum += w;
+  EXPECT_NEAR(sum, data.TotalWeight(), 1e-9);
+}
+
+TEST(LloydTest, EmptyClusterIsRepaired) {
+  // Seeding two centroids at the same far-away location guarantees one
+  // starves on the first assignment; the repair must keep k=2 distinct,
+  // non-empty clusters for this clearly bimodal data.
+  Rng rng(7);
+  WeightedDataset data(1);
+  for (int i = 0; i < 20; ++i) {
+    data.Append(std::vector<double>{rng.Normal(0.0, 0.1)}, 1.0);
+    data.Append(std::vector<double>{rng.Normal(50.0, 0.1)}, 1.0);
+  }
+  auto model = RunWeightedLloyd(
+      data, MakeCentroids({{-1000.0}, {-1000.0}}), LloydConfig{}, &rng);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(model->weights[0], 0.0);
+  EXPECT_GT(model->weights[1], 0.0);
+  std::vector<double> c{model->centroids(0, 0), model->centroids(1, 0)};
+  std::sort(c.begin(), c.end());
+  EXPECT_NEAR(c[0], 0.0, 1.0);
+  EXPECT_NEAR(c[1], 50.0, 1.0);
+}
+
+TEST(LloydTest, DuplicatePointsFewerThanK) {
+  // 3 identical points, k=2: one cluster must stay empty (weight 0) and
+  // the run must still terminate cleanly.
+  Rng rng(8);
+  WeightedDataset data(1);
+  for (int i = 0; i < 3; ++i) {
+    data.Append(std::vector<double>{5.0}, 1.0);
+  }
+  auto model = RunWeightedLloyd(data, MakeCentroids({{5.0}, {9.0}}),
+                                LloydConfig{}, &rng);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->sse, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(model->weights[0] + model->weights[1], 3.0);
+}
+
+TEST(LloydTest, TracksAssignmentsWhenAsked) {
+  Rng rng(9);
+  WeightedDataset data(1);
+  for (double x : {0.0, 1.0, 100.0, 101.0}) data.Append({&x, 1}, 1.0);
+  LloydConfig config;
+  config.track_assignments = true;
+  auto model = RunWeightedLloyd(data, MakeCentroids({{0.0}, {100.0}}),
+                                config, &rng);
+  ASSERT_TRUE(model.ok());
+  ASSERT_EQ(model->assignments.size(), 4u);
+  EXPECT_EQ(model->assignments[0], model->assignments[1]);
+  EXPECT_EQ(model->assignments[2], model->assignments[3]);
+  EXPECT_NE(model->assignments[0], model->assignments[2]);
+}
+
+TEST(LloydTest, MaxIterationsRespected) {
+  Rng rng(10);
+  const Dataset points = GenerateMisrLikeCell(3000, &rng);
+  const WeightedDataset data = WeightedDataset::FromUnweighted(points);
+  Dataset seeds(points.dim());
+  for (size_t i = 0; i < 20; ++i) seeds.Append(points.Row(i * 71));
+  LloydConfig config;
+  config.max_iterations = 2;
+  auto model = RunWeightedLloyd(data, std::move(seeds), config, &rng);
+  ASSERT_TRUE(model.ok());
+  EXPECT_LE(model->iterations, 2u);
+}
+
+TEST(LloydTest, ConvergedRunIsFixedPoint) {
+  // Running Lloyd again from the converged centroids must not improve
+  // the error beyond epsilon.
+  Rng rng(11);
+  const Dataset points = GenerateMisrLikeCell(1500, &rng);
+  const WeightedDataset data = WeightedDataset::FromUnweighted(points);
+  Dataset seeds(points.dim());
+  for (size_t i = 0; i < 12; ++i) seeds.Append(points.Row(i * 101));
+  auto first =
+      RunWeightedLloyd(data, std::move(seeds), LloydConfig{}, &rng);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->converged);
+  auto second =
+      RunWeightedLloyd(data, first->centroids, LloydConfig{}, &rng);
+  ASSERT_TRUE(second.ok());
+  EXPECT_NEAR(second->sse, first->sse, 1e-6 * (1.0 + first->sse));
+}
+
+}  // namespace
+}  // namespace pmkm

@@ -1,0 +1,138 @@
+#include "cluster/merge.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cluster/partial.h"
+#include "data/generator.h"
+
+namespace pmkm {
+namespace {
+
+MergeKMeansConfig Config(size_t k) {
+  MergeKMeansConfig config;
+  config.k = k;
+  return config;
+}
+
+TEST(MergeKMeansTest, RejectsBadInput) {
+  const MergeKMeans merger(Config(4));
+  EXPECT_TRUE(
+      merger.Merge(WeightedDataset(2)).status().IsInvalidArgument());
+
+  WeightedDataset bad(1);
+  bad.Append(std::vector<double>{1.0}, 0.0);  // non-positive weight
+  EXPECT_TRUE(merger.Merge(bad).status().IsInvalidArgument());
+
+  const MergeKMeans zero_k(Config(0));
+  WeightedDataset ok(1);
+  ok.Append(std::vector<double>{1.0}, 1.0);
+  EXPECT_TRUE(zero_k.Merge(ok).status().IsInvalidArgument());
+}
+
+TEST(MergeKMeansTest, SmallPoolPassesThrough) {
+  WeightedDataset pool(2);
+  pool.Append(std::vector<double>{1.0, 2.0}, 10.0);
+  pool.Append(std::vector<double>{3.0, 4.0}, 20.0);
+  auto model = MergeKMeans(Config(5)).Merge(pool);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->k(), 2u);
+  EXPECT_DOUBLE_EQ(model->sse, 0.0);
+  EXPECT_EQ(model->weights[1], 20.0);
+}
+
+TEST(MergeKMeansTest, MergesTwoPartitionViews) {
+  // Two partitions of the same two-blob data: the merged model must find
+  // the two blob centers regardless of which partition they came from.
+  Rng rng(1);
+  WeightedDataset pool(1);
+  // Partition 1 saw blob A at 0 and blob B at 100.
+  pool.Append(std::vector<double>{0.1}, 50.0);
+  pool.Append(std::vector<double>{99.8}, 40.0);
+  // Partition 2 saw them slightly differently.
+  pool.Append(std::vector<double>{-0.2}, 45.0);
+  pool.Append(std::vector<double>{100.3}, 55.0);
+  auto model = MergeKMeans(Config(2)).Merge(pool);
+  ASSERT_TRUE(model.ok());
+  std::vector<double> c{model->centroids(0, 0), model->centroids(1, 0)};
+  std::sort(c.begin(), c.end());
+  // Weighted means: (0.1·50 − 0.2·45)/95 and (99.8·40 + 100.3·55)/95.
+  EXPECT_NEAR(c[0], (0.1 * 50 - 0.2 * 45) / 95.0, 1e-9);
+  EXPECT_NEAR(c[1], (99.8 * 40 + 100.3 * 55) / 95.0, 1e-9);
+  // Output weights preserve total mass.
+  EXPECT_NEAR(model->weights[0] + model->weights[1], 190.0, 1e-9);
+}
+
+TEST(MergeKMeansTest, HeaviestSeedingIsDeterministic) {
+  Rng rng(2);
+  WeightedDataset pool(2);
+  for (int i = 0; i < 60; ++i) {
+    pool.Append(std::vector<double>{rng.Uniform(0, 100),
+                                    rng.Uniform(0, 100)},
+                1.0 + rng.UniformInt(100));
+  }
+  auto a = MergeKMeans(Config(8)).Merge(pool);
+  auto b = MergeKMeans(Config(8)).Merge(pool);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->centroids, b->centroids);
+}
+
+TEST(MergeKMeansTest, LargeWeightDominatesItsCluster) {
+  WeightedDataset pool(1);
+  pool.Append(std::vector<double>{0.0}, 1000.0);
+  pool.Append(std::vector<double>{1.0}, 1.0);
+  pool.Append(std::vector<double>{100.0}, 1.0);
+  auto model = MergeKMeans(Config(2)).Merge(pool);
+  ASSERT_TRUE(model.ok());
+  std::vector<double> c{model->centroids(0, 0), model->centroids(1, 0)};
+  std::sort(c.begin(), c.end());
+  // Heavy point pins its cluster mean very near 0.
+  EXPECT_NEAR(c[0], 1.0 / 1001.0, 1e-9);
+  EXPECT_NEAR(c[1], 100.0, 1e-9);
+}
+
+TEST(MergeKMeansTest, EndToEndPartialThenMerge) {
+  // Quality sanity: partial(4 chunks) + merge should approximate the blob
+  // structure of the full data.
+  Rng rng(3);
+  std::vector<std::vector<double>> centers;
+  const Dataset data =
+      GenerateSeparatedClusters(2000, 3, 4, 200.0, 1.0, &rng, &centers);
+  const auto chunks = SplitRandom(data, 4, &rng);
+
+  KMeansConfig pconfig;
+  pconfig.k = 4;
+  pconfig.restarts = 5;
+  const PartialKMeans partial(pconfig);
+  WeightedDataset pool(3);
+  for (size_t p = 0; p < chunks.size(); ++p) {
+    auto result = partial.Cluster(chunks[p], p);
+    ASSERT_TRUE(result.ok());
+    pool.AppendAll(result->centroids);
+  }
+  // Heaviest-weight seeding can duplicate a blob when partition weights
+  // are near-equal (a known k-means local optimum); the quality test uses
+  // k-means++ with restarts, the paper's-seeding behaviour is covered by
+  // the deterministic tests above and the seeding ablation bench.
+  MergeKMeansConfig mconfig = Config(4);
+  mconfig.seeding = SeedingMethod::kKMeansPlusPlus;
+  mconfig.restarts = 5;
+  auto model = MergeKMeans(mconfig).Merge(pool);
+  ASSERT_TRUE(model.ok());
+  for (const auto& truth : centers) {
+    double best = 1e30;
+    for (size_t j = 0; j < model->k(); ++j) {
+      double d = 0.0;
+      for (size_t dd = 0; dd < 3; ++dd) {
+        const double diff = truth[dd] - model->centroids(j, dd);
+        d += diff * diff;
+      }
+      best = std::min(best, d);
+    }
+    EXPECT_LT(best, 4.0);
+  }
+}
+
+}  // namespace
+}  // namespace pmkm

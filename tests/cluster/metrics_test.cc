@@ -1,0 +1,80 @@
+#include "cluster/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+
+namespace pmkm {
+namespace {
+
+Dataset MakeCentroids(std::vector<std::vector<double>> rows) {
+  Dataset d(rows[0].size());
+  for (const auto& r : rows) d.Append(r);
+  return d;
+}
+
+TEST(MetricsTest, SseKnownValue) {
+  const Dataset centroids = MakeCentroids({{0.0}, {10.0}});
+  Dataset data(1);
+  for (double x : {1.0, -1.0, 11.0, 9.0}) {
+    data.Append({&x, 1});
+  }
+  EXPECT_DOUBLE_EQ(Sse(centroids, data), 4.0);
+  EXPECT_DOUBLE_EQ(MsePerPoint(centroids, data), 1.0);
+}
+
+TEST(MetricsTest, SseZeroForExactCentroids) {
+  const Dataset centroids = MakeCentroids({{1.0, 2.0}, {3.0, 4.0}});
+  Dataset data(2);
+  data.Append(std::vector<double>{1.0, 2.0});
+  data.Append(std::vector<double>{3.0, 4.0});
+  EXPECT_DOUBLE_EQ(Sse(centroids, data), 0.0);
+}
+
+TEST(MetricsTest, WeightedSseScalesWithWeights) {
+  const Dataset centroids = MakeCentroids({{0.0}});
+  WeightedDataset data(1);
+  data.Append(std::vector<double>{2.0}, 3.0);   // 3·4 = 12
+  data.Append(std::vector<double>{-1.0}, 5.0);  // 5·1 = 5
+  EXPECT_DOUBLE_EQ(WeightedSse(centroids, data), 17.0);
+}
+
+TEST(MetricsTest, WeightedSseWithUnitWeightsEqualsSse) {
+  Rng rng(1);
+  const Dataset data = GenerateUniform(200, 3, -5, 5, &rng);
+  const Dataset centroids = GenerateUniform(7, 3, -5, 5, &rng);
+  EXPECT_NEAR(
+      WeightedSse(centroids, WeightedDataset::FromUnweighted(data)),
+      Sse(centroids, data), 1e-9);
+}
+
+TEST(MetricsTest, AssignmentCountsSumToN) {
+  Rng rng(2);
+  const Dataset data = GenerateUniform(500, 2, 0, 100, &rng);
+  const Dataset centroids = GenerateUniform(9, 2, 0, 100, &rng);
+  const auto counts = AssignmentCounts(centroids, data);
+  ASSERT_EQ(counts.size(), 9u);
+  size_t total = 0;
+  for (size_t c : counts) total += c;
+  EXPECT_EQ(total, 500u);
+}
+
+TEST(MetricsTest, AssignmentCountsKnownSplit) {
+  const Dataset centroids = MakeCentroids({{0.0}, {100.0}});
+  Dataset data(1);
+  for (double x : {1.0, 2.0, 3.0, 99.0}) data.Append({&x, 1});
+  const auto counts = AssignmentCounts(centroids, data);
+  EXPECT_EQ(counts[0], 3u);
+  EXPECT_EQ(counts[1], 1u);
+}
+
+TEST(MetricsTest, ModelSseOnMatchesSse) {
+  Rng rng(3);
+  const Dataset data = GenerateUniform(300, 2, 0, 10, &rng);
+  ClusteringModel model;
+  model.centroids = GenerateUniform(5, 2, 0, 10, &rng);
+  EXPECT_DOUBLE_EQ(ModelSseOn(model, data), Sse(model.centroids, data));
+}
+
+}  // namespace
+}  // namespace pmkm

@@ -1,0 +1,127 @@
+#include "cluster/parallel_lloyd.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/metrics.h"
+#include "cluster/seeding.h"
+#include "data/generator.h"
+
+namespace pmkm {
+namespace {
+
+TEST(ParallelLloydTest, SmallInputFallsBackToSerialExactly) {
+  Rng rng(1);
+  const Dataset points = GenerateMisrLikeCell(500, &rng);  // < 1024
+  const WeightedDataset data = WeightedDataset::FromUnweighted(points);
+  Rng seed_rng(2);
+  auto seeds = SelectSeeds(data, 8, SeedingMethod::kRandom, &seed_rng);
+  ASSERT_TRUE(seeds.ok());
+  ThreadPool pool(4);
+  Rng r1(1), r2(1);
+  auto serial = RunWeightedLloyd(data, *seeds, LloydConfig{}, &r1);
+  auto parallel =
+      RunWeightedLloydParallel(data, *seeds, LloydConfig{}, &r2, &pool);
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  EXPECT_EQ(serial->centroids, parallel->centroids);  // bitwise: fallback
+  EXPECT_EQ(serial->sse, parallel->sse);
+}
+
+TEST(ParallelLloydTest, NullPoolFallsBack) {
+  Rng rng(2);
+  const Dataset points = GenerateMisrLikeCell(2000, &rng);
+  const WeightedDataset data = WeightedDataset::FromUnweighted(points);
+  Rng seed_rng(3);
+  auto seeds = SelectSeeds(data, 8, SeedingMethod::kRandom, &seed_rng);
+  Rng r1(1), r2(1);
+  auto a = RunWeightedLloyd(data, *seeds, LloydConfig{}, &r1);
+  auto b =
+      RunWeightedLloydParallel(data, *seeds, LloydConfig{}, &r2, nullptr);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->centroids, b->centroids);
+}
+
+class ParallelLloydEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelLloydEquivalence, MatchesSerialQuality) {
+  const int n = GetParam();
+  Rng rng(static_cast<uint64_t>(n));
+  const Dataset points =
+      GenerateMisrLikeCell(static_cast<size_t>(n), &rng);
+  const WeightedDataset data = WeightedDataset::FromUnweighted(points);
+  Rng seed_rng(11);
+  auto seeds = SelectSeeds(data, 16, SeedingMethod::kRandom, &seed_rng);
+  ASSERT_TRUE(seeds.ok());
+  ThreadPool pool(4);
+  Rng r1(1), r2(1);
+  auto serial = RunWeightedLloyd(data, *seeds, LloydConfig{}, &r1);
+  auto parallel =
+      RunWeightedLloydParallel(data, *seeds, LloydConfig{}, &r2, &pool);
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  // Same local optimum up to reduction-order rounding.
+  EXPECT_NEAR(parallel->sse, serial->sse, 1e-9 * (1.0 + serial->sse));
+  double serial_mass = 0.0, parallel_mass = 0.0;
+  for (double w : serial->weights) serial_mass += w;
+  for (double w : parallel->weights) parallel_mass += w;
+  EXPECT_NEAR(parallel_mass, serial_mass, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ParallelLloydEquivalence,
+                         ::testing::Values(2000, 8000, 20000));
+
+TEST(ParallelLloydTest, DeterministicForFixedWorkerCount) {
+  Rng rng(4);
+  const Dataset points = GenerateMisrLikeCell(6000, &rng);
+  const WeightedDataset data = WeightedDataset::FromUnweighted(points);
+  Rng seed_rng(5);
+  auto seeds = SelectSeeds(data, 12, SeedingMethod::kRandom, &seed_rng);
+  ThreadPool pool_a(3), pool_b(3);
+  Rng r1(1), r2(1);
+  auto a = RunWeightedLloydParallel(data, *seeds, LloydConfig{}, &r1,
+                                    &pool_a);
+  auto b = RunWeightedLloydParallel(data, *seeds, LloydConfig{}, &r2,
+                                    &pool_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->centroids, b->centroids);
+  EXPECT_EQ(a->sse, b->sse);
+}
+
+TEST(ParallelLloydTest, WeightedDataSupported) {
+  Rng rng(5);
+  WeightedDataset data(3);
+  for (int i = 0; i < 5000; ++i) {
+    data.Append(std::vector<double>{rng.Uniform(0, 30), rng.Uniform(0, 30),
+                                    rng.Uniform(0, 30)},
+                1.0 + rng.UniformInt(4));
+  }
+  Rng seed_rng(6);
+  auto seeds = SelectSeeds(data, 10, SeedingMethod::kRandom, &seed_rng);
+  ThreadPool pool(4);
+  Rng r1(1), r2(1);
+  auto serial = RunWeightedLloyd(data, *seeds, LloydConfig{}, &r1);
+  auto parallel =
+      RunWeightedLloydParallel(data, *seeds, LloydConfig{}, &r2, &pool);
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  EXPECT_NEAR(parallel->sse, serial->sse, 1e-9 * (1.0 + serial->sse));
+}
+
+TEST(ParallelLloydTest, EmptyClusterRepairedInParallelPath) {
+  Rng rng(6);
+  WeightedDataset data(1);
+  for (int i = 0; i < 1500; ++i) {
+    data.Append(std::vector<double>{rng.Normal(0.0, 0.1)}, 1.0);
+    data.Append(std::vector<double>{rng.Normal(70.0, 0.1)}, 1.0);
+  }
+  Dataset seeds(1);
+  seeds.Append(std::vector<double>{-900.0});
+  seeds.Append(std::vector<double>{-900.0});
+  ThreadPool pool(4);
+  Rng r(1);
+  auto model = RunWeightedLloydParallel(data, std::move(seeds),
+                                        LloydConfig{}, &r, &pool);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(model->weights[0], 0.0);
+  EXPECT_GT(model->weights[1], 0.0);
+}
+
+}  // namespace
+}  // namespace pmkm

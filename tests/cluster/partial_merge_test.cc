@@ -1,0 +1,209 @@
+#include "cluster/partial_merge.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cluster/metrics.h"
+#include "data/generator.h"
+
+namespace pmkm {
+namespace {
+
+PartialMergeConfig Config(size_t k, size_t partitions,
+                          uint64_t seed = 123) {
+  PartialMergeConfig config;
+  config.partial.k = k;
+  config.partial.restarts = 3;
+  config.partial.seed = seed;
+  config.num_partitions = partitions;
+  config.seed = seed;
+  return config;
+}
+
+TEST(PartialMergeTest, ValidatesConfig) {
+  PartialMergeConfig bad = Config(4, 0);
+  EXPECT_TRUE(bad.Validate().IsInvalidArgument());
+  bad = Config(4, 2);
+  bad.num_threads = 0;
+  EXPECT_TRUE(bad.Validate().IsInvalidArgument());
+  bad = Config(0, 2);
+  EXPECT_TRUE(bad.Validate().IsInvalidArgument());
+}
+
+TEST(PartialMergeTest, EmptyCellRejected) {
+  const PartialMergeKMeans pm(Config(4, 2));
+  EXPECT_TRUE(pm.Run(Dataset(3)).status().IsInvalidArgument());
+}
+
+TEST(PartialMergeTest, ProducesKCentroidsWithFullWeight) {
+  Rng rng(1);
+  const Dataset cell = GenerateMisrLikeCell(2000, &rng);
+  const PartialMergeKMeans pm(Config(10, 5));
+  auto result = pm.Run(cell);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->model.k(), 10u);
+  EXPECT_EQ(result->num_partitions, 5u);
+  EXPECT_EQ(result->pooled_centroids, 50u);
+  double mass = 0.0;
+  for (double w : result->model.weights) mass += w;
+  EXPECT_NEAR(mass, 2000.0, 1e-6);
+  EXPECT_GT(result->partial_seconds, 0.0);
+  EXPECT_GE(result->merge_seconds, 0.0);
+  EXPECT_GE(result->total_seconds,
+            result->partial_seconds + result->merge_seconds - 1e-3);
+}
+
+TEST(PartialMergeTest, DeterministicForSeed) {
+  Rng rng(2);
+  const Dataset cell = GenerateMisrLikeCell(1200, &rng);
+  auto a = PartialMergeKMeans(Config(8, 4, 77)).Run(cell);
+  auto b = PartialMergeKMeans(Config(8, 4, 77)).Run(cell);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->model.centroids, b->model.centroids);
+  EXPECT_EQ(a->model.sse, b->model.sse);
+}
+
+TEST(PartialMergeTest, ParallelMatchesSerialResult) {
+  // Threading must change wall time only, never the clustering: the chunk
+  // → seed derivation is independent of which thread runs which chunk.
+  Rng rng(3);
+  const Dataset cell = GenerateMisrLikeCell(2000, &rng);
+  PartialMergeConfig serial = Config(8, 8, 5);
+  serial.num_threads = 1;
+  PartialMergeConfig parallel = Config(8, 8, 5);
+  parallel.num_threads = 4;
+  auto ms = PartialMergeKMeans(serial).Run(cell);
+  auto mp = PartialMergeKMeans(parallel).Run(cell);
+  ASSERT_TRUE(ms.ok() && mp.ok());
+  EXPECT_EQ(ms->model.centroids, mp->model.centroids);
+  EXPECT_EQ(ms->model.sse, mp->model.sse);
+}
+
+TEST(PartialMergeTest, RecoversWellSeparatedClusters) {
+  Rng rng(4);
+  std::vector<std::vector<double>> centers;
+  const Dataset cell =
+      GenerateSeparatedClusters(3000, 4, 6, 150.0, 1.0, &rng, &centers);
+  auto result = PartialMergeKMeans(Config(6, 6)).Run(cell);
+  ASSERT_TRUE(result.ok());
+  for (const auto& truth : centers) {
+    double best = 1e30;
+    for (size_t j = 0; j < result->model.k(); ++j) {
+      double d = 0.0;
+      for (size_t dd = 0; dd < 4; ++dd) {
+        const double diff = truth[dd] - result->model.centroids(j, dd);
+        d += diff * diff;
+      }
+      best = std::min(best, d);
+    }
+    EXPECT_LT(best, 9.0);
+  }
+}
+
+TEST(PartialMergeTest, MoreDistinctPartitionsThanPoints) {
+  Rng rng(5);
+  const Dataset cell = GenerateUniform(3, 2, 0.0, 1.0, &rng);
+  auto result = PartialMergeKMeans(Config(2, 10)).Run(cell);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_partitions, 3u);  // empty chunks dropped
+}
+
+TEST(PartialMergeTest, ContiguousStrategyUsesArrivalOrder) {
+  Rng rng(6);
+  const Dataset cell = GenerateMisrLikeCell(1000, &rng);
+  PartialMergeConfig config = Config(5, 4);
+  config.strategy = PartitionStrategy::kContiguous;
+  auto result = PartialMergeKMeans(config).Run(cell);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_partitions, 4u);
+}
+
+TEST(PartialMergeTest, RunChunksValidatesPartitions) {
+  const PartialMergeKMeans pm(Config(4, 2));
+  EXPECT_TRUE(pm.RunChunks({}).status().IsInvalidArgument());
+
+  Rng rng(7);
+  std::vector<Dataset> mixed;
+  mixed.push_back(GenerateUniform(10, 2, 0, 1, &rng));
+  mixed.push_back(GenerateUniform(10, 3, 0, 1, &rng));
+  EXPECT_TRUE(pm.RunChunks(mixed).status().IsInvalidArgument());
+
+  std::vector<Dataset> with_empty;
+  with_empty.push_back(GenerateUniform(10, 2, 0, 1, &rng));
+  with_empty.push_back(Dataset(2));
+  EXPECT_TRUE(pm.RunChunks(with_empty).status().IsInvalidArgument());
+}
+
+TEST(PartialMergeTest, PartitionDiagnosticsFilled) {
+  Rng rng(8);
+  const Dataset cell = GenerateMisrLikeCell(1500, &rng);
+  auto result = PartialMergeKMeans(Config(6, 5)).Run(cell);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->partition_sse.size(), 5u);
+  ASSERT_EQ(result->partition_iters.size(), 5u);
+  for (double sse : result->partition_sse) EXPECT_GT(sse, 0.0);
+  for (size_t it : result->partition_iters) EXPECT_GE(it, 1u);
+}
+
+TEST(PartialMergeTest, MergeKZeroInheritsPartialK) {
+  Rng rng(9);
+  const Dataset cell = GenerateMisrLikeCell(800, &rng);
+  PartialMergeConfig config = Config(7, 4);
+  config.merge.k = 0;
+  auto result = PartialMergeKMeans(config).Run(cell);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->model.k(), 7u);
+}
+
+TEST(PartialMergeTest, MergeKCanDiffer) {
+  Rng rng(10);
+  const Dataset cell = GenerateMisrLikeCell(800, &rng);
+  PartialMergeConfig config = Config(10, 4);
+  config.merge.k = 3;
+  auto result = PartialMergeKMeans(config).Run(cell);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->model.k(), 3u);
+}
+
+TEST(PartialMergeTest, RefinementNeverHurtsRawError) {
+  Rng rng(12);
+  const Dataset cell = GenerateMisrLikeCell(4000, &rng);
+  PartialMergeConfig plain = Config(15, 8, 3);
+  PartialMergeConfig refined = Config(15, 8, 3);
+  refined.refine_iterations = 5;
+  auto a = PartialMergeKMeans(plain).Run(cell);
+  auto b = PartialMergeKMeans(refined).Run(cell);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a->refine_seconds, 0.0);
+  EXPECT_GT(b->refine_seconds, 0.0);
+  const double raw_plain = Sse(a->model.centroids, cell);
+  const double raw_refined = Sse(b->model.centroids, cell);
+  EXPECT_LE(raw_refined, raw_plain * (1.0 + 1e-9));
+  // Refined model reports its error on raw points.
+  EXPECT_NEAR(b->model.sse, raw_refined, 1e-6 * (1.0 + raw_refined));
+  // Mass is still conserved.
+  double mass = 0.0;
+  for (double w : b->model.weights) mass += w;
+  EXPECT_NEAR(mass, 4000.0, 1e-6);
+}
+
+TEST(PartialMergeTest, QualityOnRawDataIsReasonable) {
+  // The paper's central quality claim, in miniature: for a large cell the
+  // partial/merge model's error on the ORIGINAL points is within a small
+  // factor of the serial model's error (and often better).
+  Rng rng(11);
+  const Dataset cell = GenerateMisrLikeCell(6000, &rng);
+  auto pm = PartialMergeKMeans(Config(20, 6)).Run(cell);
+  ASSERT_TRUE(pm.ok());
+  KMeansConfig serial_config;
+  serial_config.k = 20;
+  serial_config.restarts = 3;
+  auto serial = KMeans(serial_config).Fit(cell);
+  ASSERT_TRUE(serial.ok());
+  const double pm_on_raw = Sse(pm->model.centroids, cell);
+  EXPECT_LT(pm_on_raw, 2.0 * serial->sse);
+}
+
+}  // namespace
+}  // namespace pmkm

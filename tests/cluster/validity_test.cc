@@ -1,0 +1,127 @@
+#include "cluster/validity.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/kmeans.h"
+#include "data/generator.h"
+
+namespace pmkm {
+namespace {
+
+ClusteringModel ModelWithCentroids(std::vector<std::vector<double>> rows) {
+  ClusteringModel model;
+  model.centroids = Dataset(rows[0].size());
+  for (const auto& r : rows) model.centroids.Append(r);
+  model.weights.assign(rows.size(), 1.0);
+  return model;
+}
+
+TEST(SilhouetteTest, Validation) {
+  Rng rng(1);
+  const Dataset data = GenerateUniform(10, 2, 0, 1, &rng);
+  auto one_cluster = ModelWithCentroids({{0.0, 0.0}});
+  EXPECT_TRUE(
+      SilhouetteScore(one_cluster, data).status().IsInvalidArgument());
+  auto model = ModelWithCentroids({{0.0, 0.0}, {1.0, 1.0}});
+  EXPECT_TRUE(
+      SilhouetteScore(model, Dataset(2)).status().IsInvalidArgument());
+  const Dataset wrong = GenerateUniform(5, 3, 0, 1, &rng);
+  EXPECT_TRUE(SilhouetteScore(model, wrong).status().IsInvalidArgument());
+}
+
+TEST(SilhouetteTest, NearOneForWellSeparatedBlobs) {
+  Rng rng(2);
+  const Dataset data =
+      GenerateSeparatedClusters(600, 2, 3, 500.0, 1.0, &rng);
+  KMeansConfig config;
+  config.k = 3;
+  config.restarts = 5;
+  config.seeding = SeedingMethod::kKMeansPlusPlus;
+  auto model = KMeans(config).Fit(data);
+  ASSERT_TRUE(model.ok());
+  auto score = SilhouetteScore(*model, data, 0);
+  ASSERT_TRUE(score.ok()) << score.status();
+  EXPECT_GT(*score, 0.9);
+}
+
+TEST(SilhouetteTest, LowForUniformNoise) {
+  Rng rng(3);
+  const Dataset data = GenerateUniform(600, 2, 0, 100, &rng);
+  KMeansConfig config;
+  config.k = 5;
+  config.restarts = 3;
+  auto model = KMeans(config).Fit(data);
+  ASSERT_TRUE(model.ok());
+  auto score = SilhouetteScore(*model, data, 0);
+  ASSERT_TRUE(score.ok());
+  EXPECT_LT(*score, 0.6);  // no real structure to separate
+  EXPECT_GT(*score, -0.2);
+}
+
+TEST(SilhouetteTest, SamplingApproximatesExact) {
+  Rng rng(4);
+  const Dataset data =
+      GenerateSeparatedClusters(1500, 2, 4, 300.0, 2.0, &rng);
+  KMeansConfig config;
+  config.k = 4;
+  config.restarts = 5;
+  config.seeding = SeedingMethod::kKMeansPlusPlus;
+  auto model = KMeans(config).Fit(data);
+  ASSERT_TRUE(model.ok());
+  auto exact = SilhouetteScore(*model, data, 0);
+  auto sampled = SilhouetteScore(*model, data, 500, 9);
+  ASSERT_TRUE(exact.ok() && sampled.ok());
+  EXPECT_NEAR(*sampled, *exact, 0.05);
+}
+
+TEST(DaviesBouldinTest, Validation) {
+  Rng rng(5);
+  const Dataset data = GenerateUniform(10, 2, 0, 1, &rng);
+  auto one = ModelWithCentroids({{0.0, 0.0}});
+  EXPECT_TRUE(
+      DaviesBouldinIndex(one, data).status().IsInvalidArgument());
+}
+
+TEST(DaviesBouldinTest, LowerForBetterSeparation) {
+  Rng rng(6);
+  const Dataset tight =
+      GenerateSeparatedClusters(900, 2, 3, 500.0, 1.0, &rng);
+  const Dataset loose =
+      GenerateSeparatedClusters(900, 2, 3, 20.0, 5.0, &rng);
+  KMeansConfig config;
+  config.k = 3;
+  config.restarts = 5;
+  config.seeding = SeedingMethod::kKMeansPlusPlus;
+  auto mt = KMeans(config).Fit(tight);
+  auto ml = KMeans(config).Fit(loose);
+  ASSERT_TRUE(mt.ok() && ml.ok());
+  auto dbt = DaviesBouldinIndex(*mt, tight);
+  auto dbl = DaviesBouldinIndex(*ml, loose);
+  ASSERT_TRUE(dbt.ok() && dbl.ok());
+  EXPECT_LT(*dbt, *dbl);
+  EXPECT_LT(*dbt, 0.2);  // essentially ideal separation
+}
+
+TEST(DaviesBouldinTest, KnownTwoClusterValue) {
+  // Two symmetric clusters: points at {0, 2} and {10, 12}. Centroids at
+  // 1 and 11, scatter = 1 each, distance 10 → DB = (1+1)/10 = 0.2.
+  ClusteringModel model = ModelWithCentroids({{1.0}, {11.0}});
+  Dataset data(1);
+  for (double x : {0.0, 2.0, 10.0, 12.0}) data.Append({&x, 1});
+  auto db = DaviesBouldinIndex(model, data);
+  ASSERT_TRUE(db.ok());
+  EXPECT_NEAR(*db, 0.2, 1e-12);
+}
+
+TEST(DaviesBouldinTest, EmptyClustersIgnored) {
+  ClusteringModel model =
+      ModelWithCentroids({{0.0}, {10.0}, {100000.0}});
+  Dataset data(1);
+  for (double x : {-1.0, 1.0, 9.0, 11.0}) data.Append({&x, 1});
+  auto db = DaviesBouldinIndex(model, data);
+  ASSERT_TRUE(db.ok());  // third cluster is empty but two remain
+  EXPECT_NEAR(*db, 0.2, 1e-12);
+}
+
+}  // namespace
+}  // namespace pmkm

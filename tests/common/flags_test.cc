@@ -1,0 +1,127 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pmkm {
+namespace {
+
+// Builds an argv-style array from string literals.
+class ArgvBuilder {
+ public:
+  explicit ArgvBuilder(std::vector<std::string> args)
+      : storage_(std::move(args)) {
+    for (auto& s : storage_) argv_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(argv_.size()); }
+  char** argv() { return argv_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> argv_;
+};
+
+TEST(FlagsTest, ParsesIntDoubleStringBool) {
+  int64_t n = 0;
+  double x = 0.0;
+  std::string s;
+  bool b = false;
+  FlagParser parser;
+  parser.AddInt("n", &n, "count")
+      .AddDouble("x", &x, "value")
+      .AddString("s", &s, "name")
+      .AddBool("b", &b, "toggle");
+  ArgvBuilder args({"prog", "--n=42", "--x=2.5", "--s=hello", "--b"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(n, 42);
+  EXPECT_DOUBLE_EQ(x, 2.5);
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(b);
+}
+
+TEST(FlagsTest, SpaceSeparatedValues) {
+  int64_t n = 0;
+  FlagParser parser;
+  parser.AddInt("n", &n, "count");
+  ArgvBuilder args({"prog", "--n", "7"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(n, 7);
+}
+
+TEST(FlagsTest, BooleanNegation) {
+  bool b = true;
+  FlagParser parser;
+  parser.AddBool("verbose", &b, "log more");
+  ArgvBuilder args({"prog", "--no-verbose"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_FALSE(b);
+}
+
+TEST(FlagsTest, ExplicitBoolValues) {
+  bool b = false;
+  FlagParser parser;
+  parser.AddBool("flag", &b, "x");
+  ArgvBuilder on({"prog", "--flag=true"});
+  ASSERT_TRUE(parser.Parse(on.argc(), on.argv()).ok());
+  EXPECT_TRUE(b);
+  ArgvBuilder off({"prog", "--flag=false"});
+  ASSERT_TRUE(parser.Parse(off.argc(), off.argv()).ok());
+  EXPECT_FALSE(b);
+}
+
+TEST(FlagsTest, UnknownFlagFails) {
+  FlagParser parser;
+  ArgvBuilder args({"prog", "--bogus=1"});
+  EXPECT_TRUE(parser.Parse(args.argc(), args.argv()).IsInvalidArgument());
+}
+
+TEST(FlagsTest, BadIntValueFails) {
+  int64_t n = 0;
+  FlagParser parser;
+  parser.AddInt("n", &n, "count");
+  ArgvBuilder args({"prog", "--n=abc"});
+  EXPECT_TRUE(parser.Parse(args.argc(), args.argv()).IsInvalidArgument());
+}
+
+TEST(FlagsTest, MissingValueFails) {
+  int64_t n = 0;
+  FlagParser parser;
+  parser.AddInt("n", &n, "count");
+  ArgvBuilder args({"prog", "--n"});
+  EXPECT_TRUE(parser.Parse(args.argc(), args.argv()).IsInvalidArgument());
+}
+
+TEST(FlagsTest, PositionalArgumentsCollected) {
+  int64_t n = 0;
+  FlagParser parser;
+  parser.AddInt("n", &n, "count");
+  ArgvBuilder args({"prog", "input.bin", "--n=1", "output.bin"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  ASSERT_EQ(parser.positional().size(), 2u);
+  EXPECT_EQ(parser.positional()[0], "input.bin");
+  EXPECT_EQ(parser.positional()[1], "output.bin");
+}
+
+TEST(FlagsTest, NegativeNumbers) {
+  int64_t n = 0;
+  double x = 0.0;
+  FlagParser parser;
+  parser.AddInt("n", &n, "count").AddDouble("x", &x, "value");
+  ArgvBuilder args({"prog", "--n=-5", "--x=-1.5e3"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(n, -5);
+  EXPECT_DOUBLE_EQ(x, -1500.0);
+}
+
+TEST(FlagsTest, UsageListsFlags) {
+  int64_t n = 0;
+  FlagParser parser;
+  parser.AddInt("points", &n, "number of points");
+  const std::string usage = parser.Usage("prog");
+  EXPECT_NE(usage.find("--points"), std::string::npos);
+  EXPECT_NE(usage.find("number of points"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pmkm

@@ -1,0 +1,69 @@
+#include "common/result.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace pmkm {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.status().message(), "nope");
+}
+
+TEST(ResultTest, OkStatusIsRejected) {
+  Result<int> r{Status::OK()};
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("hello"));
+  EXPECT_EQ(r->size(), 5u);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status Chain(int x, int* out) {
+  PMKM_ASSIGN_OR_RETURN(int h, Half(x));
+  PMKM_ASSIGN_OR_RETURN(int q, Half(h));
+  *out = q;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_TRUE(Chain(8, &out).ok());
+  EXPECT_EQ(out, 2);
+  EXPECT_TRUE(Chain(6, &out).IsInvalidArgument());  // 6/2=3 is odd
+  EXPECT_TRUE(Chain(5, &out).IsInvalidArgument());
+}
+
+TEST(ResultTest, ValueOrDieMovesOut) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(std::move(r).ValueOrDie(), "abc");
+}
+
+}  // namespace
+}  // namespace pmkm

@@ -1,0 +1,85 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace pmkm {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Cancelled("x").IsCancelled());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+}
+
+TEST(StatusTest, MessageIsPreserved) {
+  const Status s = Status::IOError("disk on fire");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "disk on fire");
+  EXPECT_EQ(s.ToString(), "I/O error: disk on fire");
+}
+
+TEST(StatusTest, CopyIsCheapAndEqual) {
+  const Status a = Status::NotFound("missing");
+  const Status b = a;  // shared state
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b.message(), "missing");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::Internal("a"), Status::Internal("a"));
+  EXPECT_NE(Status::Internal("a"), Status::Internal("b"));
+  EXPECT_NE(Status::Internal("a"), Status::IOError("a"));
+  EXPECT_NE(Status::OK(), Status::Internal("a"));
+}
+
+TEST(StatusTest, OkConstructedWithEmptyMessageViaCode) {
+  const Status s(StatusCode::kOk, "ignored");
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.message(), "");
+}
+
+Status Fails() { return Status::OutOfRange("boom"); }
+Status Succeeds() { return Status::OK(); }
+
+Status UseReturnNotOk(bool fail, bool* reached_end) {
+  PMKM_RETURN_NOT_OK(fail ? Fails() : Succeeds());
+  *reached_end = true;
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkPropagatesError) {
+  bool reached = false;
+  const Status s = UseReturnNotOk(true, &reached);
+  EXPECT_TRUE(s.IsOutOfRange());
+  EXPECT_FALSE(reached);
+}
+
+TEST(StatusTest, ReturnNotOkPassesThroughOnOk) {
+  bool reached = false;
+  EXPECT_TRUE(UseReturnNotOk(false, &reached).ok());
+  EXPECT_TRUE(reached);
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIOError), "I/O error");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCancelled), "cancelled");
+}
+
+}  // namespace
+}  // namespace pmkm

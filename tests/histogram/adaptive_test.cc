@@ -1,0 +1,106 @@
+#include "histogram/adaptive.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/metrics.h"
+#include "data/generator.h"
+
+namespace pmkm {
+namespace {
+
+AdaptivePartialMergeConfig Config(size_t max_k, double lambda,
+                                  size_t partitions) {
+  AdaptivePartialMergeConfig config;
+  config.partial.max_k = max_k;
+  config.partial.lambda = lambda;
+  config.num_partitions = partitions;
+  return config;
+}
+
+TEST(AdaptivePartialMergeTest, Validation) {
+  AdaptivePartialMergeConfig bad = Config(0, 1.0, 4);
+  EXPECT_TRUE(bad.Validate().IsInvalidArgument());
+  bad = Config(8, -1.0, 4);
+  EXPECT_TRUE(bad.Validate().IsInvalidArgument());
+  bad = Config(8, 1.0, 0);
+  EXPECT_TRUE(bad.Validate().IsInvalidArgument());
+
+  const AdaptivePartialMergeKMeans apm(Config(8, 1.0, 4));
+  EXPECT_TRUE(apm.Run(Dataset(2)).status().IsInvalidArgument());
+  EXPECT_TRUE(apm.RunChunks({}).status().IsInvalidArgument());
+}
+
+TEST(AdaptivePartialMergeTest, MassConservedAndKBounded) {
+  Rng rng(1);
+  const Dataset cell = GenerateMisrLikeCell(4000, &rng);
+  const AdaptivePartialMergeKMeans apm(Config(32, 10.0, 8));
+  auto result = apm.Run(cell);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->partition_effective_k.size(), 8u);
+  for (size_t ek : result->partition_effective_k) {
+    EXPECT_GE(ek, 1u);
+    EXPECT_LE(ek, 32u);
+  }
+  double mass = 0.0;
+  for (double w : result->model.weights) mass += w;
+  EXPECT_NEAR(mass, 4000.0, 1e-6);
+  EXPECT_LE(result->model.k(), result->final_k);
+}
+
+TEST(AdaptivePartialMergeTest, LambdaShrinksPartitionCodebooks) {
+  Rng rng(2);
+  const Dataset cell = GenerateMisrLikeCell(4000, &rng);
+  auto mild = AdaptivePartialMergeKMeans(Config(32, 0.0, 5)).Run(cell);
+  auto heavy =
+      AdaptivePartialMergeKMeans(Config(32, 2000.0, 5)).Run(cell);
+  ASSERT_TRUE(mild.ok() && heavy.ok());
+  size_t mild_total = 0, heavy_total = 0;
+  for (size_t ek : mild->partition_effective_k) mild_total += ek;
+  for (size_t ek : heavy->partition_effective_k) heavy_total += ek;
+  EXPECT_LT(heavy_total, mild_total);
+  EXPECT_EQ(mild->pooled_centroids, mild_total);
+}
+
+TEST(AdaptivePartialMergeTest, AdaptsToTrueStructure) {
+  // A 3-blob cell with max_k=16: each partition should starve most
+  // codewords and land near 3.
+  Rng rng(3);
+  const Dataset cell =
+      GenerateSeparatedClusters(3000, 2, 3, 400.0, 1.0, &rng);
+  const AdaptivePartialMergeKMeans apm(Config(16, 100.0, 5));
+  auto result = apm.Run(cell);
+  ASSERT_TRUE(result.ok());
+  for (size_t ek : result->partition_effective_k) {
+    EXPECT_GE(ek, 3u);
+    EXPECT_LE(ek, 8u);
+  }
+  // The final model should cover the 3 blobs well.
+  Dataset mean_model(cell.dim());
+  mean_model.Append(cell.Mean());
+  EXPECT_LT(Sse(result->model.centroids, cell),
+            0.05 * Sse(mean_model, cell));
+}
+
+TEST(AdaptivePartialMergeTest, ExplicitMergeKRespected) {
+  Rng rng(4);
+  const Dataset cell = GenerateMisrLikeCell(2000, &rng);
+  AdaptivePartialMergeConfig config = Config(24, 10.0, 6);
+  config.merge.k = 5;
+  auto result = AdaptivePartialMergeKMeans(config).Run(cell);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->final_k, 5u);
+  EXPECT_LE(result->model.k(), 5u);
+}
+
+TEST(AdaptivePartialMergeTest, DeterministicForSeed) {
+  Rng rng(5);
+  const Dataset cell = GenerateMisrLikeCell(1500, &rng);
+  auto a = AdaptivePartialMergeKMeans(Config(16, 5.0, 4)).Run(cell);
+  auto b = AdaptivePartialMergeKMeans(Config(16, 5.0, 4)).Run(cell);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->model.centroids, b->model.centroids);
+  EXPECT_EQ(a->partition_effective_k, b->partition_effective_k);
+}
+
+}  // namespace
+}  // namespace pmkm

@@ -1,0 +1,111 @@
+#include "histogram/ecvq.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generator.h"
+
+namespace pmkm {
+namespace {
+
+EcvqConfig Config(size_t max_k, double lambda) {
+  EcvqConfig config;
+  config.max_k = max_k;
+  config.lambda = lambda;
+  return config;
+}
+
+TEST(EcvqTest, Validation) {
+  Rng rng(1);
+  const Dataset data = GenerateUniform(100, 2, 0, 1, &rng);
+  EXPECT_TRUE(
+      FitEcvq(Dataset(2), Config(4, 1.0)).status().IsInvalidArgument());
+  EXPECT_TRUE(FitEcvq(data, Config(0, 1.0)).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      FitEcvq(data, Config(4, -1.0)).status().IsInvalidArgument());
+}
+
+TEST(EcvqTest, LambdaZeroKeepsFullCodebook) {
+  Rng rng(2);
+  const Dataset data = GenerateMisrLikeCell(2000, &rng);
+  auto result = FitEcvq(data, Config(16, 0.0));
+  ASSERT_TRUE(result.ok());
+  // With no rate penalty nothing should starve on rich continuous data.
+  EXPECT_EQ(result->effective_k, 16u);
+  EXPECT_GT(result->rate_bits, 0.0);
+}
+
+TEST(EcvqTest, LargerLambdaShrinksEffectiveK) {
+  Rng rng(3);
+  const Dataset data = GenerateMisrLikeCell(3000, &rng);
+  auto mild = FitEcvq(data, Config(32, 0.0));
+  auto heavy = FitEcvq(data, Config(32, 2000.0));
+  ASSERT_TRUE(mild.ok() && heavy.ok());
+  EXPECT_LT(heavy->effective_k, mild->effective_k);
+  EXPECT_GE(heavy->effective_k, 1u);
+  // Fewer codewords → lower rate, higher distortion.
+  EXPECT_LT(heavy->rate_bits, mild->rate_bits);
+  EXPECT_GT(heavy->distortion, mild->distortion);
+}
+
+TEST(EcvqTest, AdaptsKToTrueClusterCount) {
+  // 3 well-separated blobs, max_k = 16 and a moderate λ: ECVQ should land
+  // near k = 3, the paper's "find an optimal k for a partition on the fly".
+  Rng rng(4);
+  std::vector<std::vector<double>> centers;
+  const Dataset data =
+      GenerateSeparatedClusters(3000, 2, 3, 300.0, 1.0, &rng, &centers);
+  auto result = FitEcvq(data, Config(16, 100.0));
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->effective_k, 3u);
+  EXPECT_LE(result->effective_k, 6u);
+}
+
+TEST(EcvqTest, WeightsSumToTotalMass) {
+  Rng rng(5);
+  const Dataset data = GenerateMisrLikeCell(1000, &rng);
+  auto result = FitEcvq(data, Config(8, 1.0));
+  ASSERT_TRUE(result.ok());
+  double mass = 0.0;
+  for (double w : result->model.weights) mass += w;
+  EXPECT_NEAR(mass, 1000.0, 1e-6);
+}
+
+TEST(EcvqTest, RateIsEntropyBounded) {
+  Rng rng(6);
+  const Dataset data = GenerateMisrLikeCell(1500, &rng);
+  auto result = FitEcvq(data, Config(16, 1.0));
+  ASSERT_TRUE(result.ok());
+  // Entropy of k symbols ≤ log2 k.
+  EXPECT_LE(result->rate_bits,
+            std::log2(static_cast<double>(result->effective_k)) + 1e-9);
+  EXPECT_GE(result->rate_bits, 0.0);
+}
+
+TEST(EcvqTest, DeterministicForSeed) {
+  Rng rng(7);
+  const Dataset data = GenerateMisrLikeCell(800, &rng);
+  auto a = FitEcvq(data, Config(12, 5.0));
+  auto b = FitEcvq(data, Config(12, 5.0));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->model.centroids, b->model.centroids);
+  EXPECT_EQ(a->effective_k, b->effective_k);
+}
+
+TEST(EcvqTest, WeightedInputSupported) {
+  WeightedDataset data(1);
+  Rng rng(8);
+  for (int i = 0; i < 200; ++i) {
+    data.Append(std::vector<double>{rng.Normal(0.0, 1.0)}, 2.0);
+    data.Append(std::vector<double>{rng.Normal(50.0, 1.0)}, 1.0);
+  }
+  auto result = FitEcvq(data, Config(8, 50.0));
+  ASSERT_TRUE(result.ok());
+  double mass = 0.0;
+  for (double w : result->model.weights) mass += w;
+  EXPECT_NEAR(mass, 600.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace pmkm

@@ -1,0 +1,111 @@
+// Property suites, part 3: the partitioning-strategy design space (paper
+// §6) and the refinement extension, swept parametrically.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "cluster/metrics.h"
+#include "cluster/partial_merge.h"
+#include "data/generator.h"
+
+namespace pmkm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// S1: every slicing strategy yields a complete, non-empty partitioning and
+// a valid end-to-end model.
+
+using StrategyParam = std::tuple<PartitionStrategy, int>;
+
+class StrategyProperty : public ::testing::TestWithParam<StrategyParam> {};
+
+const char* Name(PartitionStrategy s) {
+  switch (s) {
+    case PartitionStrategy::kRandom:
+      return "random";
+    case PartitionStrategy::kContiguous:
+      return "contiguous";
+    case PartitionStrategy::kSpatial:
+      return "spatial";
+    case PartitionStrategy::kStripes:
+      return "stripes";
+  }
+  return "?";
+}
+
+TEST_P(StrategyProperty, EndToEndInvariants) {
+  const auto [strategy, p] = GetParam();
+  Rng rng(static_cast<uint64_t>(p) * 997 +
+          static_cast<uint64_t>(strategy));
+  const Dataset cell = GenerateMisrLikeCell(3000, &rng);
+
+  PartialMergeConfig config;
+  config.partial.k = 8;
+  config.partial.restarts = 2;
+  config.num_partitions = static_cast<size_t>(p);
+  config.strategy = strategy;
+  auto result = PartialMergeKMeans(config).Run(cell);
+  ASSERT_TRUE(result.ok()) << Name(strategy) << " p=" << p << ": "
+                           << result.status();
+
+  // Mass conservation holds under every slicing.
+  double mass = 0.0;
+  for (double w : result->model.weights) mass += w;
+  EXPECT_NEAR(mass, 3000.0, 1e-6);
+
+  // Spatial slicing may produce a different partition count (grid cells),
+  // the others respect p (up to empty-part dropping).
+  EXPECT_GE(result->num_partitions, 1u);
+  if (strategy != PartitionStrategy::kSpatial) {
+    EXPECT_LE(result->num_partitions, static_cast<size_t>(p));
+  }
+
+  // The model must beat the trivial single-mean model on raw points.
+  Dataset mean_model(cell.dim());
+  mean_model.Append(cell.Mean());
+  EXPECT_LT(Sse(result->model.centroids, cell), Sse(mean_model, cell));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StrategyProperty,
+    ::testing::Combine(::testing::Values(PartitionStrategy::kRandom,
+                                         PartitionStrategy::kContiguous,
+                                         PartitionStrategy::kSpatial,
+                                         PartitionStrategy::kStripes),
+                       ::testing::Values(2, 6, 12)),
+    [](const ::testing::TestParamInfo<StrategyParam>& info) {
+      return std::string(Name(std::get<0>(info.param))) + "_p" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// S2: refinement is monotone — more refinement iterations never increase
+// the raw error (Lloyd monotonicity through the driver).
+
+class RefineProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RefineProperty, RawErrorNonIncreasingInBudget) {
+  const int n = GetParam();
+  Rng rng(static_cast<uint64_t>(n));
+  const Dataset cell = GenerateMisrLikeCell(static_cast<size_t>(n), &rng);
+  double prev = std::numeric_limits<double>::infinity();
+  for (size_t budget : {0u, 1u, 3u, 10u}) {
+    PartialMergeConfig config;
+    config.partial.k = 10;
+    config.partial.restarts = 2;
+    config.num_partitions = 5;
+    config.refine_iterations = budget;
+    auto result = PartialMergeKMeans(config).Run(cell);
+    ASSERT_TRUE(result.ok());
+    const double raw = Sse(result->model.centroids, cell);
+    EXPECT_LE(raw, prev * (1.0 + 1e-9)) << "budget " << budget;
+    prev = raw;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RefineProperty,
+                         ::testing::Values(800, 4000));
+
+}  // namespace
+}  // namespace pmkm

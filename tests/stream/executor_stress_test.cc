@@ -1,0 +1,172 @@
+// Stress and failure-injection tests for the stream executor: many cells,
+// many clones, tiny queues (maximum back-pressure), and operators that
+// fail at arbitrary points of the pipeline lifecycle.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "data/generator.h"
+#include "stream/ops.h"
+
+namespace pmkm {
+namespace {
+
+KMeansConfig PartialConfig() {
+  KMeansConfig config;
+  config.k = 4;
+  config.restarts = 1;
+  return config;
+}
+
+MergeKMeansConfig MergeConfig() {
+  MergeKMeansConfig config;
+  config.k = 4;
+  return config;
+}
+
+std::vector<GridBucket> MakeCells(size_t count, size_t points,
+                                  uint64_t seed) {
+  Rng rng(seed);
+  std::vector<GridBucket> cells;
+  for (size_t c = 0; c < count; ++c) {
+    GridBucket bucket;
+    bucket.cell = GridCellId{static_cast<int32_t>(c), 0};
+    bucket.points = GenerateMisrLikeCell(points, &rng);
+    cells.push_back(std::move(bucket));
+  }
+  return cells;
+}
+
+TEST(ExecutorStressTest, ManyCellsManyClonesTinyQueues) {
+  // 12 cells × 6 chunks over 5 clones through capacity-1 queues: maximum
+  // back-pressure and interleaving. Everything must arrive exactly once.
+  auto points = std::make_shared<PointChunkQueue>(1);
+  auto centroids = std::make_shared<CentroidQueue>(1);
+  Executor executor;
+  executor.Add(std::make_unique<MemoryScanOperator>(MakeCells(12, 300, 1),
+                                                    50, points));
+  for (int c = 0; c < 5; ++c) {
+    executor.Add(std::make_unique<PartialKMeansOperator>(
+        PartialConfig(), points, centroids,
+        "clone#" + std::to_string(c)));
+  }
+  auto merge =
+      std::make_unique<MergeKMeansOperator>(MergeConfig(), centroids);
+  auto* merge_raw = merge.get();
+  executor.Add(std::move(merge));
+  ASSERT_TRUE(executor.Run().ok());
+  ASSERT_EQ(merge_raw->results().size(), 12u);
+  for (const auto& [id, cell] : merge_raw->results()) {
+    EXPECT_EQ(cell.input_points, 300u);
+    EXPECT_EQ(cell.pooled_centroids, 24u);  // 6 chunks × 4
+  }
+}
+
+TEST(ExecutorStressTest, RepeatedRunsAreIdenticalUnderContention) {
+  // The determinism guarantee under the most adversarial scheduling we can
+  // provoke in-process: tiny queues, more clones than cores.
+  Dataset first_centroids(1);
+  double first_sse = -1.0;
+  for (int round = 0; round < 3; ++round) {
+    auto points = std::make_shared<PointChunkQueue>(1);
+    auto centroids = std::make_shared<CentroidQueue>(1);
+    Executor executor;
+    executor.Add(std::make_unique<MemoryScanOperator>(
+        MakeCells(1, 1200, 7), 150, points));
+    for (int c = 0; c < 6; ++c) {
+      executor.Add(std::make_unique<PartialKMeansOperator>(
+          PartialConfig(), points, centroids,
+          "clone#" + std::to_string(c)));
+    }
+    auto merge =
+        std::make_unique<MergeKMeansOperator>(MergeConfig(), centroids);
+    auto* merge_raw = merge.get();
+    executor.Add(std::move(merge));
+    ASSERT_TRUE(executor.Run().ok());
+    const auto& cell = merge_raw->results().begin()->second;
+    if (round == 0) {
+      first_centroids = cell.model.centroids;
+      first_sse = cell.model.sse;
+    } else {
+      EXPECT_EQ(cell.model.centroids, first_centroids);
+      EXPECT_EQ(cell.model.sse, first_sse);
+    }
+  }
+}
+
+// An operator that consumes chunks and fails after a fixed number.
+class FailingOperator : public Operator {
+ public:
+  FailingOperator(std::shared_ptr<PointChunkQueue> in,
+                  std::shared_ptr<CentroidQueue> out, int fail_after)
+      : Operator("failing"),
+        in_(std::move(in)),
+        out_(std::move(out)),
+        fail_after_(fail_after) {
+    out_->AddProducer();
+  }
+
+  Status Run() override {
+    struct Closer {
+      CentroidQueue* q;
+      ~Closer() { q->CloseProducer(); }
+    } closer{out_.get()};
+    int seen = 0;
+    while (auto chunk = in_->Pop()) {
+      if (++seen > fail_after_) {
+        return Status::Internal("injected failure");
+      }
+    }
+    return Status::OK();
+  }
+
+  void Abort() override {
+    in_->Cancel();
+    out_->Cancel();
+  }
+
+ private:
+  std::shared_ptr<PointChunkQueue> in_;
+  std::shared_ptr<CentroidQueue> out_;
+  int fail_after_;
+};
+
+TEST(ExecutorStressTest, MidPipelineFailureUnblocksEveryone) {
+  for (int fail_after : {0, 1, 3}) {
+    auto points = std::make_shared<PointChunkQueue>(1);
+    auto centroids = std::make_shared<CentroidQueue>(1);
+    Executor executor;
+    executor.Add(std::make_unique<MemoryScanOperator>(
+        MakeCells(4, 400, 11), 40, points));
+    executor.Add(std::make_unique<FailingOperator>(points, centroids,
+                                                   fail_after));
+    executor.Add(
+        std::make_unique<MergeKMeansOperator>(MergeConfig(), centroids));
+    const Status st = executor.Run();  // must terminate, not hang
+    ASSERT_FALSE(st.ok()) << "fail_after=" << fail_after;
+    EXPECT_TRUE(st.IsInternal() || st.IsCancelled()) << st;
+  }
+}
+
+TEST(ExecutorStressTest, EmptyPipelineRunsClean) {
+  Executor executor;
+  EXPECT_TRUE(executor.Run().ok());
+  EXPECT_EQ(executor.num_operators(), 0u);
+}
+
+TEST(ExecutorStressTest, MergeAloneSeesEndOfStream) {
+  // A merge with a producer-less queue must terminate immediately: zero
+  // producers means end-of-stream by definition.
+  auto centroids = std::make_shared<CentroidQueue>(2);
+  Executor executor;
+  auto merge =
+      std::make_unique<MergeKMeansOperator>(MergeConfig(), centroids);
+  auto* merge_raw = merge.get();
+  executor.Add(std::move(merge));
+  ASSERT_TRUE(executor.Run().ok());
+  EXPECT_TRUE(merge_raw->results().empty());
+}
+
+}  // namespace
+}  // namespace pmkm

@@ -1,0 +1,43 @@
+#include "stream/explain.h"
+
+#include <gtest/gtest.h>
+
+namespace pmkm {
+namespace {
+
+TEST(ExplainTest, RendersEveryOperatorAndKnob) {
+  KMeansConfig partial;
+  partial.k = 40;
+  partial.restarts = 10;
+  MergeKMeansConfig merge;
+  merge.k = 40;
+  PhysicalPlan plan;
+  plan.chunk_points = 5461;
+  plan.partial_clones = 7;
+  plan.queue_capacity = 14;
+
+  const std::string text = ExplainPartialMergePlan(
+      3, 60000, 6, partial, merge, plan);
+  EXPECT_NE(text.find("merge-kmeans (k=40, seeding=heaviest"),
+            std::string::npos);
+  EXPECT_NE(text.find("partial-kmeans ×7 clones"), std::string::npos);
+  EXPECT_NE(text.find("R=10"), std::string::npos);
+  EXPECT_NE(text.find("chunk=5461 pts"), std::string::npos);
+  EXPECT_NE(text.find("queue cap 14"), std::string::npos);
+  EXPECT_NE(text.find("scan (3 buckets, ~60000 pts, dim 6)"),
+            std::string::npos);
+}
+
+TEST(ExplainTest, SingularForms) {
+  KMeansConfig partial;
+  MergeKMeansConfig merge;
+  PhysicalPlan plan;
+  plan.partial_clones = 1;
+  const std::string text =
+      ExplainPartialMergePlan(1, 100, 2, partial, merge, plan);
+  EXPECT_NE(text.find("×1 clone ("), std::string::npos);
+  EXPECT_NE(text.find("(1 bucket,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pmkm

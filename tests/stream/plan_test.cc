@@ -1,0 +1,148 @@
+#include "stream/plan.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "cluster/metrics.h"
+#include "data/generator.h"
+
+namespace pmkm {
+namespace {
+
+TEST(ResourceModelTest, EffectiveCoresAutodetectsPositive) {
+  ResourceModel r;
+  EXPECT_GE(r.EffectiveCores(), 1u);
+  r.cores = 3;
+  EXPECT_EQ(r.EffectiveCores(), 3u);
+}
+
+TEST(PlanTest, PartitionSizeScalesWithMemory) {
+  ResourceModel small;
+  small.memory_bytes_per_operator = 1 << 16;  // 64 KiB
+  ResourceModel large;
+  large.memory_bytes_per_operator = 1 << 24;  // 16 MiB
+  const PhysicalPlan ps = PlanPartialMerge(6, 100000, small);
+  const PhysicalPlan pl = PlanPartialMerge(6, 100000, large);
+  EXPECT_LT(ps.chunk_points, pl.chunk_points);
+  // 64 KiB / (6·8·4) = 341 points.
+  EXPECT_EQ(ps.chunk_points, (1u << 16) / (6 * 8 * 4));
+}
+
+TEST(PlanTest, CloneCountBoundedByChunks) {
+  ResourceModel r;
+  r.cores = 16;
+  r.memory_bytes_per_operator = 1 << 30;  // one huge chunk
+  const PhysicalPlan plan = PlanPartialMerge(6, 1000, r);
+  EXPECT_EQ(plan.partial_clones, 1u);  // only one chunk exists
+}
+
+TEST(PlanTest, ClonesUseAvailableCores) {
+  ResourceModel r;
+  r.cores = 8;
+  r.memory_bytes_per_operator = 1 << 14;  // many small chunks
+  const PhysicalPlan plan = PlanPartialMerge(6, 100000, r);
+  EXPECT_EQ(plan.partial_clones, 7u);  // cores − 1
+  EXPECT_GE(plan.queue_capacity, 2 * plan.partial_clones);
+}
+
+TEST(PlanTest, MinimumOnePointPartition) {
+  ResourceModel r;
+  r.memory_bytes_per_operator = 1;  // absurdly small budget
+  const PhysicalPlan plan = PlanPartialMerge(6, 100, r);
+  EXPECT_GE(plan.chunk_points, 1u);
+}
+
+class PlanRunTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("pmkm_plan_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(PlanRunTest, EndToEndOverFiles) {
+  Rng rng(1);
+  std::vector<std::string> paths;
+  for (int i = 0; i < 3; ++i) {
+    GridBucket bucket;
+    bucket.cell = GridCellId{i, i};
+    bucket.points = GenerateMisrLikeCell(400, &rng);
+    const std::string path =
+        (dir_ / (bucket.cell.ToString() + ".pmkb")).string();
+    ASSERT_TRUE(WriteGridBucket(path, bucket).ok());
+    paths.push_back(path);
+  }
+  KMeansConfig partial;
+  partial.k = 6;
+  partial.restarts = 2;
+  MergeKMeansConfig merge;
+  merge.k = 6;
+  ResourceModel resources;
+  resources.cores = 4;
+  resources.memory_bytes_per_operator = 6 * 8 * 4 * 100;  // 100-pt chunks
+
+  auto result = RunPartialMergeStream(paths, partial, merge, resources);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->plan.chunk_points, 100u);
+  EXPECT_EQ(result->cells.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    const auto& cell = result->cells.at(GridCellId{i, i});
+    EXPECT_EQ(cell.input_points, 400u);
+    EXPECT_EQ(cell.model.k(), 6u);
+  }
+  EXPECT_GT(result->wall_seconds, 0.0);
+}
+
+TEST_F(PlanRunTest, EmptyPathListRejected) {
+  KMeansConfig partial;
+  MergeKMeansConfig merge;
+  EXPECT_TRUE(RunPartialMergeStream({}, partial, merge, ResourceModel{})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(PlanRunTest, InMemoryVariantMatchesFileVariant) {
+  Rng rng(2);
+  GridBucket bucket;
+  bucket.cell = GridCellId{5, 5};
+  bucket.points = GenerateMisrLikeCell(600, &rng);
+  const std::string path = (dir_ / "x.pmkb").string();
+  ASSERT_TRUE(WriteGridBucket(path, bucket).ok());
+
+  KMeansConfig partial;
+  partial.k = 5;
+  partial.restarts = 2;
+  partial.seed = 9;
+  MergeKMeansConfig merge;
+  merge.k = 5;
+  ResourceModel resources;
+  resources.cores = 2;
+  resources.memory_bytes_per_operator = 6 * 8 * 4 * 150;
+
+  auto from_file =
+      RunPartialMergeStream({path}, partial, merge, resources);
+  auto in_memory = RunPartialMergeStreamInMemory({bucket}, partial, merge,
+                                                 resources, 150);
+  ASSERT_TRUE(from_file.ok() && in_memory.ok());
+  const auto& a = from_file->cells.at(bucket.cell);
+  const auto& b = in_memory->cells.at(bucket.cell);
+  EXPECT_EQ(a.model.centroids, b.model.centroids);
+  EXPECT_EQ(a.model.sse, b.model.sse);
+}
+
+TEST_F(PlanRunTest, InMemoryEmptyCellsRejected) {
+  KMeansConfig partial;
+  MergeKMeansConfig merge;
+  EXPECT_TRUE(RunPartialMergeStreamInMemory({}, partial, merge,
+                                            ResourceModel{})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace pmkm

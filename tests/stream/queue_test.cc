@@ -1,0 +1,152 @@
+#include "stream/queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace pmkm {
+namespace {
+
+TEST(QueueTest, FifoSingleThread) {
+  BoundedBlockingQueue<int> q(10);
+  q.AddProducer();
+  EXPECT_TRUE(q.Push(1));
+  EXPECT_TRUE(q.Push(2));
+  EXPECT_TRUE(q.Push(3));
+  q.CloseProducer();
+  EXPECT_EQ(q.Pop(), 1);
+  EXPECT_EQ(q.Pop(), 2);
+  EXPECT_EQ(q.Pop(), 3);
+  EXPECT_EQ(q.Pop(), std::nullopt);  // closed and drained
+}
+
+TEST(QueueTest, PopAfterCloseDrainsRemainder) {
+  BoundedBlockingQueue<int> q(4);
+  q.AddProducer();
+  q.Push(7);
+  q.CloseProducer();
+  EXPECT_EQ(q.Pop(), 7);
+  EXPECT_EQ(q.Pop(), std::nullopt);
+}
+
+TEST(QueueTest, BlockingPopWakesOnPush) {
+  BoundedBlockingQueue<int> q(2);
+  q.AddProducer();
+  std::optional<int> got;
+  std::thread consumer([&] { got = q.Pop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Push(42);
+  consumer.join();
+  EXPECT_EQ(got, 42);
+  q.CloseProducer();
+}
+
+TEST(QueueTest, BlockingPushWakesOnPop) {
+  BoundedBlockingQueue<int> q(1);
+  q.AddProducer();
+  ASSERT_TRUE(q.Push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    q.Push(2);  // blocks: queue full
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(q.Pop(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  q.CloseProducer();
+}
+
+TEST(QueueTest, MultiProducerCloseSemantics) {
+  BoundedBlockingQueue<int> q(100);
+  q.AddProducer();
+  q.AddProducer();
+  q.Push(1);
+  q.CloseProducer();
+  // One producer still open: queue not ended.
+  q.Push(2);
+  q.CloseProducer();
+  EXPECT_EQ(q.Pop(), 1);
+  EXPECT_EQ(q.Pop(), 2);
+  EXPECT_EQ(q.Pop(), std::nullopt);
+}
+
+TEST(QueueTest, CancelUnblocksEveryone) {
+  BoundedBlockingQueue<int> q(1);
+  q.AddProducer();
+  ASSERT_TRUE(q.Push(1));
+  std::atomic<int> results{0};
+  std::thread blocked_producer([&] {
+    if (!q.Push(2)) results.fetch_add(1);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Cancel();
+  blocked_producer.join();
+  EXPECT_EQ(results.load(), 1);
+  EXPECT_EQ(q.Pop(), std::nullopt);
+  EXPECT_FALSE(q.Push(3));
+  EXPECT_TRUE(q.cancelled());
+}
+
+TEST(QueueTest, MpmcStressAllItemsDeliveredExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 2500;
+  BoundedBlockingQueue<int> q(8);
+  for (int p = 0; p < kProducers; ++p) q.AddProducer();
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(p * kPerProducer + i));
+      }
+      q.CloseProducer();
+    });
+  }
+  std::mutex mu;
+  std::vector<int> consumed;
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      std::vector<int> local;
+      while (auto item = q.Pop()) local.push_back(*item);
+      std::lock_guard<std::mutex> lock(mu);
+      consumed.insert(consumed.end(), local.begin(), local.end());
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_EQ(consumed.size(),
+            static_cast<size_t>(kProducers * kPerProducer));
+  std::sort(consumed.begin(), consumed.end());
+  for (size_t i = 0; i < consumed.size(); ++i) {
+    EXPECT_EQ(consumed[i], static_cast<int>(i));
+  }
+}
+
+TEST(QueueTest, MoveOnlyItems) {
+  BoundedBlockingQueue<std::unique_ptr<int>> q(2);
+  q.AddProducer();
+  q.Push(std::make_unique<int>(5));
+  q.CloseProducer();
+  auto item = q.Pop();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(**item, 5);
+}
+
+TEST(QueueTest, SizeAndCapacity) {
+  BoundedBlockingQueue<int> q(3);
+  EXPECT_EQ(q.capacity(), 3u);
+  EXPECT_EQ(q.size(), 0u);
+  q.AddProducer();
+  q.Push(1);
+  q.Push(2);
+  EXPECT_EQ(q.size(), 2u);
+  q.CloseProducer();
+}
+
+}  // namespace
+}  // namespace pmkm

@@ -1,0 +1,130 @@
+// Smoke tests for the CLI tools: generate → cluster → inspect, driven as
+// real subprocesses (paths injected by CMake via compile definitions).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "cluster/serialize.h"
+#include "data/io.h"
+
+namespace pmkm {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ToolsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("pmkm_tools_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  int Run(const std::string& command) {
+    return std::system((command + " > /dev/null 2>&1").c_str());
+  }
+
+  std::string Dir(const std::string& sub) const {
+    return (dir_ / sub).string();
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(ToolsTest, GenerateCellsMode) {
+  ASSERT_EQ(Run(std::string(PMKM_TOOL_GENBUCKETS) + " --out=" +
+                Dir("b") + " --mode=cells --cells=3 --n=500"),
+            0);
+  size_t files = 0;
+  for (const auto& e : fs::directory_iterator(Dir("b"))) {
+    ++files;
+    auto bucket = ReadGridBucket(e.path().string());
+    ASSERT_TRUE(bucket.ok()) << bucket.status();
+    EXPECT_EQ(bucket->points.size(), 500u);
+    EXPECT_EQ(bucket->points.dim(), 6u);
+  }
+  EXPECT_EQ(files, 3u);
+}
+
+TEST_F(ToolsTest, GenerateSwathMode) {
+  ASSERT_EQ(Run(std::string(PMKM_TOOL_GENBUCKETS) + " --out=" +
+                Dir("s") +
+                " --mode=swath --orbits=1 --cell-degrees=30 "
+                "--min-cell-points=50"),
+            0);
+  size_t files = 0;
+  for (const auto& e : fs::directory_iterator(Dir("s"))) {
+    ++files;
+    auto bucket = ReadGridBucket(e.path().string());
+    ASSERT_TRUE(bucket.ok());
+    EXPECT_GE(bucket->points.size(), 50u);
+  }
+  EXPECT_GT(files, 0u);
+}
+
+TEST_F(ToolsTest, BadModeFails) {
+  EXPECT_NE(Run(std::string(PMKM_TOOL_GENBUCKETS) + " --out=" + Dir("x") +
+                " --mode=bogus"),
+            0);
+}
+
+TEST_F(ToolsTest, EndToEndClusterAndInspect) {
+  ASSERT_EQ(Run(std::string(PMKM_TOOL_GENBUCKETS) + " --out=" + Dir("b") +
+                " --mode=cells --cells=2 --n=800"),
+            0);
+  std::string buckets;
+  for (const auto& e : fs::directory_iterator(Dir("b"))) {
+    buckets += " " + e.path().string();
+  }
+  for (const std::string algo : {"pm", "serial", "stream"}) {
+    const std::string out = Dir("m_" + algo);
+    ASSERT_EQ(Run(std::string(PMKM_TOOL_CLUSTER) + " --algo=" + algo +
+                  " --k=8 --restarts=2 --splits=4 --out=" + out +
+                  buckets),
+              0)
+        << algo;
+    size_t models = 0;
+    for (const auto& e : fs::directory_iterator(out)) {
+      ++models;
+      auto model = LoadModel(e.path().string());
+      ASSERT_TRUE(model.ok()) << model.status();
+      EXPECT_LE(model->k(), 8u);
+      // Inspect must succeed on the model file too.
+      EXPECT_EQ(Run(std::string(PMKM_TOOL_INSPECT) + " " +
+                    e.path().string()),
+                0);
+    }
+    EXPECT_EQ(models, 2u) << algo;
+  }
+}
+
+TEST_F(ToolsTest, InspectBucket) {
+  ASSERT_EQ(Run(std::string(PMKM_TOOL_GENBUCKETS) + " --out=" + Dir("b") +
+                " --mode=cells --cells=1 --n=100"),
+            0);
+  for (const auto& e : fs::directory_iterator(Dir("b"))) {
+    EXPECT_EQ(
+        Run(std::string(PMKM_TOOL_INSPECT) + " " + e.path().string()), 0);
+  }
+}
+
+TEST_F(ToolsTest, InspectRejectsGarbage) {
+  const std::string path = Dir("garbage.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a pmkm file";
+  }
+  EXPECT_NE(Run(std::string(PMKM_TOOL_INSPECT) + " " + path), 0);
+}
+
+TEST_F(ToolsTest, ClusterWithoutInputsFails) {
+  EXPECT_NE(Run(std::string(PMKM_TOOL_CLUSTER) + " --k=4"), 0);
+}
+
+}  // namespace
+}  // namespace pmkm

@@ -1,0 +1,152 @@
+// pmkm_cluster — clusters grid-bucket files from the command line and
+// writes one model file per cell.
+//
+//   $ pmkm_cluster --algo=pm --k=40 --splits=10 --out=models \
+//         buckets/*.pmkb
+//
+// Algorithms: pm (partial/merge, default), serial, stream (full engine
+// with resource-driven planning).
+
+#include <filesystem>
+#include <iostream>
+
+#include "cluster/metrics.h"
+#include "cluster/partial_merge.h"
+#include "cluster/serialize.h"
+#include "common/flags.h"
+#include "common/stopwatch.h"
+#include "data/csv.h"
+#include "stream/explain.h"
+#include "stream/plan.h"
+
+namespace {
+
+int Fail(const pmkm::Status& st) {
+  std::cerr << st << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string algo = "pm";
+  std::string out = "models";
+  int64_t k = 40;
+  int64_t splits = 10;
+  int64_t restarts = 10;
+  int64_t memory_kib = 512;
+  bool quiet = false;
+  bool explain = false;
+  std::string csv_dir;
+  pmkm::FlagParser parser;
+  parser.AddString("algo", &algo, "pm | serial | stream")
+      .AddString("out", &out, "output directory for .pmkm model files")
+      .AddString("csv-dir", &csv_dir,
+                 "also export centroids+weights as CSV here (optional)")
+      .AddInt("k", &k, "clusters per cell")
+      .AddInt("splits", &splits, "pm: partitions per cell")
+      .AddInt("restarts", &restarts, "random seed sets R")
+      .AddInt("memory-kib", &memory_kib,
+              "stream: per-operator memory budget")
+      .AddBool("explain", &explain,
+               "stream: print the physical plan before running")
+      .AddBool("quiet", &quiet, "suppress the per-cell report");
+  const pmkm::Status st = parser.Parse(argc, argv);
+  if (st.IsCancelled()) return 0;
+  if (!st.ok()) return Fail(st);
+  if (parser.positional().empty()) {
+    std::cerr << "usage: " << argv[0]
+              << " [flags] bucket.pmkb [bucket2.pmkb ...]\n"
+              << parser.Usage(argv[0]);
+    return 1;
+  }
+  std::filesystem::create_directories(out);
+
+  auto report = [&](const pmkm::GridCellId& cell, size_t points,
+                    const pmkm::ClusteringModel& model, double ms) {
+    if (quiet) return;
+    std::cout << cell.ToString() << ": " << points << " pts -> k="
+              << model.k() << ", E=" << model.sse << ", " << ms
+              << " ms\n";
+  };
+  auto save = [&](const pmkm::GridCellId& cell,
+                  const pmkm::ClusteringModel& model) -> pmkm::Status {
+    PMKM_RETURN_NOT_OK(
+        pmkm::SaveModel(out + "/" + cell.ToString() + ".pmkm", model));
+    if (!csv_dir.empty()) {
+      std::filesystem::create_directories(csv_dir);
+      PMKM_RETURN_NOT_OK(pmkm::WriteWeightedCsv(
+          csv_dir + "/" + cell.ToString() + ".csv", model.ToWeighted()));
+    }
+    return pmkm::Status::OK();
+  };
+
+  if (algo == "stream") {
+    pmkm::KMeansConfig partial;
+    partial.k = static_cast<size_t>(k);
+    partial.restarts = static_cast<size_t>(restarts);
+    pmkm::MergeKMeansConfig merge;
+    merge.k = static_cast<size_t>(k);
+    pmkm::ResourceModel resources;
+    resources.memory_bytes_per_operator =
+        static_cast<size_t>(memory_kib) << 10;
+    if (explain) {
+      auto probe =
+          pmkm::GridBucketReader::Open(parser.positional().front());
+      if (!probe.ok()) return Fail(probe.status());
+      const pmkm::PhysicalPlan plan = pmkm::PlanPartialMerge(
+          probe->dim(), probe->total_points(), resources);
+      std::cout << pmkm::ExplainPartialMergePlan(
+          parser.positional().size(),
+          probe->total_points() * parser.positional().size(),
+          probe->dim(), partial, merge, plan);
+    }
+    auto run = pmkm::RunPartialMergeStream(parser.positional(), partial,
+                                           merge, resources);
+    if (!run.ok()) return Fail(run.status());
+    for (const auto& [id, cell] : run->cells) {
+      const pmkm::Status ss = save(id, cell.model);
+      if (!ss.ok()) return Fail(ss);
+      report(id, cell.input_points, cell.model,
+             run->wall_seconds * 1e3 /
+                 static_cast<double>(run->cells.size()));
+    }
+    std::cout << run->cells.size() << " cell(s) clustered via "
+              << run->plan.partial_clones << " partial clone(s), chunk="
+              << run->plan.chunk_points << " pts, "
+              << run->wall_seconds << " s total\n";
+    return 0;
+  }
+
+  for (const std::string& path : parser.positional()) {
+    auto bucket = pmkm::ReadGridBucket(path);
+    if (!bucket.ok()) return Fail(bucket.status());
+    const pmkm::Stopwatch watch;
+    pmkm::ClusteringModel model;
+    if (algo == "serial") {
+      pmkm::KMeansConfig config;
+      config.k = static_cast<size_t>(k);
+      config.restarts = static_cast<size_t>(restarts);
+      auto fitted = pmkm::KMeans(config).Fit(bucket->points);
+      if (!fitted.ok()) return Fail(fitted.status());
+      model = std::move(fitted).value();
+    } else if (algo == "pm") {
+      pmkm::PartialMergeConfig config;
+      config.partial.k = static_cast<size_t>(k);
+      config.partial.restarts = static_cast<size_t>(restarts);
+      config.num_partitions = static_cast<size_t>(splits);
+      auto result = pmkm::PartialMergeKMeans(config).Run(bucket->points);
+      if (!result.ok()) return Fail(result.status());
+      model = std::move(result->model);
+    } else {
+      std::cerr << "unknown --algo=" << algo
+                << " (use pm|serial|stream)\n";
+      return 1;
+    }
+    const double ms = watch.ElapsedMillis();
+    const pmkm::Status ss = save(bucket->cell, model);
+    if (!ss.ok()) return Fail(ss);
+    report(bucket->cell, bucket->points.size(), model, ms);
+  }
+  return 0;
+}

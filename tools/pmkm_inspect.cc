@@ -1,0 +1,110 @@
+// pmkm_inspect — prints a human-readable summary of pmkm binary files:
+// grid buckets (.pmkb) and clustering models (.pmkm). The file type is
+// sniffed from the magic, not the extension.
+//
+//   $ pmkm_inspect buckets/cell_10_20.pmkb models/cell_10_20.pmkm
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <numeric>
+
+#include "cluster/serialize.h"
+#include "common/flags.h"
+#include "data/io.h"
+#include "data/stats.h"
+
+namespace {
+
+int InspectBucket(const std::string& path) {
+  auto bucket = pmkm::ReadGridBucket(path);
+  if (!bucket.ok()) {
+    std::cerr << bucket.status() << "\n";
+    return 1;
+  }
+  const pmkm::Dataset& points = bucket->points;
+  std::cout << path << ": grid bucket\n"
+            << "  cell : " << bucket->cell.ToString() << "\n";
+  if (points.empty()) {
+    std::cout << "  empty (0 points, dim " << points.dim() << ")\n";
+    return 0;
+  }
+  auto profile = pmkm::ProfileDataset(points);
+  if (!profile.ok()) {
+    std::cerr << profile.status() << "\n";
+    return 1;
+  }
+  std::cout << "  " << profile->ToString();
+  return 0;
+}
+
+int InspectModel(const std::string& path) {
+  auto model = pmkm::LoadModel(path);
+  if (!model.ok()) {
+    std::cerr << model.status() << "\n";
+    return 1;
+  }
+  const double mass =
+      std::accumulate(model->weights.begin(), model->weights.end(), 0.0);
+  std::cout << path << ": clustering model\n"
+            << "  k          : " << model->k() << " x " << model->dim()
+            << "\n"
+            << "  weight     : " << mass << "\n"
+            << "  E (sse)    : " << model->sse << "\n"
+            << "  E / weight : " << model->mse_per_point << "\n"
+            << "  iterations : " << model->iterations
+            << (model->converged ? " (converged)" : " (cap hit)") << "\n"
+            << "  assignments: "
+            << (model->assignments.empty()
+                    ? std::string("none")
+                    : std::to_string(model->assignments.size()))
+            << "\n";
+  std::vector<size_t> order(model->k());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return model->weights[a] > model->weights[b];
+  });
+  std::cout << "  heaviest   :\n";
+  for (size_t i = 0; i < std::min<size_t>(3, order.size()); ++i) {
+    const size_t j = order[i];
+    std::printf("    #%-3zu w=%-10.1f [", j, model->weights[j]);
+    for (size_t d = 0; d < model->dim(); ++d) {
+      std::printf("%s%.2f", d > 0 ? ", " : "", model->centroids(j, d));
+    }
+    std::printf("]\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pmkm::FlagParser parser;
+  const pmkm::Status st = parser.Parse(argc, argv);
+  if (st.IsCancelled()) return 0;
+  if (!st.ok() || parser.positional().empty()) {
+    std::cerr << "usage: " << argv[0] << " file.pmkb|file.pmkm ...\n";
+    return 1;
+  }
+  int rc = 0;
+  for (const std::string& path : parser.positional()) {
+    std::ifstream in(path, std::ios::binary);
+    uint32_t magic = 0;
+    in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+    if (!in) {
+      std::cerr << path << ": unreadable or too short\n";
+      rc = 1;
+      continue;
+    }
+    if (magic == 0x424b4d50) {  // "PMKB"
+      rc |= InspectBucket(path);
+    } else if (magic == 0x4d4b4d50) {  // "PMKM"
+      rc |= InspectModel(path);
+    } else {
+      std::cerr << path << ": unknown file magic\n";
+      rc = 1;
+    }
+  }
+  return rc;
+}
