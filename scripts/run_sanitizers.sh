@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Builds and runs the tier-1 test suite under sanitizers:
+#   build-asan/  AddressSanitizer + UndefinedBehaviorSanitizer
+#   build-tsan/  ThreadSanitizer (the stream executor is thread-heavy)
+#
+# Usage: scripts/run_sanitizers.sh [asan|tsan]   (default: both)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_suite() {
+  local name="$1" sanitize="$2"
+  local dir="build-${name}"
+  echo "==> configuring ${dir} (PMKM_SANITIZE=${sanitize})"
+  cmake -B "${dir}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPMKM_SANITIZE="${sanitize}" \
+    -DPMKM_BUILD_BENCHMARKS=OFF \
+    -DPMKM_BUILD_EXAMPLES=OFF
+  echo "==> building ${dir}"
+  cmake --build "${dir}" -j "$(nproc)"
+  echo "==> testing ${dir}"
+  ctest --test-dir "${dir}" --output-on-failure -j "$(nproc)"
+}
+
+which="${1:-all}"
+case "${which}" in
+  asan) run_suite asan "address,undefined" ;;
+  tsan) run_suite tsan "thread" ;;
+  all)
+    run_suite asan "address,undefined"
+    run_suite tsan "thread"
+    ;;
+  *)
+    echo "usage: $0 [asan|tsan]" >&2
+    exit 2
+    ;;
+esac
+
+echo "==> all sanitizer suites passed"

@@ -4,11 +4,10 @@
 #ifndef PMKM_COMMON_RESULT_H_
 #define PMKM_COMMON_RESULT_H_
 
-#include <cstdlib>
-#include <iostream>
 #include <utility>
 #include <variant>
 
+#include "common/logging.h"
 #include "common/status.h"
 
 namespace pmkm {
@@ -33,6 +32,15 @@ class Result {
 
   Status status() const {
     return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// The error of a failed Result; must not be called on an OK Result
+  /// (CHECK-fails with context).
+  const Status& error() const {
+    if (ok()) {
+      PMKM_LOG(Fatal) << "Result::error() called on an OK Result";
+    }
+    return std::get<Status>(repr_);
   }
 
   /// Value accessors; must not be called on a failed Result (aborts).
@@ -60,9 +68,10 @@ class Result {
  private:
   void DieIfError() const {
     if (!ok()) {
-      std::cerr << "Result accessed with error: "
-                << std::get<Status>(repr_).ToString() << std::endl;
-      std::abort();
+      // CHECK-style fatal log: carries the status message and the
+      // file/line of this frame instead of a bare abort.
+      PMKM_LOG(Fatal) << "Result accessed with error: "
+                      << std::get<Status>(repr_).ToString();
     }
   }
 

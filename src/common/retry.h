@@ -1,0 +1,108 @@
+// Retry with exponential backoff: the library-wide policy for absorbing
+// transient failures (flaky I/O, injected faults) instead of aborting a
+// multi-hour streaming run.
+//
+// Backoff jitter is drawn from a deterministically seeded Rng so a retried
+// run is exactly reproducible: identical policy + seed tag => identical
+// backoff sequence. Tests set initial_backoff_ms = 0 to retry without
+// sleeping.
+
+#ifndef PMKM_COMMON_RETRY_H_
+#define PMKM_COMMON_RETRY_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace pmkm {
+
+/// True for the status codes worth retrying by default: transient I/O
+/// failures and deadline misses. Invalid arguments, internal invariant
+/// violations and cancellations are never transient.
+bool IsRetryableStatus(const Status& status);
+
+/// Tunable retry behavior. All durations in milliseconds.
+struct RetryPolicy {
+  /// Total attempts including the first one (>= 1). 1 = no retries.
+  size_t max_attempts = 3;
+
+  /// Backoff before retry r (1-based) is
+  ///   min(initial_backoff_ms * multiplier^(r-1), max_backoff_ms)
+  /// scaled by a jitter factor drawn uniformly from [1-jitter, 1+jitter].
+  uint64_t initial_backoff_ms = 10;
+  double backoff_multiplier = 2.0;
+  uint64_t max_backoff_ms = 2000;
+  double jitter = 0.25;
+
+  /// Overall deadline across all attempts and backoffs; 0 = unbounded.
+  uint64_t overall_deadline_ms = 0;
+
+  /// Seed for the jitter Rng (combined with the per-call seed tag).
+  uint64_t seed = 0x7e57ab1eULL;
+
+  /// Which failures to retry; null = IsRetryableStatus.
+  bool (*retryable)(const Status&) = nullptr;
+};
+
+/// Tracks one retry loop: attempt count, elapsed time, jittered backoff.
+class Retrier {
+ public:
+  /// `seed_tag` decorrelates jitter across call sites sharing a policy.
+  explicit Retrier(const RetryPolicy& policy, uint64_t seed_tag = 0);
+
+  /// Called after a failed attempt. If the failure is retryable and budget
+  /// (attempts + deadline) remains, sleeps the backoff and returns true;
+  /// otherwise returns false and the caller should give up.
+  bool AllowRetry(const Status& status);
+
+  /// Retries granted so far (== failed attempts absorbed).
+  size_t retries() const { return retries_; }
+
+  /// Like AllowRetry but records the backoff into `delays_ms` instead of
+  /// sleeping — lets tests verify the jittered sequence without waiting.
+  bool AllowRetryForTest(const Status& status,
+                         std::vector<uint64_t>* delays_ms);
+
+ private:
+  bool AllowRetryImpl(const Status& status,
+                      std::vector<uint64_t>* delays_ms);
+  uint64_t NextBackoffMs();
+
+  RetryPolicy policy_;
+  Rng rng_;
+  size_t retries_ = 0;
+  int64_t deadline_us_ = 0;  // absolute, 0 = none
+};
+
+namespace internal {
+inline const Status& AsStatus(const Status& s) { return s; }
+template <typename T>
+inline Status AsStatus(const Result<T>& r) {
+  return r.status();
+}
+}  // namespace internal
+
+/// Invokes `fn` (returning Status or Result<T>) until it succeeds, the
+/// policy's budget is exhausted, or a non-retryable failure occurs. Returns
+/// the last outcome. `retries_used`, if non-null, receives the number of
+/// retries consumed.
+template <typename Fn>
+auto RetryCall(const RetryPolicy& policy, uint64_t seed_tag, Fn&& fn,
+               size_t* retries_used = nullptr) -> decltype(fn()) {
+  Retrier retrier(policy, seed_tag);
+  for (;;) {
+    auto outcome = fn();
+    if (outcome.ok() || !retrier.AllowRetry(internal::AsStatus(outcome))) {
+      if (retries_used != nullptr) *retries_used = retrier.retries();
+      return outcome;
+    }
+  }
+}
+
+}  // namespace pmkm
+
+#endif  // PMKM_COMMON_RETRY_H_

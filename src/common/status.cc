@@ -24,6 +24,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "internal error";
     case StatusCode::kNotImplemented:
       return "not implemented";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline exceeded";
   }
   return "unknown";
 }

@@ -28,6 +28,7 @@ enum class StatusCode : int {
   kCancelled = 7,
   kInternal = 8,
   kNotImplemented = 9,
+  kDeadlineExceeded = 10,
 };
 
 /// Returns a stable lowercase name for a status code ("invalid argument").
@@ -73,6 +74,9 @@ class Status {
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
 
@@ -102,6 +106,9 @@ class Status {
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsNotImplemented() const {
     return code() == StatusCode::kNotImplemented;
+  }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
   }
 
   /// "OK" or "<code name>: <message>".

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <filesystem>
 
+#include "common/fault.h"
+
 namespace pmkm {
 namespace internal {
 
@@ -34,11 +36,28 @@ struct Header {
 };
 static_assert(sizeof(Header) == 32, "header layout is part of the format");
 
+// Crash-safe publication: data is staged in a `<path>.tmp` sibling and
+// renamed into place only once complete, so a killed process never leaves
+// a half-written bucket at the destination path.
+std::string TmpPath(const std::string& path) { return path + ".tmp"; }
+
+Status CommitTmp(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::rename(TmpPath(path), path, ec);
+  if (ec) {
+    return Status::IOError("cannot rename into place: " + path + " (" +
+                           ec.message() + ")");
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Status WriteGridBucket(const std::string& path, const GridBucket& bucket) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot open for writing: " + path);
+  PMKM_RETURN_NOT_OK(FaultRegistry::Global().Hit("io.write"));
+  const std::string tmp = TmpPath(path);
+  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + tmp);
 
   Header h{};
   h.magic = kMagic;
@@ -59,8 +78,9 @@ Status WriteGridBucket(const std::string& path, const GridBucket& bucket) {
       internal::Fnv1a64(values.data(), bytes, internal::kFnvOffset);
   out.write(reinterpret_cast<const char*>(&hash), sizeof(hash));
   out.flush();
-  if (!out) return Status::IOError("short write: " + path);
-  return Status::OK();
+  out.close();
+  if (!out) return Status::IOError("short write: " + tmp);
+  return CommitTmp(path);
 }
 
 Result<GridBucket> ReadGridBucket(const std::string& path) {
@@ -104,9 +124,13 @@ Result<GridBucketWriter> GridBucketWriter::Open(const std::string& path,
   if (dim == 0) {
     return Status::InvalidArgument("dimensionality must be >= 1");
   }
+  // Stage in <path>.tmp; Close() renames into place. An unclosed (crashed)
+  // writer leaves no file at the destination path at all.
   auto out = std::make_shared<std::ofstream>(
-      path, std::ios::binary | std::ios::trunc);
-  if (!*out) return Status::IOError("cannot open for writing: " + path);
+      TmpPath(path), std::ios::binary | std::ios::trunc);
+  if (!*out) {
+    return Status::IOError("cannot open for writing: " + TmpPath(path));
+  }
 
   Header h{};
   h.magic = kMagic;
@@ -157,6 +181,7 @@ Status GridBucketWriter::Close() {
   if (out_ == nullptr) {
     return Status::FailedPrecondition("writer already closed");
   }
+  PMKM_RETURN_NOT_OK(FaultRegistry::Global().Hit("io.write"));
   out_->write(reinterpret_cast<const char*>(&running_hash_),
               sizeof(running_hash_));
   // Back-patch the point count in the header.
@@ -164,13 +189,16 @@ Status GridBucketWriter::Close() {
   out_->seekp(offsetof(Header, count), std::ios::beg);
   out_->write(reinterpret_cast<const char*>(&count), sizeof(count));
   out_->flush();
+  out_->close();
   const bool ok = static_cast<bool>(*out_);
   out_.reset();
   if (!ok) return Status::IOError("failed to finalize: " + path_);
-  return Status::OK();
+  // Atomically publish the finished file.
+  return CommitTmp(path_);
 }
 
 Result<GridBucketReader> GridBucketReader::Open(const std::string& path) {
+  PMKM_FAULT_POINT("io.read");
   auto in = std::make_shared<std::ifstream>(path, std::ios::binary);
   if (!*in) return Status::IOError("cannot open for reading: " + path);
 
@@ -201,6 +229,7 @@ Result<bool> GridBucketReader::Next(size_t max_points, Dataset* out) {
   if (max_points == 0) {
     return Status::InvalidArgument("max_points must be > 0");
   }
+  PMKM_FAULT_POINT("io.read");
   *out = Dataset(dim_);
   if (points_read_ >= total_points_) {
     // Verify trailer checksum exactly once, on first end-of-stream call.

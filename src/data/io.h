@@ -30,8 +30,9 @@ struct GridBucket {
   Dataset points{1};
 };
 
-/// Writes a complete bucket file (atomically via rename is not needed for
-/// the experiment harnesses; the write is a single pass).
+/// Writes a complete bucket file crash-safely: the bytes are staged in a
+/// `<path>.tmp` sibling and renamed into place once complete, so a killed
+/// process never leaves a half-written bucket at `path`.
 Status WriteGridBucket(const std::string& path, const GridBucket& bucket);
 
 /// Reads a complete bucket file, verifying magic, version and checksum.
@@ -47,7 +48,8 @@ Result<std::vector<std::string>> WriteGridBuckets(const std::string& dir,
 /// count field is back-patched and the checksum appended on Close().
 class GridBucketWriter {
  public:
-  /// Creates/truncates the file and writes a provisional header.
+  /// Creates/truncates the `<path>.tmp` staging file and writes a
+  /// provisional header; Close() publishes it to `path` via rename.
   static Result<GridBucketWriter> Open(const std::string& path,
                                        GridCellId cell, size_t dim);
 
@@ -63,9 +65,10 @@ class GridBucketWriter {
   /// Appends a whole dataset.
   Status AppendAll(const Dataset& points);
 
-  /// Finalizes the file: patches the count, writes the checksum. The
-  /// writer is unusable afterwards. Files of unclosed writers fail
-  /// validation on read (count mismatch / missing checksum) by design.
+  /// Finalizes the file: patches the count, writes the checksum, and
+  /// atomically renames the `<path>.tmp` staging file into place. The
+  /// writer is unusable afterwards. An unclosed writer never publishes a
+  /// file at the destination path (only the .tmp staging file remains).
   Status Close();
 
  private:

@@ -4,6 +4,7 @@
 #define PMKM_STREAM_MESSAGE_H_
 
 #include <cstdint>
+#include <string>
 
 #include "data/dataset.h"
 #include "data/grid.h"
@@ -18,6 +19,11 @@ struct PointChunk {
   uint32_t partition_id = 0;
   uint32_t total_partitions = 1;
   Dataset points{1};
+
+  /// Quarantine marker: the cell's data could not be (fully) produced and
+  /// the whole cell must be discarded downstream. Carries no points.
+  bool dropped = false;
+  std::string drop_reason;
 };
 
 /// One partial-k-means output: the weighted centroids of one partition.
@@ -29,6 +35,11 @@ struct CentroidMessage {
   double partial_sse = 0.0;
   size_t partial_iterations = 0;
   size_t input_points = 0;
+
+  /// Quarantine marker forwarded/originated by a partial operator: the
+  /// merge operator discards the cell and records it as skipped.
+  bool dropped = false;
+  std::string drop_reason;
 };
 
 }  // namespace pmkm

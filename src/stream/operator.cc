@@ -1,15 +1,49 @@
 #include "stream/operator.h"
 
-#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <mutex>
 #include <thread>
 
+#include "common/logging.h"
+
 namespace pmkm {
 
-Status Executor::Run() {
+const char* FailurePolicyToString(FailurePolicy policy) {
+  switch (policy) {
+    case FailurePolicy::kFailFast:
+      return "failfast";
+    case FailurePolicy::kRetryOperator:
+      return "retry";
+    case FailurePolicy::kSkipAndContinue:
+      return "skip";
+  }
+  return "unknown";
+}
+
+Result<FailurePolicy> ParseFailurePolicy(const std::string& name) {
+  if (name == "failfast" || name == "fail_fast") {
+    return FailurePolicy::kFailFast;
+  }
+  if (name == "retry") return FailurePolicy::kRetryOperator;
+  if (name == "skip") return FailurePolicy::kSkipAndContinue;
+  return Status::InvalidArgument("unknown failure policy '" + name +
+                                 "' (use failfast|retry|skip)");
+}
+
+Status Executor::Run(const ExecutorOptions& options) {
+  report_ = ExecutorReport{};
+  report_.operators.resize(ops_.size());
+  if (ops_.empty()) return Status::OK();
+
   std::mutex mu;
   Status first_error;
   std::atomic<bool> failed{false};
+  std::atomic<bool> degraded{false};
+  std::atomic<size_t> running{ops_.size()};
+  std::vector<std::atomic<bool>> done(ops_.size());
+  std::mutex wake_mu;
+  std::condition_variable wake_cv;
 
   auto on_error = [&](const Status& st) {
     bool expected = false;
@@ -24,13 +58,117 @@ Status Executor::Run() {
 
   std::vector<std::thread> threads;
   threads.reserve(ops_.size());
-  for (auto& op : ops_) {
-    threads.emplace_back([&, raw = op.get()] {
-      const Status st = raw->Run();
-      if (!st.ok()) on_error(st);
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    threads.emplace_back([&, i] {
+      Operator* op = ops_[i].get();
+      OperatorOutcome& outcome = report_.operators[i];
+      outcome.name = op->name();
+      Status st;
+      size_t restarts = 0;
+      for (;;) {
+        st = op->Run();
+        if (st.ok() || st.IsCancelled() ||
+            failed.load(std::memory_order_acquire)) {
+          break;
+        }
+        if (op->failure_policy() == FailurePolicy::kRetryOperator &&
+            op->SupportsRestart() && restarts < options.max_retries) {
+          const Status rs = op->PrepareRestart();
+          if (rs.ok()) {
+            ++restarts;
+            PMKM_LOG(Warning)
+                << "restarting operator '" << op->name() << "' (attempt "
+                << restarts + 1 << ") after: " << st;
+            continue;
+          }
+          st = rs;
+        }
+        break;
+      }
+      op->Finish();
+      outcome.status = st;
+      outcome.restarts = restarts;
+      if (!st.ok()) {
+        const bool torn_down =
+            st.IsCancelled() && failed.load(std::memory_order_acquire);
+        if (!torn_down) {
+          if (!st.IsCancelled() &&
+              op->failure_policy() == FailurePolicy::kSkipAndContinue) {
+            // Tolerated: the operator closed out cleanly (Finish above),
+            // so downstream still observes an exact end-of-stream.
+            outcome.skipped = true;
+            degraded.store(true, std::memory_order_relaxed);
+            PMKM_LOG(Warning) << "operator '" << op->name()
+                              << "' skipped after failure: " << st;
+          } else {
+            on_error(st);
+          }
+        }
+      }
+      done[i].store(true, std::memory_order_release);
+      if (running.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(wake_mu);
+        wake_cv.notify_all();
+      }
     });
   }
+
+  std::thread watchdog;
+  if (options.op_timeout_ms > 0) {
+    watchdog = std::thread([&] {
+      using Clock = std::chrono::steady_clock;
+      const auto poll = std::chrono::milliseconds(
+          options.watchdog_poll_ms == 0 ? 10 : options.watchdog_poll_ms);
+      const auto timeout =
+          std::chrono::milliseconds(options.op_timeout_ms);
+      uint64_t last_sum = 0;
+      for (auto& op : ops_) last_sum += op->progress();
+      auto last_change = Clock::now();
+      std::unique_lock<std::mutex> lock(wake_mu);
+      for (;;) {
+        wake_cv.wait_for(lock, poll);
+        if (running.load(std::memory_order_acquire) == 0 ||
+            failed.load(std::memory_order_acquire)) {
+          return;
+        }
+        uint64_t sum = 0;
+        for (auto& op : ops_) sum += op->progress();
+        const auto now = Clock::now();
+        if (sum != last_sum) {
+          last_sum = sum;
+          last_change = now;
+          continue;
+        }
+        if (now - last_change < timeout) continue;
+        std::string stalled;
+        for (size_t i = 0; i < ops_.size(); ++i) {
+          if (done[i].load(std::memory_order_acquire)) continue;
+          if (!stalled.empty()) stalled += ", ";
+          stalled += ops_[i]->name();
+        }
+        report_.stalled_operators = stalled;
+        on_error(Status::DeadlineExceeded(
+            "watchdog: no pipeline progress for " +
+            std::to_string(options.op_timeout_ms) +
+            " ms; stalled operator(s): " + stalled));
+        return;
+      }
+    });
+  }
+
   for (auto& t : threads) t.join();
+  if (watchdog.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(wake_mu);
+      wake_cv.notify_all();
+    }
+    watchdog.join();
+  }
+
+  for (const OperatorOutcome& outcome : report_.operators) {
+    report_.total_restarts += outcome.restarts;
+  }
+  report_.degraded = degraded.load(std::memory_order_relaxed);
 
   std::lock_guard<std::mutex> lock(mu);
   return first_error;

@@ -5,17 +5,45 @@
 // stream operators process data in a pipelined fashion). Cloning an
 // operator = adding another instance that shares the same input and output
 // queues; the queues' producer counting makes end-of-stream exact.
+//
+// Supervision: every operator carries a FailurePolicy, ticks a progress
+// counter as it moves data, and may opt into being restarted after a
+// failure. The executor runs a watchdog that aborts the pipeline with a
+// descriptive deadline error when no operator makes progress for a
+// configurable timeout (a stalled operator would otherwise hang a
+// TB-scale run forever).
 
 #ifndef PMKM_STREAM_OPERATOR_H_
 #define PMKM_STREAM_OPERATOR_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/result.h"
 #include "common/status.h"
 
 namespace pmkm {
+
+/// What the pipeline does when an operator (or one of its work items)
+/// fails.
+enum class FailurePolicy {
+  /// Abort the whole pipeline on the first error (legacy behavior).
+  kFailFast,
+  /// Retry: operators retry failed work items with backoff, and the
+  /// executor restarts restartable operators from their last completed
+  /// unit (scan: last completed bucket).
+  kRetryOperator,
+  /// Degrade gracefully: quarantine the failing bucket/cell, record it in
+  /// the run report, and keep clustering everything healthy.
+  kSkipAndContinue,
+};
+
+const char* FailurePolicyToString(FailurePolicy policy);
+
+/// Parses "failfast" | "retry" | "skip" (case-sensitive).
+Result<FailurePolicy> ParseFailurePolicy(const std::string& name);
 
 /// One physical operator instance. Run() executes the whole operator on
 /// the executor's thread; Abort() must unblock a Run() in progress (cancel
@@ -33,8 +61,71 @@ class Operator {
   virtual Status Run() = 0;
   virtual void Abort() = 0;
 
+  /// Restart support for kRetryOperator: a restartable operator keeps its
+  /// resume state across Run() calls (and must keep its output producer
+  /// registration open when Run() fails under kRetryOperator, so
+  /// downstream operators do not observe a premature end-of-stream).
+  virtual bool SupportsRestart() const { return false; }
+
+  /// Prepares a restartable operator for the next Run() attempt.
+  virtual Status PrepareRestart() {
+    return Status::NotImplemented("operator '" + name_ +
+                                  "' is not restartable");
+  }
+
+  /// Called by the executor exactly once after the final Run() attempt
+  /// (successful or not). Operators that may defer closing their output
+  /// producers across restarts close them here; default is a no-op.
+  virtual void Finish() {}
+
+  FailurePolicy failure_policy() const { return failure_policy_; }
+  void set_failure_policy(FailurePolicy policy) { failure_policy_ = policy; }
+
+  /// Monotonic count of completed work units; the executor's watchdog
+  /// declares the pipeline stalled when the sum over all operators stops
+  /// advancing.
+  uint64_t progress() const {
+    return progress_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  void TickProgress() { progress_.fetch_add(1, std::memory_order_relaxed); }
+
  private:
   std::string name_;
+  FailurePolicy failure_policy_ = FailurePolicy::kFailFast;
+  std::atomic<uint64_t> progress_{0};
+};
+
+/// Supervision knobs for one Executor::Run.
+struct ExecutorOptions {
+  /// Executor-level restarts granted per operator under kRetryOperator
+  /// (operators must also SupportsRestart()).
+  size_t max_retries = 0;
+
+  /// Watchdog: abort when the pipeline-wide progress sum is unchanged for
+  /// this long. 0 disables the watchdog. Must exceed the longest single
+  /// compute step of any operator (e.g. one merge k-means fit).
+  uint64_t op_timeout_ms = 0;
+
+  /// Watchdog sampling interval.
+  uint64_t watchdog_poll_ms = 10;
+};
+
+/// Per-operator outcome of a supervised run.
+struct OperatorOutcome {
+  std::string name;
+  Status status;
+  size_t restarts = 0;
+  bool skipped = false;  // failed but tolerated under kSkipAndContinue
+};
+
+/// What the supervision layer observed during Executor::Run.
+struct ExecutorReport {
+  std::vector<OperatorOutcome> operators;
+  size_t total_restarts = 0;
+  bool degraded = false;           // some operator was skipped
+  std::string stalled_operators;   // set when the watchdog fired
 };
 
 /// Runs a set of operator instances to completion, one thread each.
@@ -47,10 +138,21 @@ class Executor {
 
   /// Executes every operator concurrently and joins them. If any operator
   /// fails, all operators are aborted and the first error is returned.
-  Status Run();
+  Status Run() { return Run(ExecutorOptions{}); }
+
+  /// Supervised execution: restarts restartable kRetryOperator operators
+  /// up to `options.max_retries` times, tolerates kSkipAndContinue
+  /// operator failures (recording them in report()), and aborts the
+  /// pipeline with a DeadlineExceeded error when the watchdog detects no
+  /// progress for `options.op_timeout_ms`.
+  Status Run(const ExecutorOptions& options);
+
+  /// Supervision outcome of the last Run().
+  const ExecutorReport& report() const { return report_; }
 
  private:
   std::vector<std::unique_ptr<Operator>> ops_;
+  ExecutorReport report_;
 };
 
 }  // namespace pmkm

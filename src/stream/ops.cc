@@ -1,5 +1,11 @@
 #include "stream/ops.h"
 
+#include <chrono>
+#include <functional>
+#include <thread>
+
+#include "common/fault.h"
+#include "common/logging.h"
 #include "common/stopwatch.h"
 
 namespace pmkm {
@@ -19,45 +25,116 @@ uint32_t NumChunks(size_t total, size_t chunk_points) {
 
 ScanOperator::ScanOperator(std::vector<std::string> paths,
                            size_t chunk_points,
-                           std::shared_ptr<PointChunkQueue> out)
+                           std::shared_ptr<PointChunkQueue> out,
+                           RetryPolicy retry)
     : Operator("scan"),
       paths_(std::move(paths)),
       chunk_points_(chunk_points),
-      out_(std::move(out)) {
+      out_(std::move(out)),
+      retry_(retry) {
   PMKM_CHECK(chunk_points_ > 0);
   PMKM_CHECK(out_ != nullptr);
   out_->AddProducer();
 }
 
-Status ScanOperator::Run() {
-  // CloseProducer exactly once, on every exit path.
-  struct Closer {
-    PointChunkQueue* q;
-    ~Closer() { q->CloseProducer(); }
-  } closer{out_.get()};
-
-  for (const std::string& path : paths_) {
-    PMKM_ASSIGN_OR_RETURN(GridBucketReader reader,
-                          GridBucketReader::Open(path));
-    const uint32_t total =
-        NumChunks(reader.total_points(), chunk_points_);
-    uint32_t id = 0;
-    Dataset chunk(reader.dim());
-    for (;;) {
-      PMKM_ASSIGN_OR_RETURN(bool more, reader.Next(chunk_points_, &chunk));
-      if (!more) break;
-      PointChunk msg;
-      msg.cell = reader.cell();
-      msg.partition_id = id++;
-      msg.total_partitions = total;
-      msg.points = std::move(chunk);
-      chunk = Dataset(reader.dim());
-      if (!out_->Push(std::move(msg))) {
-        return Status::Cancelled("scan output queue cancelled");
-      }
-      ++chunks_emitted_;
-    }
+void ScanOperator::CloseOutputOnce() {
+  if (!output_closed_) {
+    output_closed_ = true;
+    out_->CloseProducer();
   }
+}
+
+void ScanOperator::Finish() { CloseOutputOnce(); }
+
+Status ScanOperator::EmitBucketOnce(const std::string& path) {
+  PMKM_ASSIGN_OR_RETURN(GridBucketReader reader,
+                        GridBucketReader::Open(path));
+  current_cell_ = reader.cell();
+  cell_known_ = true;
+  const uint32_t total = NumChunks(reader.total_points(), chunk_points_);
+  Dataset chunk(reader.dim());
+  // Fast-forward past partitions already pushed by a previous attempt
+  // (in-bucket retry or executor restart): re-emitting them would trip the
+  // merge operator's duplicate-partition check.
+  uint32_t id = 0;
+  while (id < partitions_emitted_) {
+    PMKM_ASSIGN_OR_RETURN(bool more, reader.Next(chunk_points_, &chunk));
+    if (!more) break;
+    ++id;
+  }
+  for (;;) {
+    PMKM_ASSIGN_OR_RETURN(bool more, reader.Next(chunk_points_, &chunk));
+    if (!more) break;
+    PointChunk msg;
+    msg.cell = reader.cell();
+    msg.partition_id = id++;
+    msg.total_partitions = total;
+    msg.points = std::move(chunk);
+    chunk = Dataset(reader.dim());
+    if (!out_->Push(std::move(msg))) {
+      return Status::Cancelled("scan output queue cancelled");
+    }
+    ++partitions_emitted_;
+    ++chunks_emitted_;
+    TickProgress();
+  }
+  return Status::OK();
+}
+
+Status ScanOperator::EmitBucketWithRetry(const std::string& path) {
+  if (failure_policy() != FailurePolicy::kSkipAndContinue) {
+    return EmitBucketOnce(path);
+  }
+  Retrier retrier(retry_, std::hash<std::string>{}(path));
+  for (;;) {
+    const Status st = EmitBucketOnce(path);
+    if (st.ok() || st.IsCancelled()) return st;
+    if (!retrier.AllowRetry(st)) return st;
+    ++io_retries_;
+  }
+}
+
+Status ScanOperator::Run() {
+  while (bucket_index_ < paths_.size()) {
+    const std::string& path = paths_[bucket_index_];
+    const Status st = EmitBucketWithRetry(path);
+    if (!st.ok()) {
+      if (st.IsCancelled()) {
+        CloseOutputOnce();
+        return st;
+      }
+      if (failure_policy() == FailurePolicy::kSkipAndContinue) {
+        PMKM_LOG(Warning) << "quarantining bucket " << path << ": " << st;
+        quarantined_.push_back(
+            QuarantinedBucket{path, current_cell_, cell_known_, st});
+        if (cell_known_) {
+          // Partitions of this cell may already be in flight; tell the
+          // merge to discard the whole cell.
+          PointChunk marker;
+          marker.cell = current_cell_;
+          marker.dropped = true;
+          marker.drop_reason = st.ToString();
+          if (!out_->Push(std::move(marker))) {
+            CloseOutputOnce();
+            return Status::Cancelled("scan output queue cancelled");
+          }
+          TickProgress();
+        }
+      } else {
+        // kFailFast fails here; kRetryOperator leaves the producer open so
+        // the executor can restart us without downstream seeing a bogus
+        // end-of-stream (Finish() closes it once restarts are exhausted).
+        if (failure_policy() != FailurePolicy::kRetryOperator) {
+          CloseOutputOnce();
+        }
+        return st;
+      }
+    }
+    ++bucket_index_;
+    partitions_emitted_ = 0;
+    cell_known_ = false;
+  }
+  CloseOutputOnce();
   return Status::OK();
 }
 
@@ -98,6 +175,7 @@ Status MemoryScanOperator::Run() {
       if (!out_->Push(std::move(msg))) {
         return Status::Cancelled("scan output queue cancelled");
       }
+      TickProgress();
     }
   }
   return Status::OK();
@@ -110,11 +188,13 @@ void MemoryScanOperator::Abort() { out_->Cancel(); }
 
 PartialKMeansOperator::PartialKMeansOperator(
     const KMeansConfig& config, std::shared_ptr<PointChunkQueue> in,
-    std::shared_ptr<CentroidQueue> out, std::string name)
+    std::shared_ptr<CentroidQueue> out, std::string name,
+    RetryPolicy retry)
     : Operator(std::move(name)),
       partial_(config),
       in_(std::move(in)),
-      out_(std::move(out)) {
+      out_(std::move(out)),
+      retry_(retry) {
   PMKM_CHECK(in_ != nullptr && out_ != nullptr);
   out_->AddProducer();
 }
@@ -133,6 +213,28 @@ Status PartialKMeansOperator::Run() {
       }
       return Status::OK();  // end of stream
     }
+    if (chunk->dropped) {
+      // Forward the quarantine marker to the merge.
+      CentroidMessage msg;
+      msg.cell = chunk->cell;
+      msg.dropped = true;
+      msg.drop_reason = std::move(chunk->drop_reason);
+      if (!out_->Push(std::move(msg))) {
+        return Status::Cancelled("partial output queue cancelled");
+      }
+      TickProgress();
+      continue;
+    }
+    // Injected stall (watchdog testing): sleep cancellably so an aborted
+    // pipeline still joins promptly.
+    if (uint64_t stall_ms = FaultRegistry::Global().StallMs("op.stall");
+        stall_ms > 0) {
+      const Stopwatch stall_watch;
+      while (!in_->cancelled() &&
+             stall_watch.ElapsedMillis() < static_cast<double>(stall_ms)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
     // Partition id feeds the seed derivation so clones stay reproducible
     // regardless of which clone picks up which chunk.
     const uint64_t tag =
@@ -141,20 +243,46 @@ Status PartialKMeansOperator::Run() {
          << 32) ^
         static_cast<uint32_t>(chunk->cell.lon_index) ^
         (static_cast<uint64_t>(chunk->partition_id) << 17);
-    PMKM_ASSIGN_OR_RETURN(PartialResult result,
-                          partial_.Cluster(chunk->points, tag));
+    auto compute = [&]() -> Result<PartialResult> {
+      PMKM_FAULT_POINT("op.partial");
+      return partial_.Cluster(chunk->points, tag);
+    };
+    Result<PartialResult> result =
+        failure_policy() == FailurePolicy::kFailFast
+            ? compute()
+            : RetryCall(retry_, tag, compute);
+    if (!result.ok()) {
+      if (failure_policy() == FailurePolicy::kSkipAndContinue) {
+        ++chunks_dropped_;
+        PMKM_LOG(Warning) << name() << ": dropping chunk "
+                          << chunk->partition_id << " of cell "
+                          << chunk->cell.ToString() << ": "
+                          << result.status();
+        CentroidMessage msg;
+        msg.cell = chunk->cell;
+        msg.dropped = true;
+        msg.drop_reason = result.status().ToString();
+        if (!out_->Push(std::move(msg))) {
+          return Status::Cancelled("partial output queue cancelled");
+        }
+        TickProgress();
+        continue;
+      }
+      return result.status();
+    }
     CentroidMessage msg;
     msg.cell = chunk->cell;
     msg.partition_id = chunk->partition_id;
     msg.total_partitions = chunk->total_partitions;
-    msg.centroids = std::move(result.centroids);
-    msg.partial_sse = result.sse;
-    msg.partial_iterations = result.iterations;
-    msg.input_points = result.input_points;
+    msg.centroids = std::move(result->centroids);
+    msg.partial_sse = result->sse;
+    msg.partial_iterations = result->iterations;
+    msg.input_points = result->input_points;
     if (!out_->Push(std::move(msg))) {
       return Status::Cancelled("partial output queue cancelled");
     }
     ++chunks_processed_;
+    TickProgress();
   }
 }
 
@@ -167,8 +295,12 @@ void PartialKMeansOperator::Abort() {
 // MergeKMeansOperator
 
 MergeKMeansOperator::MergeKMeansOperator(const MergeKMeansConfig& config,
-                                         std::shared_ptr<CentroidQueue> in)
-    : Operator("merge-kmeans"), merger_(config), in_(std::move(in)) {
+                                         std::shared_ptr<CentroidQueue> in,
+                                         bool allow_incomplete)
+    : Operator("merge-kmeans"),
+      merger_(config),
+      in_(std::move(in)),
+      allow_incomplete_(allow_incomplete) {
   PMKM_CHECK(in_ != nullptr);
 }
 
@@ -200,6 +332,18 @@ Status MergeKMeansOperator::Run() {
       }
       break;  // end of stream
     }
+    TickProgress();
+    if (msg->dropped) {
+      // Quarantine: discard everything about this cell, even a clustering
+      // that already completed from (possibly corrupt) earlier partitions.
+      skipped_.insert_or_assign(
+          msg->cell, msg->drop_reason.empty() ? "dropped upstream"
+                                              : msg->drop_reason);
+      pending_.erase(msg->cell);
+      results_.erase(msg->cell);
+      continue;
+    }
+    if (skipped_.count(msg->cell) > 0) continue;  // stragglers
     PendingCell& pc = pending_[msg->cell];
     if (!pc.initialized) {
       pc.dim = msg->centroids.dim();
@@ -221,9 +365,20 @@ Status MergeKMeansOperator::Run() {
     }
   }
   if (!pending_.empty()) {
-    return Status::Internal(
-        "stream ended with " + std::to_string(pending_.size()) +
-        " incomplete cell(s)");
+    if (!allow_incomplete_) {
+      return Status::Internal(
+          "stream ended with " + std::to_string(pending_.size()) +
+          " incomplete cell(s)");
+    }
+    for (const auto& [cell, pc] : pending_) {
+      skipped_.insert_or_assign(
+          cell, "incomplete at end of stream (" +
+                    std::to_string(pc.parts.size()) + "/" +
+                    std::to_string(pc.expected) + " partitions arrived)");
+      PMKM_LOG(Warning) << "merge: skipping incomplete cell "
+                        << cell.ToString();
+    }
+    pending_.clear();
   }
   return Status::OK();
 }

@@ -43,35 +43,102 @@ PhysicalPlan PlanPartialMerge(size_t dim, size_t expected_points_per_cell,
   return plan;
 }
 
+std::string RunReport::Summary() const {
+  std::string out = "policy=";
+  out += FailurePolicyToString(failure_policy);
+  out += ", cells_clustered=" + std::to_string(cells_clustered);
+  out += ", quarantined=" + std::to_string(quarantined.size());
+  out += ", io_retries=" + std::to_string(io_retries);
+  out += ", chunks_dropped=" + std::to_string(chunks_dropped);
+  out += ", operator_restarts=" + std::to_string(operator_restarts);
+  out += degraded ? ", DEGRADED" : ", complete";
+  if (!stalled_operators.empty()) {
+    out += ", stalled=[" + stalled_operators + "]";
+  }
+  for (const QuarantinedCellReport& q : quarantined) {
+    out += "\n  quarantined ";
+    out += q.cell_known ? q.cell.ToString() : "<unknown cell>";
+    if (!q.path.empty()) out += " (" + q.path + ")";
+    out += ": " + q.reason;
+  }
+  return out;
+}
+
 namespace {
 
 Result<StreamRunResult> RunPlan(std::unique_ptr<Operator> scan,
+                                ScanOperator* scan_raw,
                                 std::shared_ptr<PointChunkQueue> points,
                                 const KMeansConfig& partial_config,
                                 const MergeKMeansConfig& merge_config,
-                                const PhysicalPlan& plan) {
+                                const PhysicalPlan& plan,
+                                const StreamExecOptions& exec) {
   auto centroids =
       std::make_shared<CentroidQueue>(plan.queue_capacity);
 
+  const bool tolerant =
+      exec.failure_policy == FailurePolicy::kSkipAndContinue;
+
   Executor executor;
+  scan->set_failure_policy(exec.failure_policy);
   executor.Add(std::move(scan));
+  std::vector<PartialKMeansOperator*> partial_raw;
   for (size_t c = 0; c < plan.partial_clones; ++c) {
-    executor.Add(std::make_unique<PartialKMeansOperator>(
+    auto partial = std::make_unique<PartialKMeansOperator>(
         partial_config, points, centroids,
-        "partial-kmeans#" + std::to_string(c)));
+        "partial-kmeans#" + std::to_string(c), exec.io_retry);
+    partial->set_failure_policy(exec.failure_policy);
+    partial_raw.push_back(partial.get());
+    executor.Add(std::move(partial));
   }
-  auto merge =
-      std::make_unique<MergeKMeansOperator>(merge_config, centroids);
+  auto merge = std::make_unique<MergeKMeansOperator>(merge_config,
+                                                     centroids, tolerant);
   MergeKMeansOperator* merge_raw = merge.get();
   executor.Add(std::move(merge));
 
+  ExecutorOptions executor_options;
+  executor_options.max_retries = exec.max_retries;
+  executor_options.op_timeout_ms = exec.op_timeout_ms;
+
   const Stopwatch watch;
-  PMKM_RETURN_NOT_OK(executor.Run());
+  PMKM_RETURN_NOT_OK(executor.Run(executor_options));
 
   StreamRunResult out;
   out.plan = plan;
   out.wall_seconds = watch.ElapsedSeconds();
   out.cells = merge_raw->results();
+
+  RunReport& report = out.report;
+  report.failure_policy = exec.failure_policy;
+  report.cells_clustered = out.cells.size();
+  report.operator_restarts = executor.report().total_restarts;
+  report.stalled_operators = executor.report().stalled_operators;
+  if (scan_raw != nullptr) {
+    report.io_retries = scan_raw->io_retries();
+    for (const QuarantinedBucket& q : scan_raw->quarantined()) {
+      report.quarantined.push_back(QuarantinedCellReport{
+          q.path, q.cell, q.cell_known, q.error.ToString()});
+    }
+  }
+  for (PartialKMeansOperator* partial : partial_raw) {
+    report.chunks_dropped += partial->chunks_dropped();
+  }
+  // Cells the merge skipped (dropped upstream or incomplete) that the scan
+  // did not already report.
+  for (const auto& [cell, reason] : merge_raw->skipped_cells()) {
+    const bool already_reported = std::any_of(
+        report.quarantined.begin(), report.quarantined.end(),
+        [&cell = cell](const QuarantinedCellReport& q) {
+          return q.cell_known && q.cell == cell;
+        });
+    if (!already_reported) {
+      report.quarantined.push_back(
+          QuarantinedCellReport{"", cell, true, reason});
+    }
+  }
+  report.degraded = !report.quarantined.empty() ||
+                    report.chunks_dropped > 0 ||
+                    executor.report().degraded;
   return out;
 }
 
@@ -80,27 +147,44 @@ Result<StreamRunResult> RunPlan(std::unique_ptr<Operator> scan,
 Result<StreamRunResult> RunPartialMergeStream(
     const std::vector<std::string>& bucket_paths,
     const KMeansConfig& partial_config,
-    const MergeKMeansConfig& merge_config, const ResourceModel& resources) {
+    const MergeKMeansConfig& merge_config, const ResourceModel& resources,
+    const StreamExecOptions& exec) {
   if (bucket_paths.empty()) {
     return Status::InvalidArgument("no bucket files given");
   }
-  // Peek at the first bucket for dimensionality / sizing.
-  PMKM_ASSIGN_OR_RETURN(GridBucketReader probe,
-                        GridBucketReader::Open(bucket_paths[0]));
-  const PhysicalPlan plan =
-      PlanPartialMerge(probe.dim(), probe.total_points(), resources);
+  // Peek at a bucket for dimensionality / sizing. Under kSkipAndContinue
+  // an unreadable first bucket must not kill the run: probe forward until
+  // one opens (the scan will quarantine the bad ones properly later).
+  Status probe_error;
+  PhysicalPlan plan;
+  bool planned = false;
+  for (const std::string& path : bucket_paths) {
+    auto probe = GridBucketReader::Open(path);
+    if (probe.ok()) {
+      plan = PlanPartialMerge(probe->dim(), probe->total_points(),
+                              resources);
+      planned = true;
+      break;
+    }
+    probe_error = probe.status();
+    if (exec.failure_policy != FailurePolicy::kSkipAndContinue) {
+      return probe_error;
+    }
+  }
+  if (!planned) return probe_error;
 
   auto points = std::make_shared<PointChunkQueue>(plan.queue_capacity);
-  auto scan = std::make_unique<ScanOperator>(bucket_paths,
-                                             plan.chunk_points, points);
-  return RunPlan(std::move(scan), points, partial_config, merge_config,
-                 plan);
+  auto scan = std::make_unique<ScanOperator>(
+      bucket_paths, plan.chunk_points, points, exec.io_retry);
+  ScanOperator* scan_raw = scan.get();
+  return RunPlan(std::move(scan), scan_raw, points, partial_config,
+                 merge_config, plan, exec);
 }
 
 Result<StreamRunResult> RunPartialMergeStreamInMemory(
     std::vector<GridBucket> cells, const KMeansConfig& partial_config,
     const MergeKMeansConfig& merge_config, const ResourceModel& resources,
-    size_t chunk_points_override) {
+    size_t chunk_points_override, const StreamExecOptions& exec) {
   if (cells.empty()) return Status::InvalidArgument("no cells given");
   const size_t dim = cells[0].points.dim();
   size_t max_points = 0;
@@ -121,8 +205,8 @@ Result<StreamRunResult> RunPartialMergeStreamInMemory(
   auto points = std::make_shared<PointChunkQueue>(plan.queue_capacity);
   auto scan = std::make_unique<MemoryScanOperator>(
       std::move(cells), plan.chunk_points, points);
-  return RunPlan(std::move(scan), points, partial_config, merge_config,
-                 plan);
+  return RunPlan(std::move(scan), nullptr, points, partial_config,
+                 merge_config, plan, exec);
 }
 
 }  // namespace pmkm

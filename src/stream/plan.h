@@ -6,6 +6,10 @@
 // turns a resource model (RAM budget per operator, cores) into the two
 // physical knobs: the partition size N' (chunks must fit in volatile
 // memory) and the number of partial-operator clones.
+//
+// Execution is supervised (see operator.h): a StreamExecOptions chooses the
+// failure policy, retry budget and watchdog timeout, and every run returns
+// a RunReport describing what was retried, quarantined, or skipped.
 
 #ifndef PMKM_STREAM_PLAN_H_
 #define PMKM_STREAM_PLAN_H_
@@ -43,11 +47,53 @@ struct PhysicalPlan {
 PhysicalPlan PlanPartialMerge(size_t dim, size_t expected_points_per_cell,
                               const ResourceModel& resources);
 
+/// How a streamed run deals with failures.
+struct StreamExecOptions {
+  FailurePolicy failure_policy = FailurePolicy::kFailFast;
+
+  /// Executor-level restarts per restartable operator (kRetryOperator).
+  size_t max_retries = 2;
+
+  /// Watchdog timeout: abort when no operator makes progress for this
+  /// long. 0 disables the watchdog.
+  uint64_t op_timeout_ms = 0;
+
+  /// Retry/backoff policy for transient bucket-read failures
+  /// (kSkipAndContinue) and failed partial chunks.
+  RetryPolicy io_retry;
+};
+
+/// One quarantined cell/bucket in the run report.
+struct QuarantinedCellReport {
+  std::string path;  // bucket file, empty when only the cell is known
+  GridCellId cell;
+  bool cell_known = false;  // false if the bucket died before its header
+  std::string reason;
+};
+
+/// Per-run resilience accounting, surfaced by tools/pmkm_cluster.
+struct RunReport {
+  FailurePolicy failure_policy = FailurePolicy::kFailFast;
+  size_t cells_clustered = 0;
+  std::vector<QuarantinedCellReport> quarantined;
+  size_t io_retries = 0;         // scan read retries absorbed
+  size_t chunks_dropped = 0;     // partial chunks discarded
+  size_t operator_restarts = 0;  // executor-level operator restarts
+  std::string stalled_operators; // non-empty if the watchdog fired
+  /// True when the run finished but lost data (quarantined cells or
+  /// dropped chunks): results cover only the healthy subset.
+  bool degraded = false;
+
+  /// One-paragraph human-readable summary.
+  std::string Summary() const;
+};
+
 /// Outcome of a streamed partial/merge run over many cells.
 struct StreamRunResult {
   std::map<GridCellId, CellClustering> cells;
   PhysicalPlan plan;
   double wall_seconds = 0.0;
+  RunReport report;
 };
 
 /// Compiles and executes the full plan over bucket files: one scan, the
@@ -56,14 +102,16 @@ struct StreamRunResult {
 Result<StreamRunResult> RunPartialMergeStream(
     const std::vector<std::string>& bucket_paths,
     const KMeansConfig& partial_config,
-    const MergeKMeansConfig& merge_config, const ResourceModel& resources);
+    const MergeKMeansConfig& merge_config, const ResourceModel& resources,
+    const StreamExecOptions& exec = StreamExecOptions{});
 
 /// Same, over in-memory cells (used by the speed-up experiment where the
 /// clone count is forced via `resources.cores`).
 Result<StreamRunResult> RunPartialMergeStreamInMemory(
     std::vector<GridBucket> cells, const KMeansConfig& partial_config,
     const MergeKMeansConfig& merge_config, const ResourceModel& resources,
-    size_t chunk_points_override = 0);
+    size_t chunk_points_override = 0,
+    const StreamExecOptions& exec = StreamExecOptions{});
 
 }  // namespace pmkm
 

@@ -65,5 +65,29 @@ TEST(ResultTest, ValueOrDieMovesOut) {
   EXPECT_EQ(std::move(r).ValueOrDie(), "abc");
 }
 
+TEST(ResultTest, ErrorAccessorReturnsStatus) {
+  Result<int> r(Status::IOError("disk on fire"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.error().IsIOError());
+  EXPECT_EQ(r.error().message(), "disk on fire");
+}
+
+using ResultDeathTest = ::testing::Test;
+
+TEST(ResultDeathTest, ValueOnErrorDiesWithStatusMessage) {
+  Result<int> r(Status::NotFound("widget 7 missing"));
+  EXPECT_DEATH((void)r.value(), "widget 7 missing");
+}
+
+TEST(ResultDeathTest, DereferenceOnErrorDies) {
+  Result<std::string> r(Status::IOError("bad sector"));
+  EXPECT_DEATH((void)r->size(), "bad sector");
+}
+
+TEST(ResultDeathTest, ErrorOnOkResultDies) {
+  Result<int> r(5);
+  EXPECT_DEATH((void)r.error(), "OK Result");
+}
+
 }  // namespace
 }  // namespace pmkm

@@ -5,9 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
+#include <set>
+#include <string>
 
+#include "common/fault.h"
 #include "data/generator.h"
 #include "stream/ops.h"
+#include "stream/plan.h"
 
 namespace pmkm {
 namespace {
@@ -153,6 +158,87 @@ TEST(ExecutorStressTest, EmptyPipelineRunsClean) {
   Executor executor;
   EXPECT_TRUE(executor.Run().ok());
   EXPECT_EQ(executor.num_operators(), 0u);
+}
+
+TEST(ExecutorStressTest, SeededFaultSweepNeverProducesWrongResults) {
+  // 100 seeded runs with both read faults and partial-compute faults armed.
+  // The contract under kSkipAndContinue: the run always terminates OK, and
+  // every cell is either clustered from ALL of its points or explicitly
+  // quarantined — never silently wrong, never hung.
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "pmkm_fault_sweep";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  constexpr size_t kCells = 6;
+  constexpr size_t kPoints = 180;
+  std::vector<std::string> paths;
+  {
+    Rng rng(99);
+    for (size_t c = 0; c < kCells; ++c) {
+      GridBucket bucket;
+      bucket.cell = GridCellId{static_cast<int32_t>(c), 0};
+      bucket.points = Dataset(2);
+      for (size_t p = 0; p < kPoints; ++p) {
+        bucket.points.Append(std::vector<double>{
+            rng.Normal(c * 8.0, 1.0), rng.Normal(0.0, 1.0)});
+      }
+      const std::string path =
+          (dir / (bucket.cell.ToString() + ".pmkb")).string();
+      ASSERT_TRUE(WriteGridBucket(path, bucket).ok());
+      paths.push_back(path);
+    }
+  }
+
+  ResourceModel resources;
+  resources.memory_bytes_per_operator = 1024;  // chunk = 16 pts, 12 parts
+  resources.cores = 4;                         // 3 partial clones
+
+  for (uint64_t seed = 1; seed <= 100; ++seed) {
+    FaultRegistry::Global().Reset();
+    ASSERT_TRUE(FaultRegistry::Global()
+                    .ArmFromString(
+                        "io.read:p=0.05,seed=" + std::to_string(seed) +
+                        ";op.partial:p=0.05,code=deadline,seed=" +
+                        std::to_string(seed + 1000))
+                    .ok());
+
+    StreamExecOptions exec;
+    exec.failure_policy = FailurePolicy::kSkipAndContinue;
+    exec.io_retry.max_attempts = 3;
+    exec.io_retry.initial_backoff_ms = 0;
+
+    auto run = RunPartialMergeStream(paths, PartialConfig(), MergeConfig(),
+                                     resources, exec);
+    ASSERT_TRUE(run.ok()) << "seed=" << seed << ": " << run.status();
+
+    std::set<GridCellId> quarantined;
+    for (const auto& q : run->report.quarantined) {
+      if (q.cell_known) {
+        EXPECT_TRUE(quarantined.insert(q.cell).second)
+            << "seed=" << seed << ": cell " << q.cell.ToString()
+            << " quarantined twice";
+      }
+    }
+    // Clustered ∩ quarantined = ∅, and clustered cells saw every point.
+    for (const auto& [cell, clustering] : run->cells) {
+      EXPECT_EQ(quarantined.count(cell), 0u)
+          << "seed=" << seed << ": cell " << cell.ToString()
+          << " both clustered and quarantined";
+      EXPECT_EQ(clustering.input_points, kPoints)
+          << "seed=" << seed << ": cell " << cell.ToString()
+          << " clustered from partial input";
+    }
+    // Every cell is accounted for exactly once.
+    EXPECT_EQ(run->cells.size() + run->report.quarantined.size(), kCells)
+        << "seed=" << seed << ": " << run->report.Summary();
+    EXPECT_EQ(run->report.degraded, !run->report.quarantined.empty())
+        << "seed=" << seed;
+  }
+  FaultRegistry::Global().Reset();
+  std::error_code ec;
+  fs::remove_all(dir, ec);
 }
 
 TEST(ExecutorStressTest, MergeAloneSeesEndOfStream) {

@@ -1,0 +1,297 @@
+// End-to-end resilience of the streamed partial/merge pipeline: injected
+// read faults, a permanently corrupt bucket, executor-level operator
+// restarts, and the stall watchdog. Every scenario is seeded and exact.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/rng.h"
+#include "stream/plan.h"
+
+namespace pmkm {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr size_t kNumCells = 50;
+constexpr size_t kPointsPerCell = 40;
+constexpr int kCorruptCellLat = 25;  // cell_25_0 gets truncated on disk
+
+class ResilienceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultRegistry::Global().Reset();
+    dir_ = fs::temp_directory_path() /
+           ("pmkm_resilience_" + std::string(::testing::UnitTest::GetInstance()
+                                                 ->current_test_info()
+                                                 ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    FaultRegistry::Global().Reset();
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  // Writes kNumCells healthy buckets (2-d Gaussian blobs) and returns their
+  // paths in scan order.
+  std::vector<std::string> WriteBuckets() {
+    std::vector<std::string> paths;
+    Rng rng(42);
+    for (size_t i = 0; i < kNumCells; ++i) {
+      GridBucket bucket;
+      bucket.cell = GridCellId{static_cast<int32_t>(i), 0};
+      bucket.points = Dataset(2);
+      for (size_t p = 0; p < kPointsPerCell; ++p) {
+        bucket.points.Append(std::vector<double>{
+            static_cast<double>(i) * 10.0 + rng.Normal(0.0, 1.0),
+            rng.Normal(0.0, 1.0)});
+      }
+      const std::string path =
+          (dir_ / (bucket.cell.ToString() + ".pmkb")).string();
+      EXPECT_TRUE(WriteGridBucket(path, bucket).ok());
+      paths.push_back(path);
+    }
+    return paths;
+  }
+
+  // Truncates the bucket mid-payload: reads fail partway through the
+  // bucket, after the header (so the scan knows which cell to quarantine).
+  static void CorruptBucket(const std::string& path) {
+    std::error_code ec;
+    fs::resize_file(path, 32 + 10 * 2 * sizeof(double), ec);
+    ASSERT_FALSE(ec) << ec.message();
+  }
+
+  // Small memory budget => chunk_points 16 => 3 partitions per 40-point
+  // cell, exercising partition resume and the merge completeness check.
+  static ResourceModel SmallResources() {
+    ResourceModel resources;
+    resources.memory_bytes_per_operator = 1024;
+    resources.cores = 3;  // 2 partial clones
+    return resources;
+  }
+
+  static KMeansConfig PartialConfig() {
+    KMeansConfig config;
+    config.k = 2;
+    config.restarts = 2;
+    return config;
+  }
+
+  static MergeKMeansConfig MergeConfig() {
+    MergeKMeansConfig config;
+    config.k = 2;
+    config.restarts = 2;
+    return config;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(ResilienceTest, SkipAndContinueQuarantinesCorruptBucketUnderFaults) {
+  std::vector<std::string> paths = WriteBuckets();
+  CorruptBucket(paths[kCorruptCellLat]);
+  ASSERT_TRUE(FaultRegistry::Global()
+                  .ArmFromString("io.read:p=0.05,seed=7")
+                  .ok());
+
+  StreamExecOptions exec;
+  exec.failure_policy = FailurePolicy::kSkipAndContinue;
+  exec.io_retry.max_attempts = 8;
+  exec.io_retry.initial_backoff_ms = 0;  // retry without sleeping
+
+  auto run = RunPartialMergeStream(paths, PartialConfig(), MergeConfig(),
+                                   SmallResources(), exec);
+  ASSERT_TRUE(run.ok()) << run.status();
+
+  // All healthy cells clustered; exactly the corrupt one quarantined.
+  EXPECT_EQ(run->cells.size(), kNumCells - 1);
+  ASSERT_EQ(run->report.quarantined.size(), 1u) << run->report.Summary();
+  const QuarantinedCellReport& q = run->report.quarantined[0];
+  EXPECT_TRUE(q.cell_known);
+  EXPECT_EQ(q.cell, (GridCellId{kCorruptCellLat, 0}));
+  EXPECT_NE(q.reason.find("truncated bucket payload"), std::string::npos)
+      << q.reason;
+  EXPECT_EQ(run->cells.count(GridCellId{kCorruptCellLat, 0}), 0u);
+  for (const auto& [cell, clustering] : run->cells) {
+    EXPECT_EQ(clustering.input_points, kPointsPerCell);
+  }
+  // 5% faults over ~250 read hits: retries must have been absorbed.
+  EXPECT_GT(run->report.io_retries, 0u);
+  EXPECT_TRUE(run->report.degraded);
+  EXPECT_EQ(run->report.failure_policy, FailurePolicy::kSkipAndContinue);
+}
+
+TEST_F(ResilienceTest, SkipAndContinueIsDeterministicPerSeed) {
+  std::vector<std::string> paths = WriteBuckets();
+  CorruptBucket(paths[kCorruptCellLat]);
+
+  auto run_once = [&]() {
+    FaultRegistry::Global().Reset();
+    EXPECT_TRUE(FaultRegistry::Global()
+                    .ArmFromString("io.read:p=0.05,seed=7")
+                    .ok());
+    StreamExecOptions exec;
+    exec.failure_policy = FailurePolicy::kSkipAndContinue;
+    exec.io_retry.max_attempts = 8;
+    exec.io_retry.initial_backoff_ms = 0;
+    return RunPartialMergeStream(paths, PartialConfig(), MergeConfig(),
+                                 SmallResources(), exec);
+  };
+  auto a = run_once();
+  auto b = run_once();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // The scan thread consumes the per-site fault stream sequentially, so
+  // the retry count and the quarantine list reproduce exactly.
+  EXPECT_EQ(a->report.io_retries, b->report.io_retries);
+  ASSERT_EQ(a->report.quarantined.size(), b->report.quarantined.size());
+  EXPECT_EQ(a->cells.size(), b->cells.size());
+}
+
+TEST_F(ResilienceTest, FailFastReturnsFirstErrorOnCorruptBucket) {
+  std::vector<std::string> paths = WriteBuckets();
+  CorruptBucket(paths[kCorruptCellLat]);
+
+  StreamExecOptions exec;
+  exec.failure_policy = FailurePolicy::kFailFast;
+  auto run = RunPartialMergeStream(paths, PartialConfig(), MergeConfig(),
+                                   SmallResources(), exec);
+  ASSERT_FALSE(run.ok());
+  EXPECT_TRUE(run.status().IsIOError()) << run.status();
+  EXPECT_NE(run.status().message().find("truncated bucket payload"),
+            std::string::npos)
+      << run.status();
+}
+
+TEST_F(ResilienceTest, FailFastSurfacesInjectedFault) {
+  std::vector<std::string> paths = WriteBuckets();
+  ASSERT_TRUE(FaultRegistry::Global()
+                  .ArmFromString("io.read:n=20,msg=injected read fault")
+                  .ok());
+  StreamExecOptions exec;
+  exec.failure_policy = FailurePolicy::kFailFast;
+  auto run = RunPartialMergeStream(paths, PartialConfig(), MergeConfig(),
+                                   SmallResources(), exec);
+  ASSERT_FALSE(run.ok());
+  EXPECT_TRUE(run.status().IsIOError()) << run.status();
+  EXPECT_EQ(run.status().message(), "injected read fault");
+}
+
+TEST_F(ResilienceTest, RetryOperatorRestartsScanAndRecoversFully) {
+  std::vector<std::string> paths = WriteBuckets();
+  // One-shot fault: the 30th read hit fails once, then the site is clean,
+  // so an executor-level restart of the scan recovers everything.
+  ASSERT_TRUE(FaultRegistry::Global().ArmFromString("io.read:n=30").ok());
+
+  StreamExecOptions exec;
+  exec.failure_policy = FailurePolicy::kRetryOperator;
+  exec.max_retries = 2;
+  auto run = RunPartialMergeStream(paths, PartialConfig(), MergeConfig(),
+                                   SmallResources(), exec);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run->cells.size(), kNumCells);  // nothing lost
+  EXPECT_EQ(run->report.operator_restarts, 1u);
+  EXPECT_TRUE(run->report.quarantined.empty());
+  EXPECT_FALSE(run->report.degraded);
+  for (const auto& [cell, clustering] : run->cells) {
+    EXPECT_EQ(clustering.input_points, kPointsPerCell);
+  }
+}
+
+TEST_F(ResilienceTest, RetryOperatorExhaustionFailsTheRun) {
+  std::vector<std::string> paths = WriteBuckets();
+  CorruptBucket(paths[kCorruptCellLat]);  // permanent: restarts can't help
+
+  StreamExecOptions exec;
+  exec.failure_policy = FailurePolicy::kRetryOperator;
+  exec.max_retries = 2;
+  auto run = RunPartialMergeStream(paths, PartialConfig(), MergeConfig(),
+                                   SmallResources(), exec);
+  ASSERT_FALSE(run.ok());
+  EXPECT_TRUE(run.status().IsIOError()) << run.status();
+}
+
+TEST_F(ResilienceTest, WatchdogDetectsStalledOperator) {
+  // In-memory pipeline with a 60 s stall injected into the first chunk the
+  // partial operator picks up; the watchdog must fire within the
+  // configured timeout instead of hanging for the full minute.
+  ASSERT_TRUE(FaultRegistry::Global()
+                  .ArmFromString("op.stall:n=1,stall_ms=60000")
+                  .ok());
+
+  std::vector<GridBucket> cells;
+  Rng rng(11);
+  for (int i = 0; i < 4; ++i) {
+    GridBucket bucket;
+    bucket.cell = GridCellId{i, 0};
+    bucket.points = Dataset(2);
+    for (size_t p = 0; p < 32; ++p) {
+      bucket.points.Append(
+          std::vector<double>{rng.Normal(i * 10.0, 1.0), rng.Normal(0, 1)});
+    }
+    cells.push_back(std::move(bucket));
+  }
+
+  ResourceModel resources;
+  resources.cores = 2;  // one partial clone: the stall stalls the pipeline
+  StreamExecOptions exec;
+  exec.op_timeout_ms = 300;
+
+  const auto started = std::chrono::steady_clock::now();
+  auto run = RunPartialMergeStreamInMemory(std::move(cells),
+                                           PartialConfig(), MergeConfig(),
+                                           resources, /*chunk override=*/8,
+                                           exec);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
+      std::chrono::steady_clock::now() - started);
+  ASSERT_FALSE(run.ok());
+  EXPECT_TRUE(run.status().IsDeadlineExceeded()) << run.status();
+  EXPECT_NE(run.status().message().find("watchdog"), std::string::npos)
+      << run.status();
+  EXPECT_LT(elapsed.count(), 30) << "watchdog took too long to fire";
+}
+
+TEST_F(ResilienceTest, WatchdogStaysQuietOnHealthyRun) {
+  std::vector<std::string> paths = WriteBuckets();
+  StreamExecOptions exec;
+  exec.op_timeout_ms = 10000;
+  auto run = RunPartialMergeStream(paths, PartialConfig(), MergeConfig(),
+                                   SmallResources(), exec);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run->cells.size(), kNumCells);
+  EXPECT_TRUE(run->report.stalled_operators.empty());
+  EXPECT_FALSE(run->report.degraded);
+}
+
+TEST_F(ResilienceTest, SkipAndContinueSurvivesUnreadableFirstBucket) {
+  std::vector<std::string> paths = WriteBuckets();
+  CorruptBucket(paths[0]);
+  // Also make it unopenable so even the planner's probe must skip it.
+  {
+    std::ofstream out(paths[0], std::ios::binary | std::ios::trunc);
+    out.write("XX", 2);
+  }
+  StreamExecOptions exec;
+  exec.failure_policy = FailurePolicy::kSkipAndContinue;
+  exec.io_retry.max_attempts = 2;
+  exec.io_retry.initial_backoff_ms = 0;
+  auto run = RunPartialMergeStream(paths, PartialConfig(), MergeConfig(),
+                                   SmallResources(), exec);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run->cells.size(), kNumCells - 1);
+  ASSERT_EQ(run->report.quarantined.size(), 1u);
+  EXPECT_TRUE(run->report.degraded);
+}
+
+}  // namespace
+}  // namespace pmkm

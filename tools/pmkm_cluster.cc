@@ -13,6 +13,7 @@
 #include "cluster/metrics.h"
 #include "cluster/partial_merge.h"
 #include "cluster/serialize.h"
+#include "common/fault.h"
 #include "common/flags.h"
 #include "common/stopwatch.h"
 #include "data/csv.h"
@@ -38,6 +39,10 @@ int main(int argc, char** argv) {
   bool quiet = false;
   bool explain = false;
   std::string csv_dir;
+  std::string failure_policy = "failfast";
+  int64_t max_retries = 2;
+  int64_t op_timeout_ms = 0;
+  std::string faults;
   pmkm::FlagParser parser;
   parser.AddString("algo", &algo, "pm | serial | stream")
       .AddString("out", &out, "output directory for .pmkm model files")
@@ -48,12 +53,27 @@ int main(int argc, char** argv) {
       .AddInt("restarts", &restarts, "random seed sets R")
       .AddInt("memory-kib", &memory_kib,
               "stream: per-operator memory budget")
+      .AddString("failure_policy", &failure_policy,
+                 "stream: failfast | retry | skip")
+      .AddInt("max_retries", &max_retries,
+              "stream: operator restarts under --failure_policy=retry")
+      .AddInt("op_timeout_ms", &op_timeout_ms,
+              "stream: watchdog stall timeout (0 = off)")
+      .AddString("faults", &faults,
+                 "arm fault-injection sites, e.g. io.read:p=0.05,seed=7")
       .AddBool("explain", &explain,
                "stream: print the physical plan before running")
       .AddBool("quiet", &quiet, "suppress the per-cell report");
   const pmkm::Status st = parser.Parse(argc, argv);
   if (st.IsCancelled()) return 0;
   if (!st.ok()) return Fail(st);
+  if (!faults.empty()) {
+    const pmkm::Status fs =
+        pmkm::FaultRegistry::Global().ArmFromString(faults);
+    if (!fs.ok()) return Fail(fs);
+  }
+  auto policy = pmkm::ParseFailurePolicy(failure_policy);
+  if (!policy.ok()) return Fail(policy.status());
   if (parser.positional().empty()) {
     std::cerr << "usage: " << argv[0]
               << " [flags] bucket.pmkb [bucket2.pmkb ...]\n"
@@ -101,8 +121,12 @@ int main(int argc, char** argv) {
           probe->total_points() * parser.positional().size(),
           probe->dim(), partial, merge, plan);
     }
+    pmkm::StreamExecOptions exec;
+    exec.failure_policy = *policy;
+    exec.max_retries = static_cast<size_t>(max_retries);
+    exec.op_timeout_ms = static_cast<uint64_t>(op_timeout_ms);
     auto run = pmkm::RunPartialMergeStream(parser.positional(), partial,
-                                           merge, resources);
+                                           merge, resources, exec);
     if (!run.ok()) return Fail(run.status());
     for (const auto& [id, cell] : run->cells) {
       const pmkm::Status ss = save(id, cell.model);
@@ -115,6 +139,11 @@ int main(int argc, char** argv) {
               << run->plan.partial_clones << " partial clone(s), chunk="
               << run->plan.chunk_points << " pts, "
               << run->wall_seconds << " s total\n";
+    std::cout << run->report.Summary() << "\n";
+    if (run->report.degraded) {
+      std::cerr << "warning: run is DEGRADED — results cover only the "
+                   "healthy subset of cells\n";
+    }
     return 0;
   }
 
