@@ -1,6 +1,8 @@
 // M1 — micro-benchmarks (google-benchmark) for the kernels the experiment
 // harnesses are built on: distance evaluation, nearest-centroid search,
-// one Lloyd iteration, partial clustering of a chunk, queue throughput.
+// one Lloyd iteration, partial clustering of a chunk, queue throughput,
+// and the observability primitives (to police the zero-cost-when-disabled
+// budget of DESIGN.md §9).
 
 #include <benchmark/benchmark.h>
 
@@ -11,6 +13,8 @@
 #include "cluster/parallel_lloyd.h"
 #include "cluster/partial.h"
 #include "data/generator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stream/queue.h"
 
 namespace pmkm {
@@ -184,6 +188,51 @@ void BM_MergeStep(benchmark::State& state) {
 }
 BENCHMARK(BM_MergeStep)->Arg(5)->Arg(10)->Arg(20)
     ->Unit(benchmark::kMillisecond);
+
+void BM_ObsCounter(benchmark::State& state) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("bench.counter");
+  for (auto _ : state) {
+    c.Increment();
+  }
+  benchmark::DoNotOptimize(c.value());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounter);
+
+void BM_ObsHistogram(benchmark::State& state) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("bench.histogram_us");
+  double v = 1.0;
+  for (auto _ : state) {
+    h.Record(v);
+    v = v < 1e6 ? v * 1.5 : 1.0;
+  }
+  benchmark::DoNotOptimize(h.count());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsHistogram);
+
+void BM_ObsSpanDisabled(benchmark::State& state) {
+  // A null recorder must make spans free: this is what every per-chunk
+  // span costs in an uninstrumented pipeline.
+  for (auto _ : state) {
+    ScopedSpan span(nullptr, "bench.span");
+    benchmark::DoNotOptimize(span.enabled());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsSpanDisabled);
+
+void BM_ObsSpanEnabled(benchmark::State& state) {
+  TraceRecorder recorder;
+  for (auto _ : state) {
+    ScopedSpan span(&recorder, "bench.span");
+    benchmark::DoNotOptimize(span.enabled());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsSpanEnabled);
 
 }  // namespace
 }  // namespace pmkm

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "cluster/metrics.h"
 #include "common/stopwatch.h"
+#include "obs/json.h"
 
 namespace pmkm {
 namespace bench {
@@ -126,6 +129,31 @@ void PrintBanner(const std::string& experiment_id,
             << ", versions=" << grid.versions << "\n";
   std::cout << "==========================================================="
                "=====================\n";
+}
+
+Status WriteBenchJson(const std::string& path,
+                      const std::string& benchmark,
+                      const RunStats& stats) {
+  JsonValue doc = JsonValue::Object();
+  if (std::ifstream in(path); in) {
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    // A missing or unparseable file just starts a fresh document.
+    if (auto parsed = JsonValue::Parse(buf.str());
+        parsed.ok() && parsed->is_object()) {
+      doc = std::move(parsed).value();
+    }
+  }
+  JsonValue entry = JsonValue::Object();
+  entry.Set("wall_s", stats.total_ms * 1e-3);
+  entry.Set("t_partial_s", stats.partial_ms * 1e-3);
+  entry.Set("t_merge_s", stats.merge_ms * 1e-3);
+  entry.Set("min_mse", stats.min_mse);
+  doc.Set(benchmark, std::move(entry));
+  std::ofstream out(path, std::ios::trunc);
+  out << doc.Dump(2) << "\n";
+  if (!out.good()) return Status::IOError("cannot write " + path);
+  return Status::OK();
 }
 
 }  // namespace bench

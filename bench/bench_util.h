@@ -79,6 +79,13 @@ void PrintBanner(const std::string& experiment_id,
                  const std::string& description,
                  const ExperimentGrid& grid);
 
+/// Machine-readable results: merges `benchmark` →
+/// {wall_s, t_partial_s, t_merge_s, min_mse} into the JSON object stored
+/// at `path` (read-modify-rewrite, so several harnesses invoked with the
+/// same --json_out accumulate into one file, e.g. BENCH_stream.json).
+Status WriteBenchJson(const std::string& path,
+                      const std::string& benchmark, const RunStats& stats);
+
 }  // namespace bench
 }  // namespace pmkm
 

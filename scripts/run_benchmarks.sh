@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Smoke-config benchmark run emitting machine-readable stream results:
+#   BENCH_stream.json — { benchmark: {wall_s, t_partial_s, t_merge_s,
+#                         min_mse}, ... }
+# for the Fig. 6 time sweep (serial + 10-chunk partial/merge at the
+# largest N) and the operator-clone speed-up study. Both harnesses merge
+# into the same file, so it can be re-run incrementally.
+#
+# Usage: scripts/run_benchmarks.sh [output.json]   (default BENCH_stream.json)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_stream.json}"
+
+if [[ ! -x build/bench/bench_fig6_time || ! -x build/bench/bench_speedup ]]; then
+  cmake -B build -S .
+  cmake --build build -j --target bench_fig6_time bench_speedup
+fi
+
+rm -f "${OUT}"
+build/bench/bench_fig6_time --quick --json_out="${OUT}"
+build/bench/bench_speedup --quick --json_out="${OUT}"
+
+echo
+echo "==== ${OUT} ===="
+cat "${OUT}"

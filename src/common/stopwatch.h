@@ -1,11 +1,13 @@
-// Wall-clock stopwatch used by the experiment harnesses to report the
-// paper's t_partial / t_merge / overall-time columns.
+// Stopwatches for the experiment harnesses and operator stats: wall-clock
+// (the paper's t_partial / t_merge / overall-time columns) and per-thread
+// CPU time (separates compute from queue-wait in EXPLAIN ANALYZE).
 
 #ifndef PMKM_COMMON_STOPWATCH_H_
 #define PMKM_COMMON_STOPWATCH_H_
 
 #include <chrono>
 #include <cstdint>
+#include <ctime>
 
 namespace pmkm {
 
@@ -32,6 +34,38 @@ class Stopwatch {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// CPU-time stopwatch for the calling thread; starts on construction.
+/// Time advances only while this thread is scheduled on a core, so
+/// (wall − cpu) of an operator run is its blocked/preempted time.
+///
+/// Must be constructed and read on the same thread to be meaningful.
+class ThreadCpuStopwatch {
+ public:
+  ThreadCpuStopwatch() : start_(Now()) {}
+
+  void Restart() { start_ = Now(); }
+
+  double ElapsedSeconds() const { return Now() - start_; }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  static double Now() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    timespec ts;
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+      return static_cast<double>(ts.tv_sec) +
+             static_cast<double>(ts.tv_nsec) * 1e-9;
+    }
+#endif
+    // Portable fallback: process CPU time (over-counts under concurrency
+    // but keeps the field monotonic and populated).
+    return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+  }
+
+  double start_;
 };
 
 }  // namespace pmkm

@@ -1,0 +1,360 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pmkm {
+
+JsonValue& JsonValue::Set(const std::string& key, JsonValue value) {
+  type_ = Type::kObject;
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+JsonValue& JsonValue::Append(JsonValue value) {
+  type_ = Type::kArray;
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void AppendNumber(std::string* out, double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no inf/nan; clamp to null, which consumers treat as absent.
+    *out += "null";
+    return;
+  }
+  if (v == std::floor(v) && std::abs(v) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(v));
+    *out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+void AppendIndent(std::string* out, int indent, int depth) {
+  if (indent < 0) return;
+  *out += '\n';
+  out->append(static_cast<size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void JsonValue::DumpTo(std::string* out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      return;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Type::kNumber:
+      AppendNumber(out, number_);
+      return;
+    case Type::kString:
+      *out += '"';
+      *out += JsonEscape(string_);
+      *out += '"';
+      return;
+    case Type::kArray: {
+      if (items_.empty()) {
+        *out += "[]";
+        return;
+      }
+      *out += '[';
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) *out += ',';
+        AppendIndent(out, indent, depth + 1);
+        items_[i].DumpTo(out, indent, depth + 1);
+      }
+      AppendIndent(out, indent, depth);
+      *out += ']';
+      return;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        *out += "{}";
+        return;
+      }
+      *out += '{';
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) *out += ',';
+        AppendIndent(out, indent, depth + 1);
+        *out += '"';
+        *out += JsonEscape(members_[i].first);
+        *out += indent < 0 ? "\":" : "\": ";
+        members_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      AppendIndent(out, indent, depth);
+      *out += '}';
+      return;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser over the serialized text.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> ParseDocument() {
+    PMKM_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("json: " + what + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        PMKM_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return JsonValue(std::move(s));
+      }
+      case 't':
+        return ParseKeyword("true", JsonValue(true));
+      case 'f':
+        return ParseKeyword("false", JsonValue(false));
+      case 'n':
+        return ParseKeyword("null", JsonValue());
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<JsonValue> ParseKeyword(const std::string& word, JsonValue value) {
+    if (text_.compare(pos_, word.size(), word) != 0) {
+      return Error("invalid literal");
+    }
+    pos_ += word.size();
+    return value;
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("invalid number");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Error("invalid number");
+    return JsonValue(v);
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) return Error("expected '\"'");
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("bad \\u escape");
+            }
+          }
+          // UTF-8 encode the code point (surrogate pairs are not needed by
+          // our own exporters; a lone surrogate encodes as-is).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Error("bad escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<JsonValue> ParseObject() {
+    if (!Consume('{')) return Error("expected '{'");
+    JsonValue obj = JsonValue::Object();
+    SkipWhitespace();
+    if (Consume('}')) return obj;
+    for (;;) {
+      SkipWhitespace();
+      PMKM_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':'");
+      PMKM_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      obj.Set(key, std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return obj;
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  Result<JsonValue> ParseArray() {
+    if (!Consume('[')) return Error("expected '['");
+    JsonValue arr = JsonValue::Array();
+    SkipWhitespace();
+    if (Consume(']')) return arr;
+    for (;;) {
+      PMKM_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      arr.Append(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return arr;
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> JsonValue::Parse(const std::string& text) {
+  return JsonParser(text).ParseDocument();
+}
+
+}  // namespace pmkm

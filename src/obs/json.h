@@ -1,0 +1,102 @@
+// Minimal JSON document model shared by the observability exporters and
+// their consumers: the metrics registry and trace recorder serialize
+// through JsonValue, and `pmkm_inspect metrics|trace` parses the files
+// back with the same type. Not a general-purpose JSON library — just the
+// subset the run-stats pipeline needs (objects preserve insertion order;
+// numbers are doubles, printed as integers when integral).
+
+#ifndef PMKM_OBS_JSON_H_
+#define PMKM_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace pmkm {
+
+/// One JSON value: null, bool, number, string, array, or object.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  JsonValue(bool b) : type_(Type::kBool), bool_(b) {}          // NOLINT
+  JsonValue(double n) : type_(Type::kNumber), number_(n) {}    // NOLINT
+  template <typename I,
+            typename = std::enable_if_t<std::is_integral_v<I> &&
+                                        !std::is_same_v<I, bool>>>
+  JsonValue(I n)                                               // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  JsonValue(std::string s)                                     // NOLINT
+      : type_(Type::kString), string_(std::move(s)) {}
+  JsonValue(const char* s) : JsonValue(std::string(s)) {}      // NOLINT
+
+  static JsonValue Object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+  static JsonValue Array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsDouble() const { return number_; }
+  int64_t AsInt() const { return static_cast<int64_t>(number_); }
+  const std::string& AsString() const { return string_; }
+
+  /// Object access. Set overwrites an existing key in place.
+  JsonValue& Set(const std::string& key, JsonValue value);
+  /// Null when the key is absent (or this is not an object).
+  const JsonValue* Find(const std::string& key) const;
+  bool Has(const std::string& key) const { return Find(key) != nullptr; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Array access.
+  JsonValue& Append(JsonValue value);
+  size_t size() const {
+    return type_ == Type::kArray ? items_.size() : members_.size();
+  }
+  const JsonValue& at(size_t i) const { return items_[i]; }
+  const std::vector<JsonValue>& items() const { return items_; }
+
+  /// Serializes. indent < 0 = compact one-line output; otherwise
+  /// pretty-printed with `indent` spaces per level.
+  std::string Dump(int indent = -1) const;
+
+  /// Parses one JSON document (trailing garbage is an error).
+  static Result<JsonValue> Parse(const std::string& text);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members_;  // kObject
+};
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace pmkm
+
+#endif  // PMKM_OBS_JSON_H_

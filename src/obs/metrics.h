@@ -1,0 +1,143 @@
+// MetricsRegistry: the process/run-level metric store behind
+// `pmkm_cluster --metrics_out` and the EXPLAIN ANALYZE substrate.
+//
+// Three instrument kinds, all lock-free on the hot path (a registered
+// instrument is a stable pointer; recording is relaxed atomics only):
+//   Counter   — monotonically increasing uint64 (rows scanned, retries).
+//   Gauge     — last-set int64 plus its high-water mark (queue depth).
+//   Histogram — log₂-bucketed distribution with approximate p50/p95/p99
+//               (queue block times, span durations). Bucket b covers
+//               [2^(b-1), 2^b); values are unit-agnostic doubles, by
+//               convention microseconds for "_us"-suffixed metrics.
+//
+// Exports: JSON (machine-readable run stats, parsed back by
+// `pmkm_inspect metrics`) and Prometheus text exposition format.
+//
+// Overhead budget (DESIGN.md §9): instruments are only consulted through
+// pointers that are null when observability is off, so a disabled pipeline
+// pays one pointer test per potential record.
+
+#ifndef PMKM_OBS_METRICS_H_
+#define PMKM_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/json.h"
+
+namespace pmkm {
+
+/// Monotonic event counter. Thread-safe.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written value plus high-water mark. Thread-safe.
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    UpdateMax(v);
+  }
+  void Add(int64_t delta) {
+    UpdateMax(value_.fetch_add(delta, std::memory_order_relaxed) + delta);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  int64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+ private:
+  void UpdateMax(int64_t v) {
+    int64_t seen = max_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !max_.compare_exchange_weak(seen, v,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+/// Log₂-bucketed distribution. Thread-safe; Record is wait-free.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+
+  void Record(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const;
+  double max() const;
+  double mean() const;
+
+  /// Approximate percentile (p in [0, 100]) by linear interpolation
+  /// inside the covering bucket; exact at the recorded min/max ends.
+  double Percentile(double p) const;
+
+  /// Consistent-enough copy for export (individual loads are relaxed).
+  struct Snapshot {
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  Snapshot TakeSnapshot() const;
+
+ private:
+  static size_t BucketIndex(double v);
+  static double BucketLowerBound(size_t b);
+  static double BucketUpperBound(size_t b);
+
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  // min/max as atomics updated by CAS; initialized lazily on first Record.
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Thread-safe name → instrument registry. Instruments live as long as the
+/// registry and their addresses are stable, so hot paths resolve a name
+/// once and record through the pointer ever after.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  JsonValue ToJson() const;
+  std::string ToJsonString(int indent = 2) const {
+    return ToJson().Dump(indent);
+  }
+
+  /// Prometheus text exposition format; metric names are prefixed and
+  /// sanitized ([a-zA-Z0-9_] only). Histograms export as summaries.
+  std::string ToPrometheusText(const std::string& prefix = "pmkm") const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace pmkm
+
+#endif  // PMKM_OBS_METRICS_H_

@@ -1,0 +1,57 @@
+#include "obs/trace.h"
+
+#include <fstream>
+
+namespace pmkm {
+
+uint32_t TraceRecorder::TidLocked(std::thread::id id) {
+  auto [it, inserted] =
+      tids_.emplace(id, static_cast<uint32_t>(tids_.size() + 1));
+  (void)inserted;
+  return it->second;
+}
+
+void TraceRecorder::Add(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  event.tid = TidLocked(std::this_thread::get_id());
+  events_.push_back(std::move(event));
+}
+
+JsonValue TraceRecorder::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonValue root = JsonValue::Object();
+  JsonValue events = JsonValue::Array();
+  for (const TraceEvent& e : events_) {
+    JsonValue j = JsonValue::Object();
+    j.Set("name", e.name);
+    j.Set("cat", e.category);
+    j.Set("ph", "X");
+    j.Set("ts", e.start_us);
+    j.Set("dur", e.dur_us);
+    j.Set("pid", 1);
+    j.Set("tid", e.tid);
+    if (!e.args.empty()) {
+      JsonValue args = JsonValue::Object();
+      for (const auto& [k, v] : e.args) args.Set(k, v);
+      j.Set("args", std::move(args));
+    }
+    events.Append(std::move(j));
+  }
+  root.Set("traceEvents", std::move(events));
+  root.Set("displayTimeUnit", "ms");
+  return root;
+}
+
+Status TraceRecorder::WriteJson(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot open trace output file: " + path);
+  }
+  out << ToJson().Dump(1) << "\n";
+  if (!out) {
+    return Status::IOError("failed writing trace output file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace pmkm

@@ -1,0 +1,124 @@
+// TraceRecorder + ScopedSpan: operator-level tracing in the Chrome
+// `trace_event` JSON format, so a pipeline run opens directly in
+// chrome://tracing or Perfetto (load the file produced by
+// `pmkm_cluster --trace_out=run.trace.json`).
+//
+// Usage:
+//   TraceRecorder tracer;
+//   {
+//     ScopedSpan span(&tracer, "partial.chunk", "compute");
+//     span.AddArg("cell", cell.ToString());
+//     ... work ...
+//   }  // span records a complete ("ph":"X") event on destruction
+//
+// A null recorder disables a span entirely — construction does not even
+// read the clock — which is how the pipeline stays zero-cost with tracing
+// off. Events append under a mutex; spans are per-bucket/chunk/cell
+// (hundreds to thousands per run), far off any hot path.
+
+#ifndef PMKM_OBS_TRACE_H_
+#define PMKM_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json.h"
+
+namespace pmkm {
+
+/// One recorded complete event (Chrome trace "ph":"X").
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  uint64_t start_us = 0;  // relative to the recorder's origin
+  uint64_t dur_us = 0;
+  uint32_t tid = 0;
+  std::vector<std::pair<std::string, JsonValue>> args;
+};
+
+/// Thread-safe in-memory sink for trace events.
+class TraceRecorder {
+ public:
+  TraceRecorder() : origin_(std::chrono::steady_clock::now()) {}
+
+  /// Microseconds since the recorder was created.
+  uint64_t NowMicros() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - origin_)
+            .count());
+  }
+
+  void Add(TraceEvent event);
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_.size();
+  }
+
+  std::vector<TraceEvent> Events() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+  }
+
+  /// {"traceEvents": [...], "displayTimeUnit": "ms"}.
+  JsonValue ToJson() const;
+
+  Status WriteJson(const std::string& path) const;
+
+ private:
+  // Small dense id per thread; Chrome renders one row per tid.
+  uint32_t TidLocked(std::thread::id id);
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::map<std::thread::id, uint32_t> tids_;
+  std::chrono::steady_clock::time_point origin_;
+};
+
+/// RAII span: records a complete event covering its own lifetime. Safe to
+/// construct with a null recorder (fully disabled, no clock read).
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceRecorder* recorder, std::string name,
+             std::string category = "op")
+      : recorder_(recorder) {
+    if (recorder_ == nullptr) return;
+    event_.name = std::move(name);
+    event_.category = std::move(category);
+    event_.start_us = recorder_->NowMicros();
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    if (recorder_ == nullptr) return;
+    event_.dur_us = recorder_->NowMicros() - event_.start_us;
+    recorder_->Add(std::move(event_));
+  }
+
+  bool enabled() const { return recorder_ != nullptr; }
+
+  /// Attaches a key/value argument shown in the trace viewer's detail
+  /// pane. No-op when disabled.
+  void AddArg(const std::string& key, JsonValue value) {
+    if (recorder_ == nullptr) return;
+    event_.args.emplace_back(key, std::move(value));
+  }
+
+ private:
+  TraceRecorder* recorder_;
+  TraceEvent event_;
+};
+
+}  // namespace pmkm
+
+#endif  // PMKM_OBS_TRACE_H_

@@ -6,6 +6,25 @@
 
 namespace pmkm {
 
+namespace {
+
+// "name (cap C, high-water H, N pushed)" for one exchange, or a
+// placeholder when the snapshot is missing (e.g. a failed run).
+std::string ExchangeLine(const StreamRunResult& result,
+                         const std::string& name,
+                         const std::string& payload) {
+  for (const QueueStatsSnapshot& q : result.queues) {
+    if (q.name != name) continue;
+    return "exchange \"" + name + "\" (" + payload + ", cap " +
+           std::to_string(q.capacity) + ", high-water " +
+           std::to_string(q.high_water_mark) + ", " +
+           std::to_string(q.total_pushed) + " pushed)";
+  }
+  return "exchange \"" + name + "\" (" + payload + ")";
+}
+
+}  // namespace
+
 std::string ExplainPartialMergePlan(size_t num_buckets,
                                     size_t total_points, size_t dim,
                                     const KMeansConfig& partial,
@@ -26,6 +45,56 @@ std::string ExplainPartialMergePlan(size_t num_buckets,
   os << "         └─ scan (" << num_buckets << " bucket"
      << (num_buckets == 1 ? "" : "s") << ", ~" << total_points
      << " pts, dim " << dim << ")\n";
+  return os.str();
+}
+
+std::string ExplainAnalyzePartialMerge(const KMeansConfig& partial,
+                                       const MergeKMeansConfig& merge,
+                                       const StreamRunResult& result) {
+  // Regroup the executor-ordered instance list (scan, partials, merge)
+  // into the three plan nodes; partial clones also get per-instance rows.
+  OperatorStats scan_stats;
+  OperatorStats partial_total;
+  partial_total.name = "partial-kmeans";
+  std::vector<const OperatorStats*> partial_instances;
+  OperatorStats merge_stats;
+  for (const OperatorStats& s : result.operator_stats) {
+    if (s.name.rfind("partial-kmeans", 0) == 0) {
+      partial_total.MergeFrom(s);
+      partial_instances.push_back(&s);
+    } else if (s.name == "merge-kmeans") {
+      merge_stats = s;
+    } else {
+      scan_stats = s;  // "scan" or "memory-scan"
+    }
+  }
+
+  std::ostringstream os;
+  os << "merge-kmeans (k=" << merge.k
+     << ", seeding=" << SeedingMethodToString(merge.seeding)
+     << ", restarts=" << merge.restarts << ")\n";
+  os << "│    " << merge_stats.ToString() << "\n";
+  os << "└─ " << ExchangeLine(result, "centroids", "centroid sets") << "\n";
+  os << "   └─ partial-kmeans ×" << partial_instances.size() << " clone"
+     << (partial_instances.size() == 1 ? "" : "s") << " (k=" << partial.k
+     << ", R=" << partial.restarts << ", chunk=" << result.plan.chunk_points
+     << " pts)\n";
+  os << "      │    " << partial_total.ToString() << "\n";
+  if (partial_instances.size() > 1) {
+    for (size_t i = 0; i < partial_instances.size(); ++i) {
+      os << "      │    #" << i << ": " << partial_instances[i]->ToString()
+         << "\n";
+    }
+  }
+  os << "      └─ " << ExchangeLine(result, "points", "point chunks")
+     << "\n";
+  os << "         └─ " << (scan_stats.name.empty() ? "scan" : scan_stats.name)
+     << "\n";
+  os << "            │    " << scan_stats.ToString() << "\n";
+  os << "total: wall=" << FormatSeconds(result.wall_seconds)
+     << ", cells=" << result.cells.size()
+     << ", quarantined=" << result.report.quarantined.size()
+     << (result.report.degraded ? " (DEGRADED)" : "") << "\n";
   return os.str();
 }
 

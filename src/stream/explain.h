@@ -29,6 +29,15 @@ std::string ExplainPartialMergePlan(size_t num_buckets,
                                     const MergeKMeansConfig& merge,
                                     const PhysicalPlan& plan);
 
+/// EXPLAIN ANALYZE: the same plan tree annotated with what actually
+/// happened — per-operator rows/bytes in and out, wall / thread-CPU /
+/// queue-wait time, k-means iterations and restarts, retries and drops
+/// (partial clones aggregated, then listed per instance), and per-exchange
+/// high-water marks. Exposed through `pmkm_cluster --algo=stream --stats`.
+std::string ExplainAnalyzePartialMerge(const KMeansConfig& partial,
+                                       const MergeKMeansConfig& merge,
+                                       const StreamRunResult& result);
+
 }  // namespace pmkm
 
 #endif  // PMKM_STREAM_EXPLAIN_H_

@@ -6,6 +6,8 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
+#include "obs/trace.h"
 
 namespace pmkm {
 
@@ -63,6 +65,12 @@ Status Executor::Run(const ExecutorOptions& options) {
       Operator* op = ops_[i].get();
       OperatorOutcome& outcome = report_.operators[i];
       outcome.name = op->name();
+      // Wall/CPU clocks bracket every Run() attempt of this operator; the
+      // span makes the operator's lifetime a row in the trace viewer.
+      const Stopwatch wall;
+      const ThreadCpuStopwatch cpu;
+      ScopedSpan span(op->obs().trace, "operator:" + op->name(),
+                      "executor");
       Status st;
       size_t restarts = 0;
       for (;;) {
@@ -86,8 +94,13 @@ Status Executor::Run(const ExecutorOptions& options) {
         break;
       }
       op->Finish();
+      OperatorStats& stats = op->mutable_stats();
+      stats.wall_seconds += wall.ElapsedSeconds();
+      stats.cpu_seconds += cpu.ElapsedSeconds();
+      stats.restarts += restarts;
       outcome.status = st;
       outcome.restarts = restarts;
+      outcome.stats = stats;
       if (!st.ok()) {
         const bool torn_down =
             st.IsCancelled() && failed.load(std::memory_order_acquire);

@@ -23,6 +23,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/stats.h"
 
 namespace pmkm {
 
@@ -50,7 +51,9 @@ Result<FailurePolicy> ParseFailurePolicy(const std::string& name);
 /// the operator's queues) and is called on pipeline failure.
 class Operator {
  public:
-  explicit Operator(std::string name) : name_(std::move(name)) {}
+  explicit Operator(std::string name) : name_(std::move(name)) {
+    stats_.name = name_;
+  }
   virtual ~Operator() = default;
 
   Operator(const Operator&) = delete;
@@ -81,6 +84,18 @@ class Operator {
   FailurePolicy failure_policy() const { return failure_policy_; }
   void set_failure_policy(FailurePolicy policy) { failure_policy_ = policy; }
 
+  /// Observability sinks (metrics registry + trace recorder); both null by
+  /// default. Set before Executor::Run; operators emit spans and the
+  /// executor exports stats only when the sinks are present.
+  const ObsContext& obs() const { return obs_; }
+  void set_obs(const ObsContext& obs) { obs_ = obs; }
+
+  /// Execution accounting for this instance. Written by the operator's own
+  /// executor thread during Run() and by the executor around it; read it
+  /// only after the pipeline joined (the ExecutorReport carries a copy).
+  const OperatorStats& stats() const { return stats_; }
+  OperatorStats& mutable_stats() { return stats_; }
+
   /// Monotonic count of completed work units; the executor's watchdog
   /// declares the pipeline stalled when the sum over all operators stops
   /// advancing.
@@ -95,6 +110,8 @@ class Operator {
   std::string name_;
   FailurePolicy failure_policy_ = FailurePolicy::kFailFast;
   std::atomic<uint64_t> progress_{0};
+  OperatorStats stats_;
+  ObsContext obs_;
 };
 
 /// Supervision knobs for one Executor::Run.
@@ -118,6 +135,7 @@ struct OperatorOutcome {
   Status status;
   size_t restarts = 0;
   bool skipped = false;  // failed but tolerated under kSkipAndContinue
+  OperatorStats stats;   // copied from the operator after its final Run()
 };
 
 /// What the supervision layer observed during Executor::Run.

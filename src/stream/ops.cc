@@ -7,6 +7,7 @@
 #include "common/fault.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "obs/trace.h"
 
 namespace pmkm {
 
@@ -16,6 +17,15 @@ namespace {
 uint32_t NumChunks(size_t total, size_t chunk_points) {
   if (total == 0) return 0;
   return static_cast<uint32_t>((total + chunk_points - 1) / chunk_points);
+}
+
+// Payload bytes of a point chunk / centroid set (row-major doubles; a
+// weighted row carries its weight too).
+size_t PointBytes(size_t rows, size_t dim) {
+  return rows * dim * sizeof(double);
+}
+size_t WeightedBytes(size_t rows, size_t dim) {
+  return rows * (dim + 1) * sizeof(double);
 }
 
 }  // namespace
@@ -47,10 +57,13 @@ void ScanOperator::CloseOutputOnce() {
 void ScanOperator::Finish() { CloseOutputOnce(); }
 
 Status ScanOperator::EmitBucketOnce(const std::string& path) {
+  ScopedSpan span(obs().trace, "scan.bucket", "io");
+  if (span.enabled()) span.AddArg("path", path);
   PMKM_ASSIGN_OR_RETURN(GridBucketReader reader,
                         GridBucketReader::Open(path));
   current_cell_ = reader.cell();
   cell_known_ = true;
+  if (span.enabled()) span.AddArg("cell", reader.cell().ToString());
   const uint32_t total = NumChunks(reader.total_points(), chunk_points_);
   Dataset chunk(reader.dim());
   // Fast-forward past partitions already pushed by a previous attempt
@@ -65,15 +78,24 @@ Status ScanOperator::EmitBucketOnce(const std::string& path) {
   for (;;) {
     PMKM_ASSIGN_OR_RETURN(bool more, reader.Next(chunk_points_, &chunk));
     if (!more) break;
+    const size_t rows = chunk.size();
+    const size_t bytes = PointBytes(rows, chunk.dim());
     PointChunk msg;
     msg.cell = reader.cell();
     msg.partition_id = id++;
     msg.total_partitions = total;
     msg.points = std::move(chunk);
     chunk = Dataset(reader.dim());
-    if (!out_->Push(std::move(msg))) {
+    const Stopwatch push_watch;
+    const bool pushed = out_->Push(std::move(msg));
+    mutable_stats().queue_wait_seconds += push_watch.ElapsedSeconds();
+    if (!pushed) {
       return Status::Cancelled("scan output queue cancelled");
     }
+    mutable_stats().rows_in += rows;
+    mutable_stats().bytes_in += bytes;
+    mutable_stats().rows_out += rows;
+    mutable_stats().bytes_out += bytes;
     ++partitions_emitted_;
     ++chunks_emitted_;
     TickProgress();
@@ -91,6 +113,7 @@ Status ScanOperator::EmitBucketWithRetry(const std::string& path) {
     if (st.ok() || st.IsCancelled()) return st;
     if (!retrier.AllowRetry(st)) return st;
     ++io_retries_;
+    ++mutable_stats().retries;
   }
 }
 
@@ -107,6 +130,7 @@ Status ScanOperator::Run() {
         PMKM_LOG(Warning) << "quarantining bucket " << path << ": " << st;
         quarantined_.push_back(
             QuarantinedBucket{path, current_cell_, cell_known_, st});
+        ++mutable_stats().items_dropped;
         if (cell_known_) {
           // Partitions of this cell may already be in flight; tell the
           // merge to discard the whole cell.
@@ -162,6 +186,8 @@ Status MemoryScanOperator::Run() {
   } closer{out_.get()};
 
   for (const GridBucket& cell : cells_) {
+    ScopedSpan span(obs().trace, "scan.cell", "io");
+    if (span.enabled()) span.AddArg("cell", cell.cell.ToString());
     const size_t n = cell.points.size();
     const uint32_t total = NumChunks(n, chunk_points_);
     uint32_t id = 0;
@@ -172,9 +198,18 @@ Status MemoryScanOperator::Run() {
       msg.partition_id = id++;
       msg.total_partitions = total;
       msg.points = cell.points.Slice(begin, end);
-      if (!out_->Push(std::move(msg))) {
+      const size_t rows = msg.points.size();
+      const size_t bytes = PointBytes(rows, msg.points.dim());
+      const Stopwatch push_watch;
+      const bool pushed = out_->Push(std::move(msg));
+      mutable_stats().queue_wait_seconds += push_watch.ElapsedSeconds();
+      if (!pushed) {
         return Status::Cancelled("scan output queue cancelled");
       }
+      mutable_stats().rows_in += rows;
+      mutable_stats().bytes_in += bytes;
+      mutable_stats().rows_out += rows;
+      mutable_stats().bytes_out += bytes;
       TickProgress();
     }
   }
@@ -206,7 +241,9 @@ Status PartialKMeansOperator::Run() {
   } closer{out_.get()};
 
   for (;;) {
+    const Stopwatch pop_watch;
     std::optional<PointChunk> chunk = in_->Pop();
+    mutable_stats().queue_wait_seconds += pop_watch.ElapsedSeconds();
     if (!chunk.has_value()) {
       if (in_->cancelled()) {
         return Status::Cancelled("partial input queue cancelled");
@@ -235,6 +272,9 @@ Status PartialKMeansOperator::Run() {
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
       }
     }
+    mutable_stats().rows_in += chunk->points.size();
+    mutable_stats().bytes_in +=
+        PointBytes(chunk->points.size(), chunk->points.dim());
     // Partition id feeds the seed derivation so clones stay reproducible
     // regardless of which clone picks up which chunk.
     const uint64_t tag =
@@ -243,17 +283,26 @@ Status PartialKMeansOperator::Run() {
          << 32) ^
         static_cast<uint32_t>(chunk->cell.lon_index) ^
         (static_cast<uint64_t>(chunk->partition_id) << 17);
+    ScopedSpan span(obs().trace, "partial.chunk", "compute");
+    if (span.enabled()) {
+      span.AddArg("cell", chunk->cell.ToString());
+      span.AddArg("partition", static_cast<int64_t>(chunk->partition_id));
+      span.AddArg("points", chunk->points.size());
+    }
     auto compute = [&]() -> Result<PartialResult> {
       PMKM_FAULT_POINT("op.partial");
       return partial_.Cluster(chunk->points, tag);
     };
+    size_t retries_used = 0;
     Result<PartialResult> result =
         failure_policy() == FailurePolicy::kFailFast
             ? compute()
-            : RetryCall(retry_, tag, compute);
+            : RetryCall(retry_, tag, compute, &retries_used);
+    mutable_stats().retries += retries_used;
     if (!result.ok()) {
       if (failure_policy() == FailurePolicy::kSkipAndContinue) {
         ++chunks_dropped_;
+        ++mutable_stats().items_dropped;
         PMKM_LOG(Warning) << name() << ": dropping chunk "
                           << chunk->partition_id << " of cell "
                           << chunk->cell.ToString() << ": "
@@ -270,6 +319,8 @@ Status PartialKMeansOperator::Run() {
       }
       return result.status();
     }
+    mutable_stats().kmeans_iterations += result->iterations;
+    mutable_stats().kmeans_restarts += partial_.config().restarts;
     CentroidMessage msg;
     msg.cell = chunk->cell;
     msg.partition_id = chunk->partition_id;
@@ -278,9 +329,16 @@ Status PartialKMeansOperator::Run() {
     msg.partial_sse = result->sse;
     msg.partial_iterations = result->iterations;
     msg.input_points = result->input_points;
-    if (!out_->Push(std::move(msg))) {
+    const size_t out_rows = msg.centroids.size();
+    const size_t out_bytes = WeightedBytes(out_rows, msg.centroids.dim());
+    const Stopwatch push_watch;
+    const bool pushed = out_->Push(std::move(msg));
+    mutable_stats().queue_wait_seconds += push_watch.ElapsedSeconds();
+    if (!pushed) {
       return Status::Cancelled("partial output queue cancelled");
     }
+    mutable_stats().rows_out += out_rows;
+    mutable_stats().bytes_out += out_bytes;
     ++chunks_processed_;
     TickProgress();
   }
@@ -310,8 +368,18 @@ Status MergeKMeansOperator::MergeCell(GridCellId cell) {
   for (const auto& [id, part] : pc.parts) {
     pooled.AppendAll(part);
   }
+  ScopedSpan span(obs().trace, "merge.cell", "compute");
+  if (span.enabled()) {
+    span.AddArg("cell", cell.ToString());
+    span.AddArg("pooled_centroids", pooled.size());
+  }
   const Stopwatch watch;
   PMKM_ASSIGN_OR_RETURN(ClusteringModel model, merger_.Merge(pooled));
+  mutable_stats().kmeans_iterations += model.iterations;
+  mutable_stats().kmeans_restarts += merger_.config().restarts;
+  mutable_stats().rows_out += model.centroids.size();
+  mutable_stats().bytes_out +=
+      WeightedBytes(model.centroids.size(), model.centroids.dim());
   CellClustering result;
   result.cell = cell;
   result.pooled_centroids = pooled.size();
@@ -325,7 +393,9 @@ Status MergeKMeansOperator::MergeCell(GridCellId cell) {
 
 Status MergeKMeansOperator::Run() {
   for (;;) {
+    const Stopwatch pop_watch;
     std::optional<CentroidMessage> msg = in_->Pop();
+    mutable_stats().queue_wait_seconds += pop_watch.ElapsedSeconds();
     if (!msg.has_value()) {
       if (in_->cancelled()) {
         return Status::Cancelled("merge input queue cancelled");
@@ -341,9 +411,13 @@ Status MergeKMeansOperator::Run() {
                                               : msg->drop_reason);
       pending_.erase(msg->cell);
       results_.erase(msg->cell);
+      ++mutable_stats().items_dropped;
       continue;
     }
     if (skipped_.count(msg->cell) > 0) continue;  // stragglers
+    mutable_stats().rows_in += msg->centroids.size();
+    mutable_stats().bytes_in +=
+        WeightedBytes(msg->centroids.size(), msg->centroids.dim());
     PendingCell& pc = pending_[msg->cell];
     if (!pc.initialized) {
       pc.dim = msg->centroids.dim();
@@ -375,6 +449,7 @@ Status MergeKMeansOperator::Run() {
           cell, "incomplete at end of stream (" +
                     std::to_string(pc.parts.size()) + "/" +
                     std::to_string(pc.expected) + " partitions arrived)");
+      ++mutable_stats().items_dropped;
       PMKM_LOG(Warning) << "merge: skipping incomplete cell "
                         << cell.ToString();
     }

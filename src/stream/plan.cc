@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
 
 namespace pmkm {
 
@@ -76,11 +77,26 @@ Result<StreamRunResult> RunPlan(std::unique_ptr<Operator> scan,
   auto centroids =
       std::make_shared<CentroidQueue>(plan.queue_capacity);
 
+  // Queue instruments live in the registry, so they survive the queues
+  // themselves and show up in the metrics export.
+  if (exec.obs.metrics != nullptr) {
+    MetricsRegistry* reg = exec.obs.metrics;
+    points->AttachMetrics(QueueMetrics{
+        &reg->gauge("queue.points.depth"),
+        &reg->histogram("queue.points.push_block_us"),
+        &reg->histogram("queue.points.pop_wait_us")});
+    centroids->AttachMetrics(QueueMetrics{
+        &reg->gauge("queue.centroids.depth"),
+        &reg->histogram("queue.centroids.push_block_us"),
+        &reg->histogram("queue.centroids.pop_wait_us")});
+  }
+
   const bool tolerant =
       exec.failure_policy == FailurePolicy::kSkipAndContinue;
 
   Executor executor;
   scan->set_failure_policy(exec.failure_policy);
+  scan->set_obs(exec.obs);
   executor.Add(std::move(scan));
   std::vector<PartialKMeansOperator*> partial_raw;
   for (size_t c = 0; c < plan.partial_clones; ++c) {
@@ -88,11 +104,13 @@ Result<StreamRunResult> RunPlan(std::unique_ptr<Operator> scan,
         partial_config, points, centroids,
         "partial-kmeans#" + std::to_string(c), exec.io_retry);
     partial->set_failure_policy(exec.failure_policy);
+    partial->set_obs(exec.obs);
     partial_raw.push_back(partial.get());
     executor.Add(std::move(partial));
   }
   auto merge = std::make_unique<MergeKMeansOperator>(merge_config,
                                                      centroids, tolerant);
+  merge->set_obs(exec.obs);
   MergeKMeansOperator* merge_raw = merge.get();
   executor.Add(std::move(merge));
 
@@ -139,6 +157,27 @@ Result<StreamRunResult> RunPlan(std::unique_ptr<Operator> scan,
   report.degraded = !report.quarantined.empty() ||
                     report.chunks_dropped > 0 ||
                     executor.report().degraded;
+
+  for (const OperatorOutcome& outcome : executor.report().operators) {
+    out.operator_stats.push_back(outcome.stats);
+  }
+  out.queues.push_back(QueueStatsSnapshot{
+      "points", points->capacity(), points->HighWaterMark(),
+      points->total_pushed()});
+  out.queues.push_back(QueueStatsSnapshot{
+      "centroids", centroids->capacity(), centroids->HighWaterMark(),
+      centroids->total_pushed()});
+  if (exec.obs.metrics != nullptr) {
+    for (const OperatorStats& stats : out.operator_stats) {
+      stats.ExportTo(exec.obs.metrics);
+    }
+    for (const QueueStatsSnapshot& q : out.queues) {
+      exec.obs.metrics->gauge("queue." + q.name + ".high_water")
+          .Set(static_cast<int64_t>(q.high_water_mark));
+      exec.obs.metrics->counter("queue." + q.name + ".pushed")
+          .Increment(q.total_pushed);
+    }
+  }
   return out;
 }
 

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/stats.h"
 #include "stream/ops.h"
 
 namespace pmkm {
@@ -61,6 +62,11 @@ struct StreamExecOptions {
   /// Retry/backoff policy for transient bucket-read failures
   /// (kSkipAndContinue) and failed partial chunks.
   RetryPolicy io_retry;
+
+  /// Observability sinks. Leave the pointers null (default) for a fully
+  /// uninstrumented run; set metrics and/or trace to collect a
+  /// MetricsRegistry export and a Chrome trace of the pipeline.
+  ObsContext obs;
 };
 
 /// One quarantined cell/bucket in the run report.
@@ -94,6 +100,11 @@ struct StreamRunResult {
   PhysicalPlan plan;
   double wall_seconds = 0.0;
   RunReport report;
+  /// Per-operator execution accounting (one entry per operator instance,
+  /// partial clones separate), in executor order: scan, partials, merge.
+  std::vector<OperatorStats> operator_stats;
+  /// Exchange accounting: the points and centroids queues.
+  std::vector<QueueStatsSnapshot> queues;
 };
 
 /// Compiles and executes the full plan over bucket files: one scan, the

@@ -2,6 +2,13 @@
 // operators (paper Fig. 3). Bounded capacity gives back-pressure so a fast
 // producer cannot overflow memory; producer reference counting closes the
 // queue when the last clone of the upstream operator finishes.
+//
+// Observability: the queue always tracks its high-water mark and total
+// pushed count (one compare and one increment under the mutex it already
+// holds). Optionally AttachMetrics() wires a depth gauge and block-time
+// histograms; the blocked-wait clock is only read when a producer or
+// consumer actually has to wait AND a histogram is attached, so an
+// uninstrumented queue pays nothing beyond a null check.
 
 #ifndef PMKM_STREAM_QUEUE_H_
 #define PMKM_STREAM_QUEUE_H_
@@ -12,8 +19,17 @@
 #include <optional>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
 
 namespace pmkm {
+
+/// Optional instruments for one queue; any pointer may be null.
+struct QueueMetrics {
+  Gauge* depth = nullptr;             ///< current depth (max = high water)
+  Histogram* push_block_us = nullptr; ///< producer time blocked on full
+  Histogram* pop_wait_us = nullptr;   ///< consumer time blocked on empty
+};
 
 /// MPMC bounded blocking queue with producer-count close semantics.
 template <typename T>
@@ -39,13 +55,33 @@ class BoundedBlockingQueue {
     if (--producers_ == 0) not_empty_.notify_all();
   }
 
+  /// Attaches observability instruments. Call before the pipeline starts;
+  /// not synchronized against concurrent Push/Pop.
+  void AttachMetrics(const QueueMetrics& metrics) { metrics_ = metrics; }
+
   /// Blocks while full; returns false if the queue was cancelled.
   bool Push(T item) {
     std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock,
-                   [this] { return items_.size() < capacity_ || cancelled_; });
+    const auto can_push = [this] {
+      return items_.size() < capacity_ || cancelled_;
+    };
+    if (!can_push()) {
+      if (metrics_.push_block_us != nullptr) {
+        const Stopwatch blocked;
+        not_full_.wait(lock, can_push);
+        metrics_.push_block_us->Record(
+            static_cast<double>(blocked.ElapsedMicros()));
+      } else {
+        not_full_.wait(lock, can_push);
+      }
+    }
     if (cancelled_) return false;
     items_.push_back(std::move(item));
+    ++total_pushed_;
+    if (items_.size() > high_water_) high_water_ = items_.size();
+    if (metrics_.depth != nullptr) {
+      metrics_.depth->Set(static_cast<int64_t>(items_.size()));
+    }
     not_empty_.notify_one();
     return true;
   }
@@ -54,12 +90,25 @@ class BoundedBlockingQueue {
   /// producers closed and queue drained) or cancelled.
   std::optional<T> Pop() {
     std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [this] {
+    const auto can_pop = [this] {
       return !items_.empty() || producers_ == 0 || cancelled_;
-    });
+    };
+    if (!can_pop()) {
+      if (metrics_.pop_wait_us != nullptr) {
+        const Stopwatch waited;
+        not_empty_.wait(lock, can_pop);
+        metrics_.pop_wait_us->Record(
+            static_cast<double>(waited.ElapsedMicros()));
+      } else {
+        not_empty_.wait(lock, can_pop);
+      }
+    }
     if (cancelled_ || items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
+    if (metrics_.depth != nullptr) {
+      metrics_.depth->Set(static_cast<int64_t>(items_.size()));
+    }
     not_full_.notify_one();
     return item;
   }
@@ -83,6 +132,22 @@ class BoundedBlockingQueue {
     return items_.size();
   }
 
+  /// Synonym for size(), named for the depth gauge it feeds.
+  size_t Depth() const { return size(); }
+
+  /// Deepest the queue has ever been: how hard back-pressure was leaned
+  /// on. Capacity-bounded by construction.
+  size_t HighWaterMark() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_water_;
+  }
+
+  /// Total items accepted by Push over the queue's lifetime.
+  uint64_t total_pushed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_pushed_;
+  }
+
   size_t capacity() const { return capacity_; }
 
  private:
@@ -93,6 +158,9 @@ class BoundedBlockingQueue {
   std::deque<T> items_;
   size_t producers_ = 0;
   bool cancelled_ = false;
+  size_t high_water_ = 0;
+  uint64_t total_pushed_ = 0;
+  QueueMetrics metrics_;
 };
 
 }  // namespace pmkm

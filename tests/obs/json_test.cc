@@ -1,0 +1,97 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace pmkm {
+namespace {
+
+TEST(JsonValueTest, ScalarsDumpCompactly) {
+  EXPECT_EQ(JsonValue().Dump(), "null");
+  EXPECT_EQ(JsonValue(true).Dump(), "true");
+  EXPECT_EQ(JsonValue(false).Dump(), "false");
+  EXPECT_EQ(JsonValue(42).Dump(), "42");
+  EXPECT_EQ(JsonValue(uint64_t{18446744073709551615ULL}).Dump(),
+            JsonValue(1.8446744073709552e19).Dump());
+  EXPECT_EQ(JsonValue(-7).Dump(), "-7");
+  EXPECT_EQ(JsonValue("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonValueTest, IntegralDoublesPrintAsIntegers) {
+  EXPECT_EQ(JsonValue(3.0).Dump(), "3");
+  const std::string fractional = JsonValue(3.25).Dump();
+  EXPECT_NE(fractional.find('.'), std::string::npos) << fractional;
+}
+
+TEST(JsonValueTest, ObjectPreservesInsertionOrderAndOverwrites) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("b", 1);
+  obj.Set("a", 2);
+  obj.Set("b", 3);  // overwrite in place, keep position
+  EXPECT_EQ(obj.Dump(), "{\"b\":3,\"a\":2}");
+  ASSERT_TRUE(obj.Has("a"));
+  EXPECT_EQ(obj.Find("a")->AsInt(), 2);
+  EXPECT_EQ(obj.Find("missing"), nullptr);
+}
+
+TEST(JsonValueTest, NestedDumpParseRoundTrip) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("name", "scan");
+  obj.Set("rows", 12000);
+  obj.Set("degraded", false);
+  JsonValue arr = JsonValue::Array();
+  arr.Append(1.5);
+  arr.Append("two");
+  arr.Append(JsonValue());
+  obj.Set("list", std::move(arr));
+
+  for (int indent : {-1, 0, 2}) {
+    auto parsed = JsonValue::Parse(obj.Dump(indent));
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    EXPECT_EQ(parsed->Dump(), obj.Dump());
+  }
+}
+
+TEST(JsonValueTest, EscapesControlAndQuoteCharacters) {
+  const std::string raw = "a\"b\\c\n\t\x01";
+  const std::string dumped = JsonValue(raw).Dump();
+  auto parsed = JsonValue::Parse(dumped);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->AsString(), raw);
+}
+
+TEST(JsonValueTest, ParsesUnicodeEscapes) {
+  auto parsed = JsonValue::Parse("\"\\u0041\\u00e9\"");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->AsString(), "A\xc3\xa9");
+}
+
+TEST(JsonValueTest, ParseErrors) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,]").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(JsonValue::Parse("nul").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+}
+
+TEST(JsonValueTest, ParsesNumbers) {
+  auto parsed = JsonValue::Parse("[-1, 0.5, 1e3, 2.5e-2]");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->size(), 4u);
+  EXPECT_DOUBLE_EQ(parsed->at(0).AsDouble(), -1.0);
+  EXPECT_DOUBLE_EQ(parsed->at(1).AsDouble(), 0.5);
+  EXPECT_DOUBLE_EQ(parsed->at(2).AsDouble(), 1000.0);
+  EXPECT_DOUBLE_EQ(parsed->at(3).AsDouble(), 0.025);
+}
+
+TEST(JsonValueTest, NonFiniteNumbersDumpAsNull) {
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::infinity()).Dump(),
+            "null");
+  EXPECT_EQ(JsonValue(std::nan("")).Dump(), "null");
+}
+
+}  // namespace
+}  // namespace pmkm

@@ -1,0 +1,187 @@
+// Integration coverage for the observability layer: running the real
+// partial/merge pipeline must populate per-operator stats, queue
+// snapshots, the metrics registry, the trace recorder, and the EXPLAIN
+// ANALYZE rendering.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/generator.h"
+#include "data/io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "stream/explain.h"
+#include "stream/plan.h"
+
+namespace pmkm {
+namespace {
+
+GridBucket MakeBucket(int lat, int lon, size_t n, uint64_t seed) {
+  GridBucket bucket;
+  bucket.cell = GridCellId{lat, lon};
+  Rng rng(seed);
+  MisrCellSpec spec;
+  spec.dim = 4;
+  bucket.points = GenerateMisrLikeCell(n, &rng, spec);
+  return bucket;
+}
+
+KMeansConfig PartialConfig() {
+  KMeansConfig config;
+  config.k = 5;
+  config.restarts = 2;
+  return config;
+}
+
+MergeKMeansConfig MergeConfig() {
+  MergeKMeansConfig config;
+  config.k = 5;
+  return config;
+}
+
+const OperatorStats* FindStats(const StreamRunResult& result,
+                               const std::string& name) {
+  for (const OperatorStats& s : result.operator_stats) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+TEST(ObservabilityTest, InMemoryRunPopulatesOperatorAndQueueStats) {
+  std::vector<GridBucket> cells = {MakeBucket(1, 2, 600, 7),
+                                   MakeBucket(3, 4, 600, 8)};
+  ResourceModel resources;
+  resources.cores = 3;
+  MetricsRegistry registry;
+  TraceRecorder tracer;
+  StreamExecOptions exec;
+  exec.obs.metrics = &registry;
+  exec.obs.trace = &tracer;
+  auto result = RunPartialMergeStreamInMemory(
+      cells, PartialConfig(), MergeConfig(), resources, 200, exec);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->cells.size(), 2u);
+
+  // One stats entry per operator instance: scan + clones + merge.
+  ASSERT_EQ(result->operator_stats.size(),
+            1 + result->plan.partial_clones + 1);
+  const OperatorStats* scan = FindStats(*result, "memory-scan");
+  ASSERT_NE(scan, nullptr);
+  EXPECT_EQ(scan->rows_out, 1200u);
+  EXPECT_EQ(scan->bytes_out, 1200u * 4 * sizeof(double));
+  EXPECT_GT(scan->wall_seconds, 0.0);
+
+  uint64_t partial_rows_in = 0;
+  uint64_t partial_iters = 0;
+  for (const OperatorStats& s : result->operator_stats) {
+    if (s.name.rfind("partial-kmeans", 0) == 0) {
+      partial_rows_in += s.rows_in;
+      partial_iters += s.kmeans_iterations;
+    }
+  }
+  EXPECT_EQ(partial_rows_in, 1200u);
+  EXPECT_GT(partial_iters, 0u);
+
+  const OperatorStats* merge = FindStats(*result, "merge-kmeans");
+  ASSERT_NE(merge, nullptr);
+  // 3 chunks per cell × k=5 centroids × 2 cells in, k per cell out.
+  EXPECT_EQ(merge->rows_in, 30u);
+  EXPECT_EQ(merge->rows_out, 10u);
+
+  // Queue snapshots: the mark respects capacity and everything scanned
+  // traveled through the points queue.
+  ASSERT_EQ(result->queues.size(), 2u);
+  for (const QueueStatsSnapshot& q : result->queues) {
+    EXPECT_LE(q.high_water_mark, q.capacity);
+    EXPECT_GT(q.total_pushed, 0u);
+  }
+  EXPECT_EQ(result->queues[0].name, "points");
+  EXPECT_EQ(result->queues[1].name, "centroids");
+  EXPECT_EQ(result->queues[0].total_pushed, 6u);  // 3 chunks × 2 cells
+
+  // Registry export parses and carries the per-operator counters.
+  auto parsed = JsonValue::Parse(registry.ToJsonString());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_DOUBLE_EQ(parsed->Find("counters")
+                       ->Find("op.memory-scan.rows_out")
+                       ->AsDouble(),
+                   1200.0);
+  EXPECT_TRUE(parsed->Find("histograms")->Has("queue.points.pop_wait_us"));
+
+  // The trace saw operator lifetimes and per-chunk/cell spans.
+  EXPECT_GT(tracer.size(), 0u);
+  bool saw_partial_chunk = false;
+  for (const TraceEvent& e : tracer.Events()) {
+    if (e.name == "partial.chunk") saw_partial_chunk = true;
+  }
+  EXPECT_TRUE(saw_partial_chunk);
+
+  // And the run report still works.
+  EXPECT_FALSE(result->report.Summary().empty());
+  EXPECT_FALSE(result->report.degraded);
+}
+
+TEST(ObservabilityTest, OnDiskRunPopulatesStatsAndExplainAnalyze) {
+  const std::string dir = testing::TempDir() + "/pmkm_obs_it";
+  std::filesystem::create_directories(dir);
+  std::vector<std::string> paths;
+  for (int i = 0; i < 2; ++i) {
+    const GridBucket bucket = MakeBucket(i, i, 500, 20 + i);
+    const std::string path = dir + "/bucket" + std::to_string(i) + ".pmkb";
+    ASSERT_TRUE(WriteGridBucket(path, bucket).ok());
+    paths.push_back(path);
+  }
+  ResourceModel resources;
+  resources.cores = 2;
+  MetricsRegistry registry;
+  StreamExecOptions exec;
+  exec.obs.metrics = &registry;
+  auto result = RunPartialMergeStream(paths, PartialConfig(),
+                                      MergeConfig(), resources, exec);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->cells.size(), 2u);
+
+  const OperatorStats* scan = FindStats(*result, "scan");
+  ASSERT_NE(scan, nullptr);
+  EXPECT_EQ(scan->rows_in, 1000u);
+  EXPECT_EQ(scan->rows_out, 1000u);
+  EXPECT_EQ(scan->retries, 0u);
+  EXPECT_EQ(scan->items_dropped, 0u);
+
+  const std::string analyze = ExplainAnalyzePartialMerge(
+      PartialConfig(), MergeConfig(), *result);
+  EXPECT_NE(analyze.find("merge-kmeans"), std::string::npos) << analyze;
+  EXPECT_NE(analyze.find("partial-kmeans"), std::string::npos);
+  EXPECT_NE(analyze.find("scan"), std::string::npos);
+  EXPECT_NE(analyze.find("exchange \"points\""), std::string::npos);
+  EXPECT_NE(analyze.find("exchange \"centroids\""), std::string::npos);
+  EXPECT_NE(analyze.find("rows=1000/1000"), std::string::npos);
+  EXPECT_NE(analyze.find("total: wall="), std::string::npos);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ObservabilityTest, DisabledObsLeavesSinksUntouchedButKeepsStats) {
+  std::vector<GridBucket> cells = {MakeBucket(5, 6, 300, 9)};
+  ResourceModel resources;
+  resources.cores = 2;
+  auto result = RunPartialMergeStreamInMemory(
+      cells, PartialConfig(), MergeConfig(), resources, 100,
+      StreamExecOptions{});
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Stats and queue snapshots are always collected — only the registry
+  // and trace sinks are optional.
+  EXPECT_FALSE(result->operator_stats.empty());
+  ASSERT_EQ(result->queues.size(), 2u);
+  EXPECT_EQ(result->queues[0].total_pushed, 3u);
+  const OperatorStats* scan = FindStats(*result, "memory-scan");
+  ASSERT_NE(scan, nullptr);
+  EXPECT_EQ(scan->rows_out, 300u);
+}
+
+}  // namespace
+}  // namespace pmkm

@@ -148,5 +148,77 @@ TEST(QueueTest, SizeAndCapacity) {
   q.CloseProducer();
 }
 
+TEST(QueueTest, DepthAndHighWaterMarkSingleThread) {
+  BoundedBlockingQueue<int> q(4);
+  EXPECT_EQ(q.Depth(), 0u);
+  EXPECT_EQ(q.HighWaterMark(), 0u);
+  q.AddProducer();
+  q.Push(1);
+  q.Push(2);
+  q.Push(3);
+  EXPECT_EQ(q.Depth(), 3u);
+  EXPECT_EQ(q.HighWaterMark(), 3u);
+  q.Pop();
+  q.Pop();
+  EXPECT_EQ(q.Depth(), 1u);
+  EXPECT_EQ(q.HighWaterMark(), 3u);  // sticky after draining
+  q.Push(4);
+  EXPECT_EQ(q.HighWaterMark(), 3u);  // depth 2 < previous peak
+  q.CloseProducer();
+  EXPECT_EQ(q.total_pushed(), 4u);
+}
+
+TEST(QueueTest, HighWaterMarkUnderConcurrentPushPop) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2000;
+  constexpr size_t kCapacity = 6;
+  BoundedBlockingQueue<int> q(kCapacity);
+  for (int p = 0; p < kProducers; ++p) q.AddProducer();
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) ASSERT_TRUE(q.Push(i));
+      q.CloseProducer();
+    });
+  }
+  std::atomic<size_t> consumed{0};
+  for (int c = 0; c < 2; ++c) {
+    threads.emplace_back([&] {
+      while (q.Pop()) consumed.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(consumed.load(),
+            static_cast<size_t>(kProducers) * kPerProducer);
+  EXPECT_EQ(q.total_pushed(),
+            static_cast<uint64_t>(kProducers) * kPerProducer);
+  // Fast producers vs. slow consumers must have filled the queue at least
+  // once, and the mark can never exceed the capacity bound.
+  EXPECT_GE(q.HighWaterMark(), 1u);
+  EXPECT_LE(q.HighWaterMark(), kCapacity);
+}
+
+TEST(QueueTest, AttachMetricsRecordsDepthAndBlockTimes) {
+  MetricsRegistry registry;
+  BoundedBlockingQueue<int> q(1);
+  q.AttachMetrics(QueueMetrics{&registry.gauge("q.depth"),
+                               &registry.histogram("q.push_block_us"),
+                               &registry.histogram("q.pop_wait_us")});
+  q.AddProducer();
+  ASSERT_TRUE(q.Push(1));
+  EXPECT_EQ(registry.gauge("q.depth").value(), 1);
+  std::thread producer([&] { ASSERT_TRUE(q.Push(2)); });  // blocks on full
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  EXPECT_EQ(q.Pop(), 1);
+  producer.join();
+  EXPECT_EQ(q.Pop(), 2);
+  q.CloseProducer();
+  EXPECT_EQ(q.Pop(), std::nullopt);
+  EXPECT_EQ(registry.gauge("q.depth").max(), 1);
+  // The producer blocked ~15ms before the pop made room.
+  ASSERT_GE(registry.histogram("q.push_block_us").count(), 1u);
+  EXPECT_GE(registry.histogram("q.push_block_us").max(), 1000.0);
+}
+
 }  // namespace
 }  // namespace pmkm

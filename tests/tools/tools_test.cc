@@ -5,6 +5,8 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <string>
 
 #include "cluster/serialize.h"
@@ -101,6 +103,50 @@ TEST_F(ToolsTest, EndToEndClusterAndInspect) {
     }
     EXPECT_EQ(models, 2u) << algo;
   }
+}
+
+TEST_F(ToolsTest, StreamObservabilityOutputsAndInspect) {
+  ASSERT_EQ(Run(std::string(PMKM_TOOL_GENBUCKETS) + " --out=" + Dir("b") +
+                " --mode=cells --cells=2 --n=600"),
+            0);
+  std::string buckets;
+  for (const auto& e : fs::directory_iterator(Dir("b"))) {
+    buckets += " " + e.path().string();
+  }
+  const std::string metrics = Dir("run.metrics.json");
+  const std::string prom = Dir("run.prom");
+  const std::string trace = Dir("run.trace.json");
+  const std::string stdout_file = Dir("cluster.out");
+  // --stats goes to stdout; capture it instead of discarding.
+  ASSERT_EQ(std::system((std::string(PMKM_TOOL_CLUSTER) +
+                         " --algo=stream --k=6 --restarts=2 --stats" +
+                         " --metrics_out=" + metrics +
+                         " --prom_out=" + prom + " --trace_out=" + trace +
+                         " --out=" + Dir("m") + buckets + " > " +
+                         stdout_file + " 2>&1")
+                            .c_str()),
+            0);
+
+  std::ifstream in(stdout_file);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("EXPLAIN ANALYZE"), std::string::npos) << text;
+  EXPECT_NE(text.find("merge-kmeans"), std::string::npos);
+  EXPECT_NE(text.find("partial-kmeans"), std::string::npos);
+  EXPECT_NE(text.find("exchange \"points\""), std::string::npos);
+
+  ASSERT_TRUE(fs::exists(metrics));
+  ASSERT_TRUE(fs::exists(prom));
+  ASSERT_TRUE(fs::exists(trace));
+  EXPECT_GT(fs::file_size(trace), 0u);
+
+  // Both machine-readable outputs round-trip through pmkm_inspect.
+  EXPECT_EQ(Run(std::string(PMKM_TOOL_INSPECT) + " metrics " + metrics),
+            0);
+  EXPECT_EQ(Run(std::string(PMKM_TOOL_INSPECT) + " trace " + trace), 0);
+  // Wrong subcommand/file pairings fail loudly.
+  EXPECT_NE(Run(std::string(PMKM_TOOL_INSPECT) + " metrics " + prom), 0);
+  EXPECT_NE(Run(std::string(PMKM_TOOL_INSPECT) + " trace " + metrics), 0);
 }
 
 TEST_F(ToolsTest, InspectBucket) {

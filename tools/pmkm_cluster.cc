@@ -10,6 +10,8 @@
 #include <filesystem>
 #include <iostream>
 
+#include <fstream>
+
 #include "cluster/metrics.h"
 #include "cluster/partial_merge.h"
 #include "cluster/serialize.h"
@@ -17,6 +19,8 @@
 #include "common/flags.h"
 #include "common/stopwatch.h"
 #include "data/csv.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stream/explain.h"
 #include "stream/plan.h"
 
@@ -25,6 +29,16 @@ namespace {
 int Fail(const pmkm::Status& st) {
   std::cerr << st << "\n";
   return 1;
+}
+
+pmkm::Status WriteTextFile(const std::string& path,
+                           const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  out << content;
+  if (!out.good()) {
+    return pmkm::Status::IOError("cannot write " + path);
+  }
+  return pmkm::Status::OK();
 }
 
 }  // namespace
@@ -43,6 +57,10 @@ int main(int argc, char** argv) {
   int64_t max_retries = 2;
   int64_t op_timeout_ms = 0;
   std::string faults;
+  bool stats = false;
+  std::string metrics_out;
+  std::string prom_out;
+  std::string trace_out;
   pmkm::FlagParser parser;
   parser.AddString("algo", &algo, "pm | serial | stream")
       .AddString("out", &out, "output directory for .pmkm model files")
@@ -63,6 +81,17 @@ int main(int argc, char** argv) {
                  "arm fault-injection sites, e.g. io.read:p=0.05,seed=7")
       .AddBool("explain", &explain,
                "stream: print the physical plan before running")
+      .AddBool("stats", &stats,
+               "stream: print EXPLAIN ANALYZE (per-operator stats) after "
+               "the run")
+      .AddString("metrics_out", &metrics_out,
+                 "stream: write the metrics registry as JSON here")
+      .AddString("prom_out", &prom_out,
+                 "stream: write the metrics registry as Prometheus text "
+                 "here")
+      .AddString("trace_out", &trace_out,
+                 "stream: write a Chrome trace_event JSON here (open in "
+                 "chrome://tracing or Perfetto)")
       .AddBool("quiet", &quiet, "suppress the per-cell report");
   const pmkm::Status st = parser.Parse(argc, argv);
   if (st.IsCancelled()) return 0;
@@ -125,9 +154,35 @@ int main(int argc, char** argv) {
     exec.failure_policy = *policy;
     exec.max_retries = static_cast<size_t>(max_retries);
     exec.op_timeout_ms = static_cast<uint64_t>(op_timeout_ms);
+    // Observability is on only when some output asks for it; otherwise
+    // the pipeline runs with null sinks (zero instrumentation cost).
+    pmkm::MetricsRegistry registry;
+    pmkm::TraceRecorder tracer;
+    if (stats || !metrics_out.empty() || !prom_out.empty()) {
+      exec.obs.metrics = &registry;
+    }
+    if (!trace_out.empty()) exec.obs.trace = &tracer;
     auto run = pmkm::RunPartialMergeStream(parser.positional(), partial,
                                            merge, resources, exec);
     if (!run.ok()) return Fail(run.status());
+    if (stats) {
+      std::cout << "\nEXPLAIN ANALYZE\n"
+                << pmkm::ExplainAnalyzePartialMerge(partial, merge, *run);
+    }
+    if (!metrics_out.empty()) {
+      const pmkm::Status ws =
+          WriteTextFile(metrics_out, registry.ToJsonString() + "\n");
+      if (!ws.ok()) return Fail(ws);
+    }
+    if (!prom_out.empty()) {
+      const pmkm::Status ws =
+          WriteTextFile(prom_out, registry.ToPrometheusText());
+      if (!ws.ok()) return Fail(ws);
+    }
+    if (!trace_out.empty()) {
+      const pmkm::Status ws = tracer.WriteJson(trace_out);
+      if (!ws.ok()) return Fail(ws);
+    }
     for (const auto& [id, cell] : run->cells) {
       const pmkm::Status ss = save(id, cell.model);
       if (!ss.ok()) return Fail(ss);

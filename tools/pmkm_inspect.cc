@@ -3,17 +3,26 @@
 // sniffed from the magic, not the extension.
 //
 //   $ pmkm_inspect buckets/cell_10_20.pmkb models/cell_10_20.pmkm
+//
+// Subcommands for the observability exports of `pmkm_cluster`:
+//
+//   $ pmkm_inspect metrics run.metrics.json   # registry summary
+//   $ pmkm_inspect trace run.trace.json       # top slowest spans
 
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <numeric>
+#include <sstream>
 
 #include "cluster/serialize.h"
 #include "common/flags.h"
 #include "data/io.h"
 #include "data/stats.h"
+#include "obs/json.h"
+#include "obs/stats.h"
 
 namespace {
 
@@ -77,6 +86,112 @@ int InspectModel(const std::string& path) {
   return 0;
 }
 
+pmkm::Result<pmkm::JsonValue> LoadJson(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return pmkm::Status::IOError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return pmkm::JsonValue::Parse(buf.str());
+}
+
+double NumberOr(const pmkm::JsonValue* v, double fallback = 0.0) {
+  return (v != nullptr && v->is_number()) ? v->AsDouble() : fallback;
+}
+
+// `pmkm_inspect metrics run.metrics.json`: the registry JSON written by
+// `pmkm_cluster --metrics_out`, pretty-printed per instrument kind.
+int InspectMetrics(const std::string& path) {
+  auto doc = LoadJson(path);
+  if (!doc.ok()) {
+    std::cerr << path << ": " << doc.status() << "\n";
+    return 1;
+  }
+  std::cout << path << ": metrics registry\n";
+  if (const pmkm::JsonValue* counters = doc->Find("counters");
+      counters != nullptr && counters->is_object()) {
+    std::cout << "  counters (" << counters->size() << "):\n";
+    for (const auto& [name, value] : counters->members()) {
+      std::printf("    %-40s %.0f\n", name.c_str(), value.AsDouble());
+    }
+  }
+  if (const pmkm::JsonValue* gauges = doc->Find("gauges");
+      gauges != nullptr && gauges->is_object()) {
+    std::cout << "  gauges (" << gauges->size() << "):\n";
+    for (const auto& [name, value] : gauges->members()) {
+      std::printf("    %-40s %.0f (max %.0f)\n", name.c_str(),
+                  NumberOr(value.Find("value")),
+                  NumberOr(value.Find("max")));
+    }
+  }
+  if (const pmkm::JsonValue* hists = doc->Find("histograms");
+      hists != nullptr && hists->is_object()) {
+    std::cout << "  histograms (" << hists->size() << "):\n";
+    for (const auto& [name, value] : hists->members()) {
+      std::printf(
+          "    %-40s n=%-6.0f p50=%-9.1f p95=%-9.1f p99=%-9.1f max=%.1f\n",
+          name.c_str(), NumberOr(value.Find("count")),
+          NumberOr(value.Find("p50")), NumberOr(value.Find("p95")),
+          NumberOr(value.Find("p99")), NumberOr(value.Find("max")));
+    }
+  }
+  return 0;
+}
+
+// `pmkm_inspect trace run.trace.json`: the Chrome trace written by
+// `pmkm_cluster --trace_out`; per-category rollup plus the slowest spans.
+int InspectTrace(const std::string& path) {
+  auto doc = LoadJson(path);
+  if (!doc.ok()) {
+    std::cerr << path << ": " << doc.status() << "\n";
+    return 1;
+  }
+  const pmkm::JsonValue* events = doc->Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    std::cerr << path << ": no traceEvents array (not a Chrome trace?)\n";
+    return 1;
+  }
+  struct Rollup {
+    size_t count = 0;
+    double total_us = 0.0;
+  };
+  std::map<std::string, Rollup> by_name;
+  std::vector<const pmkm::JsonValue*> spans;
+  for (const pmkm::JsonValue& e : events->items()) {
+    if (!e.is_object()) continue;
+    const pmkm::JsonValue* name = e.Find("name");
+    if (name == nullptr || !name->is_string()) continue;
+    Rollup& r = by_name[name->AsString()];
+    ++r.count;
+    r.total_us += NumberOr(e.Find("dur"));
+    spans.push_back(&e);
+  }
+  std::cout << path << ": chrome trace, " << spans.size() << " span(s)\n";
+  std::cout << "  by name:\n";
+  for (const auto& [name, r] : by_name) {
+    std::printf("    %-28s x%-5zu total=%s\n", name.c_str(), r.count,
+                pmkm::FormatSeconds(r.total_us * 1e-6).c_str());
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const pmkm::JsonValue* a, const pmkm::JsonValue* b) {
+              return NumberOr(a->Find("dur")) > NumberOr(b->Find("dur"));
+            });
+  const size_t top = std::min<size_t>(10, spans.size());
+  std::cout << "  slowest " << top << ":\n";
+  for (size_t i = 0; i < top; ++i) {
+    const pmkm::JsonValue& e = *spans[i];
+    std::printf("    %-28s tid=%-3.0f %s",
+                e.Find("name")->AsString().c_str(),
+                NumberOr(e.Find("tid")),
+                pmkm::FormatSeconds(NumberOr(e.Find("dur")) * 1e-6).c_str());
+    if (const pmkm::JsonValue* args = e.Find("args");
+        args != nullptr && args->is_object() && args->size() > 0) {
+      std::printf("  %s", args->Dump().c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -84,11 +199,28 @@ int main(int argc, char** argv) {
   const pmkm::Status st = parser.Parse(argc, argv);
   if (st.IsCancelled()) return 0;
   if (!st.ok() || parser.positional().empty()) {
-    std::cerr << "usage: " << argv[0] << " file.pmkb|file.pmkm ...\n";
+    std::cerr << "usage: " << argv[0]
+              << " file.pmkb|file.pmkm ...\n"
+              << "       " << argv[0] << " metrics run.metrics.json ...\n"
+              << "       " << argv[0] << " trace run.trace.json ...\n";
     return 1;
   }
+  std::vector<std::string> paths = parser.positional();
+  const std::string& sub = paths.front();
+  if (sub == "metrics" || sub == "trace") {
+    if (paths.size() < 2) {
+      std::cerr << "usage: " << argv[0] << " " << sub << " file.json ...\n";
+      return 1;
+    }
+    int rc = 0;
+    for (size_t i = 1; i < paths.size(); ++i) {
+      rc |= sub == "metrics" ? InspectMetrics(paths[i])
+                             : InspectTrace(paths[i]);
+    }
+    return rc;
+  }
   int rc = 0;
-  for (const std::string& path : parser.positional()) {
+  for (const std::string& path : paths) {
     std::ifstream in(path, std::ios::binary);
     uint32_t magic = 0;
     in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
