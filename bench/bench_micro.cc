@@ -8,6 +8,7 @@
 
 #include "cluster/distance.h"
 #include "cluster/hamerly.h"
+#include "cluster/kernels/kernel.h"
 #include "cluster/kmeans.h"
 #include "cluster/merge.h"
 #include "cluster/parallel_lloyd.h"
@@ -147,6 +148,61 @@ void BM_PartialChunk(benchmark::State& state) {
 BENCHMARK(BM_PartialChunk)->Arg(1000)->Arg(5000)
     ->Unit(benchmark::kMillisecond);
 
+void BM_AssignBlock(benchmark::State& state, const DistanceKernel* kernel,
+                    size_t dim) {
+  // The assignment hot path in isolation: distances + argmin for a block
+  // of points against k=40 centroids, per kernel implementation. Same
+  // workload for every kernel, so items_per_second ratios are the
+  // scalar-vs-SIMD speed-up the kernel layer buys.
+  const size_t n = 4096;
+  const size_t k = 40;
+  const Dataset points = MakePoints(n, dim, 4);
+  const Dataset centroids = MakePoints(k, dim, 2);
+  CentroidBlock block;
+  block.Load(centroids);
+  std::vector<uint32_t> assign(n);
+  std::vector<double> dist2(n);
+  for (auto _ : state) {
+    kernel->AssignBlock(points.data(), n, dim, block, assign.data(),
+                        dist2.data());
+    benchmark::DoNotOptimize(assign.data());
+    benchmark::DoNotOptimize(dist2.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_AssignBlockSecond(benchmark::State& state,
+                          const DistanceKernel* kernel, size_t dim) {
+  // Same, with the second-best distance Hamerly's lower bound needs.
+  const size_t n = 4096;
+  const size_t k = 40;
+  const Dataset points = MakePoints(n, dim, 4);
+  const Dataset centroids = MakePoints(k, dim, 2);
+  CentroidBlock block;
+  block.Load(centroids);
+  std::vector<uint32_t> assign(n);
+  std::vector<double> dist2(n), second2(n);
+  for (auto _ : state) {
+    kernel->AssignBlock(points.data(), n, dim, block, assign.data(),
+                        dist2.data(), second2.data());
+    benchmark::DoNotOptimize(assign.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void RegisterKernelSweeps() {
+  for (const DistanceKernel* kernel : AvailableKernels()) {
+    for (size_t dim : {6u, 16u, 64u}) {
+      const std::string tag =
+          std::string(kernel->name()) + "/d" + std::to_string(dim);
+      benchmark::RegisterBenchmark(("BM_AssignBlock/" + tag).c_str(),
+                                   BM_AssignBlock, kernel, dim);
+      benchmark::RegisterBenchmark(("BM_AssignBlockSecond/" + tag).c_str(),
+                                   BM_AssignBlockSecond, kernel, dim);
+    }
+  }
+}
+
 void BM_QueueThroughput(benchmark::State& state) {
   // Producer/consumer pair shuttling PointChunk-sized payloads.
   const size_t batch = 256;
@@ -237,4 +293,11 @@ BENCHMARK(BM_ObsSpanEnabled);
 }  // namespace
 }  // namespace pmkm
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  pmkm::RegisterKernelSweeps();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -20,7 +20,7 @@
 
 #include "bench/bench_util.h"
 #include "common/stopwatch.h"
-#include "stream/plan.h"
+#include "stream/engine.h"
 
 namespace pmkm {
 namespace bench {
@@ -121,8 +121,12 @@ int Main(int argc, char** argv) {
   for (size_t clones : {1u, 2u, 4u, 8u}) {
     ResourceModel resources;
     resources.cores = clones + 1;  // planner reserves one for scan+merge
-    auto result = RunPartialMergeStreamInMemory(
-        {bucket}, pconfig, mconfig, resources, chunk_points);
+    auto result = PipelineBuilder()
+                      .WithPartialKMeans(pconfig)
+                      .WithMerge(mconfig)
+                      .WithResources(resources)
+                      .WithChunkPoints(chunk_points)
+                      .RunInMemory({bucket});
     PMKM_CHECK(result.ok()) << result.status();
     const double wall = result->wall_seconds * 1e3;
     if (clones == 1) base_wall = wall;

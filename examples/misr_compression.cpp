@@ -17,7 +17,7 @@
 #include "common/stopwatch.h"
 #include "data/misr.h"
 #include "histogram/histogram.h"
-#include "stream/plan.h"
+#include "stream/engine.h"
 
 int main(int argc, char** argv) {
   int64_t orbits = 8;
@@ -85,7 +85,11 @@ int main(int argc, char** argv) {
   resources.memory_bytes_per_operator = 64 << 10;  // tight: force chunking
 
   const pmkm::Stopwatch watch;
-  auto run = pmkm::RunPartialMergeStream(paths, partial, merge, resources);
+  auto run = pmkm::PipelineBuilder()
+                 .WithPartialKMeans(partial)
+                 .WithMerge(merge)
+                 .WithResources(resources)
+                 .Run(paths);
   if (!run.ok()) {
     std::cerr << "stream run failed: " << run.status() << "\n";
     return 1;

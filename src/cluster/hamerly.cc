@@ -4,7 +4,7 @@
 #include <cmath>
 #include <limits>
 
-#include "cluster/distance.h"
+#include "cluster/kernels/kernel.h"
 
 namespace pmkm {
 
@@ -12,9 +12,20 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-// Exact L2 distance.
-double Dist(const double* a, const double* b, size_t dim) {
-  return std::sqrt(SquaredL2(a, b, dim));
+/// Points per batched AssignBlock call (both the initial pass and the
+/// gathered full-scan flushes).
+constexpr size_t kAssignTile = 256;
+
+// Exact squared L2, same accumulation order as the kernels. Used only on
+// kernel-independent paths (upper-bound tightening, repair), so its value
+// is identical whichever kernel runs the scans.
+double SqDist(const double* a, const double* b, size_t dim) {
+  double acc = 0.0;
+  for (size_t d = 0; d < dim; ++d) {
+    const double diff = a[d] - b[d];
+    acc += diff * diff;
+  }
+  return acc;
 }
 
 }  // namespace
@@ -36,6 +47,9 @@ Result<ClusteringModel> RunHamerlyLloyd(const WeightedDataset& data,
   }
   PMKM_CHECK(rng != nullptr);
 
+  const DistanceKernel& kernel =
+      config.kernel != nullptr ? *config.kernel : DefaultKernel();
+
   ClusteringModel model;
   model.centroids = std::move(initial_centroids);
   model.weights.assign(k, 0.0);
@@ -47,54 +61,47 @@ Result<ClusteringModel> RunHamerlyLloyd(const WeightedDataset& data,
   std::vector<double> sums(k * dim, 0.0);
   std::vector<double> mass(k, 0.0);
 
+  CentroidBlock block;
+  const size_t tile_cap = std::min(n, kAssignTile);
+  std::vector<double> dist2(tile_cap);
+  std::vector<double> second2(tile_cap);
+  std::vector<uint32_t> tile_assign(tile_cap);
+  // Gather scratch for the batched full-scan path: packed copies of the
+  // points that survived bound pruning, plus their original indices.
+  std::vector<double> gather_points(tile_cap * dim);
+  std::vector<size_t> gather_idx(tile_cap);
+
   // --- Initial exact assignment, builds running sums -------------------
-  {
-    for (size_t i = 0; i < n; ++i) {
-      const double* x = points + i * dim;
-      size_t best = 0;
-      double d_best = kInf, d_second = kInf;
-      for (size_t j = 0; j < k; ++j) {
-        const double d =
-            Dist(x, model.centroids.data() + j * dim, dim);
-        if (d < d_best) {
-          d_second = d_best;
-          d_best = d;
-          best = j;
-        } else if (d < d_second) {
-          d_second = d;
-        }
-      }
-      assign[i] = static_cast<uint32_t>(best);
-      upper[i] = d_best;
-      lower[i] = d_second;
-      const double w = data.weight(i);
-      double* sum = sums.data() + best * dim;
-      for (size_t d = 0; d < dim; ++d) sum[d] += w * x[d];
-      mass[best] += w;
+  block.Load(model.centroids);
+  for (size_t i0 = 0; i0 < n; i0 += kAssignTile) {
+    const size_t tile = std::min(kAssignTile, n - i0);
+    kernel.AssignBlock(points + i0 * dim, tile, dim, block,
+                       assign.data() + i0, dist2.data(), second2.data());
+    for (size_t t = 0; t < tile; ++t) {
+      upper[i0 + t] = std::sqrt(dist2[t]);
+      lower[i0 + t] = std::sqrt(second2[t]);
     }
   }
+  kernel.AccumulateBlock(points, data.weights().data(), n, dim,
+                         assign.data(), sums.data(), mass.data());
 
   std::vector<double> drift(k, 0.0);
   std::vector<double> s(k, 0.0);  // half-distance to nearest other center
-  std::vector<double> old_center(dim);
+  std::vector<double> old_centroids(k * dim);
 
   size_t iter = 0;
   bool need_full_rescan = false;
   for (iter = 0; iter < config.max_iterations; ++iter) {
-    // Update centroids from the running sums; record drifts.
-    double max_drift = 0.0;
+    // Update centroids from the running sums (starved centroids stay put
+    // and are repaired below).
+    std::copy(model.centroids.data(), model.centroids.data() + k * dim,
+              old_centroids.begin());
     for (size_t j = 0; j < k; ++j) {
-      if (mass[j] <= 0.0) {
-        drift[j] = 0.0;
-        continue;  // starved; repaired below
-      }
+      if (mass[j] <= 0.0) continue;
       double* c = model.centroids.mutable_data() + j * dim;
-      std::copy(c, c + dim, old_center.begin());
       const double inv = 1.0 / mass[j];
       const double* sum = sums.data() + j * dim;
       for (size_t d = 0; d < dim; ++d) c[d] = sum[d] * inv;
-      drift[j] = Dist(old_center.data(), c, dim);
-      max_drift = std::max(max_drift, drift[j]);
     }
 
     // Empty-cluster repair (rare): re-seed to the point farthest from its
@@ -107,9 +114,9 @@ Result<ClusteringModel> RunHamerlyLloyd(const WeightedDataset& data,
       double far_d = -1.0;
       for (size_t i = 0; i < n; ++i) {
         if (mass[assign[i]] <= data.weight(i)) continue;  // would starve
-        const double d = Dist(points + i * dim,
-                              model.centroids.data() + assign[i] * dim,
-                              dim);
+        const double d = SqDist(points + i * dim,
+                                model.centroids.data() + assign[i] * dim,
+                                dim);
         if (d > far_d) {
           far_d = d;
           far_i = i;
@@ -134,75 +141,80 @@ Result<ClusteringModel> RunHamerlyLloyd(const WeightedDataset& data,
     }
     if (repaired) need_full_rescan = true;
 
+    // drift(j) = ‖old_j − new_j‖ and s(j) = half the distance to the
+    // nearest other centroid, both from the kernel. The block holds the
+    // post-repair centroids and is reused by the full scans below.
+    block.Load(model.centroids);
+    kernel.CentroidDriftAndSeparation(old_centroids.data(),
+                                      model.centroids.data(), block, k, dim,
+                                      drift.data(), s.data());
+
     // Loosen bounds by the centroid drifts.
-    if (max_drift > 0.0 && !need_full_rescan) {
-      for (size_t i = 0; i < n; ++i) {
-        upper[i] += drift[assign[i]];
-        lower[i] -= max_drift;
+    if (!need_full_rescan) {
+      double max_drift = 0.0;
+      for (size_t j = 0; j < k; ++j) max_drift = std::max(max_drift, drift[j]);
+      if (max_drift > 0.0) {
+        for (size_t i = 0; i < n; ++i) {
+          upper[i] += drift[assign[i]];
+          lower[i] -= max_drift;
+        }
       }
     }
 
-    // s(j): half the distance to the nearest other centroid.
-    for (size_t j = 0; j < k; ++j) {
-      double nearest = kInf;
-      for (size_t j2 = 0; j2 < k; ++j2) {
-        if (j2 == j) continue;
-        nearest = std::min(
-            nearest, Dist(model.centroids.data() + j * dim,
-                          model.centroids.data() + j2 * dim, dim));
-      }
-      s[j] = 0.5 * nearest;
-    }
-
-    // Assignment pass with bound pruning.
+    // Assignment pass with bound pruning. Points that survive pruning are
+    // gathered into a packed tile and batched through AssignBlock.
     size_t changed = 0;
+    size_t pending = 0;
+    auto flush = [&]() {
+      if (pending == 0) return;
+      kernel.AssignBlock(gather_points.data(), pending, dim, block,
+                         tile_assign.data(), dist2.data(), second2.data());
+      for (size_t t = 0; t < pending; ++t) {
+        const size_t i = gather_idx[t];
+        const size_t best = tile_assign[t];
+        const size_t a = assign[i];
+        upper[i] = std::sqrt(dist2[t]);
+        lower[i] = std::sqrt(second2[t]);
+        if (best != a) {
+          const double w = data.weight(i);
+          const double* x = points + i * dim;
+          double* old_sum = sums.data() + a * dim;
+          double* new_sum = sums.data() + best * dim;
+          for (size_t d = 0; d < dim; ++d) {
+            old_sum[d] -= w * x[d];
+            new_sum[d] += w * x[d];
+          }
+          mass[a] -= w;
+          mass[best] += w;
+          assign[i] = static_cast<uint32_t>(best);
+          ++changed;
+        }
+      }
+      pending = 0;
+    };
     for (size_t i = 0; i < n; ++i) {
       const size_t a = assign[i];
       const double* x = points + i * dim;
-      if (need_full_rescan) {
-        // fall through to the full scan below with bounds reset
-      } else {
+      if (!need_full_rescan) {
         const double m = std::max(s[a], lower[i]);
         if (upper[i] <= m) {
           if (stats != nullptr) ++stats->bound_skips;
           continue;
         }
         // Tighten the upper bound with one exact distance.
-        upper[i] = Dist(x, model.centroids.data() + a * dim, dim);
+        upper[i] =
+            std::sqrt(SqDist(x, model.centroids.data() + a * dim, dim));
         if (upper[i] <= m) {
           if (stats != nullptr) ++stats->bound_skips;
           continue;
         }
       }
       if (stats != nullptr) ++stats->full_scans;
-      size_t best = 0;
-      double d_best = kInf, d_second = kInf;
-      for (size_t j = 0; j < k; ++j) {
-        const double d = Dist(x, model.centroids.data() + j * dim, dim);
-        if (d < d_best) {
-          d_second = d_best;
-          d_best = d;
-          best = j;
-        } else if (d < d_second) {
-          d_second = d;
-        }
-      }
-      upper[i] = d_best;
-      lower[i] = d_second;
-      if (best != a) {
-        const double w = data.weight(i);
-        double* old_sum = sums.data() + a * dim;
-        double* new_sum = sums.data() + best * dim;
-        for (size_t d = 0; d < dim; ++d) {
-          old_sum[d] -= w * x[d];
-          new_sum[d] += w * x[d];
-        }
-        mass[a] -= w;
-        mass[best] += w;
-        assign[i] = static_cast<uint32_t>(best);
-        ++changed;
-      }
+      std::copy(x, x + dim, gather_points.data() + pending * dim);
+      gather_idx[pending] = i;
+      if (++pending == tile_cap) flush();
     }
+    flush();
     need_full_rescan = false;
 
     // Fixpoint: nothing moved, so the next centroid update is a no-op and
@@ -217,16 +229,19 @@ Result<ClusteringModel> RunHamerlyLloyd(const WeightedDataset& data,
 
   // Final exact bookkeeping (same as RunWeightedLloyd).
   {
-    const std::vector<double> norms = CentroidSquaredNorms(model.centroids);
+    block.Load(model.centroids);
     std::fill(model.weights.begin(), model.weights.end(), 0.0);
     double final_sse = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      const double* x = points + i * dim;
-      const Nearest nearest = NearestCentroid(x, model.centroids, norms);
-      assign[i] = static_cast<uint32_t>(nearest.index);
-      const double w = data.weight(i);
-      model.weights[nearest.index] += w;
-      final_sse += w * nearest.distance_sq;
+    for (size_t i0 = 0; i0 < n; i0 += kAssignTile) {
+      const size_t tile = std::min(kAssignTile, n - i0);
+      kernel.AssignBlock(points + i0 * dim, tile, dim, block,
+                         assign.data() + i0, dist2.data());
+      for (size_t t = 0; t < tile; ++t) {
+        const size_t i = i0 + t;
+        const double w = data.weight(i);
+        model.weights[assign[i]] += w;
+        final_sse += w * dist2[t];
+      }
     }
     model.sse = final_sse;
     const double total = data.TotalWeight();

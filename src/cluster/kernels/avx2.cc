@@ -1,0 +1,207 @@
+// AVX2 distance kernel. This TU is the only one compiled with
+// -mavx2 -mfma (see src/cluster/CMakeLists.txt), so the rest of the build
+// stays portable; availability is re-checked at runtime via CPUID before
+// dispatch ever lands here.
+//
+// Determinism (must match kernels/scalar.cc bit-for-bit):
+//  - each SIMD lane owns one centroid and accumulates (x[d] − c[d])² over
+//    d in ascending order with separate mul + add (never vfmadd — the
+//    different rounding of a fused multiply-add would break cross-kernel
+//    parity), so a lane's distance equals the scalar kernel's exactly;
+//  - lane updates use strictly-less compares, and the horizontal reduce
+//    prefers the smaller centroid index on bitwise-equal distances —
+//    together equivalent to the scalar ascending-j scan;
+//  - padded lanes (CentroidBlock columns j >= k hold +inf coordinates)
+//    produce +inf distances and can never win.
+
+#include "cluster/kernels/internal.h"
+
+#if defined(__AVX2__) && (defined(__x86_64__) || defined(_M_X64))
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <limits>
+
+namespace pmkm {
+namespace kernels {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Squared distances of point x to the 4 centroids starting at padded
+// column j0, accumulated in ascending-d order (one mul + one add per
+// coordinate, matching the scalar kernel).
+inline __m256d Distance4(const double* x, const double* ct, size_t kp,
+                         size_t dim, size_t j0) {
+  __m256d acc = _mm256_setzero_pd();
+  for (size_t d = 0; d < dim; ++d) {
+    const __m256d xd = _mm256_set1_pd(x[d]);
+    const __m256d c = _mm256_loadu_pd(ct + d * kp + j0);
+    const __m256d diff = _mm256_sub_pd(xd, c);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(diff, diff));
+  }
+  return acc;
+}
+
+class Avx2DistanceKernel final : public DistanceKernel {
+ public:
+  const char* name() const override { return "avx2"; }
+  KernelKind kind() const override { return KernelKind::kAvx2; }
+
+  void AssignBlock(const double* points, size_t n, size_t dim,
+                   const CentroidBlock& centroids, uint32_t* assign,
+                   double* dist2, double* second2) const override {
+    const size_t k = centroids.k();
+    const size_t kp = centroids.padded_k();
+    const double* ct = centroids.transposed();
+    PMKM_DCHECK(k > 0 && centroids.dim() == dim && kp % 4 == 0);
+
+    const __m256d inf = _mm256_set1_pd(kInf);
+    const __m256i step = _mm256_set1_epi64x(4);
+    for (size_t i = 0; i < n; ++i) {
+      const double* x = points + i * dim;
+      __m256d best_d = inf;
+      __m256d second_d = inf;
+      __m256i best_j = _mm256_setr_epi64x(0, 1, 2, 3);
+      __m256i j_vec = best_j;
+      for (size_t j0 = 0; j0 < kp; j0 += 4) {
+        const __m256d d4 = Distance4(x, ct, kp, dim, j0);
+        const __m256d lt_best = _mm256_cmp_pd(d4, best_d, _CMP_LT_OQ);
+        // second := lt_best ? old best : min(d4, second)
+        const __m256d min_second = _mm256_min_pd(d4, second_d);
+        second_d = _mm256_blendv_pd(min_second, best_d, lt_best);
+        best_d = _mm256_blendv_pd(best_d, d4, lt_best);
+        best_j = _mm256_castpd_si256(_mm256_blendv_pd(
+            _mm256_castsi256_pd(best_j), _mm256_castsi256_pd(j_vec),
+            lt_best));
+        j_vec = _mm256_add_epi64(j_vec, step);
+      }
+
+      alignas(32) double bd[4];
+      alignas(32) double sd[4];
+      alignas(32) int64_t bj[4];
+      _mm256_store_pd(bd, best_d);
+      _mm256_store_pd(sd, second_d);
+      _mm256_store_si256(reinterpret_cast<__m256i*>(bj), best_j);
+
+      // Horizontal reduce: smallest distance, ties to the smaller index —
+      // identical to the scalar ascending-j scan.
+      int w = 0;
+      for (int l = 1; l < 4; ++l) {
+        if (bd[l] < bd[w] || (bd[l] == bd[w] && bj[l] < bj[w])) w = l;
+      }
+      double d_second = sd[w];
+      for (int l = 0; l < 4; ++l) {
+        if (l != w && bd[l] < d_second) d_second = bd[l];
+      }
+      assign[i] = static_cast<uint32_t>(bj[w]);
+      dist2[i] = bd[w];
+      if (second2 != nullptr) second2[i] = d_second;
+    }
+  }
+
+  void AccumulateBlock(const double* points, const double* weights,
+                       size_t n, size_t dim, const uint32_t* assign,
+                       double* sums, double* cluster_weight) const override {
+    for (size_t i = 0; i < n; ++i) {
+      const double* x = points + i * dim;
+      const double w = weights != nullptr ? weights[i] : 1.0;
+      double* sum = sums + assign[i] * dim;
+      const __m256d wv = _mm256_set1_pd(w);
+      size_t d = 0;
+      for (; d + 4 <= dim; d += 4) {
+        const __m256d xv = _mm256_loadu_pd(x + d);
+        const __m256d sv = _mm256_loadu_pd(sum + d);
+        // mul + add (not FMA): bitwise-equal to the scalar kernel.
+        _mm256_storeu_pd(sum + d,
+                         _mm256_add_pd(sv, _mm256_mul_pd(wv, xv)));
+      }
+      for (; d < dim; ++d) sum[d] += w * x[d];
+      cluster_weight[assign[i]] += w;
+    }
+  }
+
+  void CentroidDriftAndSeparation(const double* old_centroids,
+                                  const double* new_centroids,
+                                  const CentroidBlock& block, size_t k,
+                                  size_t dim, double* drift,
+                                  double* s) const override {
+    PMKM_DCHECK(block.k() == k && block.dim() == dim);
+    if (drift != nullptr) {
+      // k×dim is tiny next to the n×k assignment scan; the scalar loop is
+      // already exact and fast enough.
+      for (size_t j = 0; j < k; ++j) {
+        const double* o = old_centroids + j * dim;
+        const double* c = new_centroids + j * dim;
+        double acc = 0.0;
+        for (size_t d = 0; d < dim; ++d) {
+          const double diff = o[d] - c[d];
+          acc += diff * diff;
+        }
+        drift[j] = std::sqrt(acc);
+      }
+    }
+    const size_t kp = block.padded_k();
+    const double* ct = block.transposed();
+    const __m256d inf = _mm256_set1_pd(kInf);
+    const __m256i step = _mm256_set1_epi64x(4);
+    for (size_t j = 0; j < k; ++j) {
+      const double* c = new_centroids + j * dim;
+      const __m256i self = _mm256_set1_epi64x(static_cast<int64_t>(j));
+      __m256i j_vec = _mm256_setr_epi64x(0, 1, 2, 3);
+      __m256d nearest = inf;
+      for (size_t j0 = 0; j0 < kp; j0 += 4) {
+        __m256d d4 = Distance4(c, ct, kp, dim, j0);
+        // Mask out the self-distance lane (j2 == j).
+        const __m256d is_self =
+            _mm256_castsi256_pd(_mm256_cmpeq_epi64(j_vec, self));
+        d4 = _mm256_blendv_pd(d4, inf, is_self);
+        nearest = _mm256_min_pd(nearest, d4);
+        j_vec = _mm256_add_epi64(j_vec, step);
+      }
+      alignas(32) double nd[4];
+      _mm256_store_pd(nd, nearest);
+      double min_sq = nd[0];
+      for (int l = 1; l < 4; ++l) {
+        if (nd[l] < min_sq) min_sq = nd[l];
+      }
+      s[j] = 0.5 * std::sqrt(min_sq);
+    }
+  }
+};
+
+}  // namespace
+
+const DistanceKernel* Avx2Kernel() {
+  static const Avx2DistanceKernel kernel;
+  return &kernel;
+}
+
+bool CpuSupportsAvx2() {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+
+}  // namespace kernels
+}  // namespace pmkm
+
+#else  // !__AVX2__
+
+namespace pmkm {
+namespace kernels {
+
+const DistanceKernel* Avx2Kernel() { return nullptr; }
+
+bool CpuSupportsAvx2() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+}  // namespace kernels
+}  // namespace pmkm
+
+#endif  // __AVX2__

@@ -1,0 +1,25 @@
+// Internal wiring between the kernel dispatcher and the per-ISA
+// translation units. Each ISA TU exposes one factory that returns its
+// singleton kernel, or nullptr when the TU was built without that ISA
+// (the dispatcher then treats the kind as unavailable).
+
+#ifndef PMKM_CLUSTER_KERNELS_INTERNAL_H_
+#define PMKM_CLUSTER_KERNELS_INTERNAL_H_
+
+#include "cluster/kernels/kernel.h"
+
+namespace pmkm {
+namespace kernels {
+
+const DistanceKernel* ScalarKernel();  // never null
+const DistanceKernel* Avx2Kernel();    // null unless built for x86-64
+const DistanceKernel* NeonKernel();    // null unless built for aarch64
+
+/// Runtime CPU probe for the AVX2+FMA path (build-time support is a
+/// separate question answered by Avx2Kernel() != nullptr).
+bool CpuSupportsAvx2();
+
+}  // namespace kernels
+}  // namespace pmkm
+
+#endif  // PMKM_CLUSTER_KERNELS_INTERNAL_H_

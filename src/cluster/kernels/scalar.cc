@@ -1,0 +1,119 @@
+// Scalar reference kernel — the portable ground truth every SIMD variant
+// must match bit-for-bit. The determinism contract this file defines (and
+// kernel_parity_test enforces):
+//
+//  - distance(i, j) accumulates (x[d] − c[d])² over d in ascending order
+//    into a single accumulator, with no FMA contraction (this TU builds
+//    with -ffp-contract=off);
+//  - the argmin scans j in ascending order and replaces only on a strictly
+//    smaller distance, so ties break toward the lower centroid index;
+//  - AccumulateBlock applies exactly one w·x[d] multiply and one add per
+//    (point, coordinate), in ascending point order.
+
+#include <cmath>
+#include <limits>
+
+#include "cluster/kernels/internal.h"
+
+namespace pmkm {
+namespace kernels {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+class ScalarDistanceKernel final : public DistanceKernel {
+ public:
+  const char* name() const override { return "scalar"; }
+  KernelKind kind() const override { return KernelKind::kScalar; }
+
+  void AssignBlock(const double* points, size_t n, size_t dim,
+                   const CentroidBlock& centroids, uint32_t* assign,
+                   double* dist2, double* second2) const override {
+    const size_t k = centroids.k();
+    const size_t kp = centroids.padded_k();
+    const double* ct = centroids.transposed();
+    PMKM_DCHECK(k > 0 && centroids.dim() == dim);
+    for (size_t i = 0; i < n; ++i) {
+      const double* x = points + i * dim;
+      size_t best = 0;
+      double d_best = kInf;
+      double d_second = kInf;
+      for (size_t j = 0; j < k; ++j) {
+        double acc = 0.0;
+        for (size_t d = 0; d < dim; ++d) {
+          const double diff = x[d] - ct[d * kp + j];
+          acc += diff * diff;
+        }
+        if (acc < d_best) {
+          d_second = d_best;
+          d_best = acc;
+          best = j;
+        } else if (acc < d_second) {
+          d_second = acc;
+        }
+      }
+      assign[i] = static_cast<uint32_t>(best);
+      dist2[i] = d_best;
+      if (second2 != nullptr) second2[i] = d_second;
+    }
+  }
+
+  void AccumulateBlock(const double* points, const double* weights,
+                       size_t n, size_t dim, const uint32_t* assign,
+                       double* sums, double* cluster_weight) const override {
+    for (size_t i = 0; i < n; ++i) {
+      const double* x = points + i * dim;
+      const double w = weights != nullptr ? weights[i] : 1.0;
+      double* sum = sums + assign[i] * dim;
+      for (size_t d = 0; d < dim; ++d) sum[d] += w * x[d];
+      cluster_weight[assign[i]] += w;
+    }
+  }
+
+  void CentroidDriftAndSeparation(const double* old_centroids,
+                                  const double* new_centroids,
+                                  const CentroidBlock& block, size_t k,
+                                  size_t dim, double* drift,
+                                  double* s) const override {
+    PMKM_DCHECK(block.k() == k && block.dim() == dim);
+    if (drift != nullptr) {
+      for (size_t j = 0; j < k; ++j) {
+        const double* o = old_centroids + j * dim;
+        const double* c = new_centroids + j * dim;
+        double acc = 0.0;
+        for (size_t d = 0; d < dim; ++d) {
+          const double diff = o[d] - c[d];
+          acc += diff * diff;
+        }
+        drift[j] = std::sqrt(acc);
+      }
+    }
+    const size_t kp = block.padded_k();
+    const double* ct = block.transposed();
+    for (size_t j = 0; j < k; ++j) {
+      const double* c = new_centroids + j * dim;
+      double nearest = kInf;
+      for (size_t j2 = 0; j2 < k; ++j2) {
+        if (j2 == j) continue;
+        double acc = 0.0;
+        for (size_t d = 0; d < dim; ++d) {
+          const double diff = c[d] - ct[d * kp + j2];
+          acc += diff * diff;
+        }
+        if (acc < nearest) nearest = acc;
+      }
+      s[j] = k > 1 ? 0.5 * std::sqrt(nearest) : kInf;
+    }
+  }
+};
+
+}  // namespace
+
+const DistanceKernel* ScalarKernel() {
+  static const ScalarDistanceKernel kernel;
+  return &kernel;
+}
+
+}  // namespace kernels
+}  // namespace pmkm

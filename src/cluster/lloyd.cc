@@ -4,9 +4,17 @@
 #include <cmath>
 #include <limits>
 
-#include "cluster/distance.h"
+#include "cluster/kernels/kernel.h"
 
 namespace pmkm {
+
+namespace {
+
+/// Points per AssignBlock call: large enough to amortize the virtual call,
+/// small enough that assign/dist2 scratch stays in L1/L2.
+constexpr size_t kAssignTile = 256;
+
+}  // namespace
 
 Result<ClusteringModel> RunWeightedLloyd(const WeightedDataset& data,
                                          Dataset initial_centroids,
@@ -25,21 +33,27 @@ Result<ClusteringModel> RunWeightedLloyd(const WeightedDataset& data,
   }
   PMKM_CHECK(rng != nullptr);
 
+  const DistanceKernel& kernel =
+      config.kernel != nullptr ? *config.kernel : DefaultKernel();
+
   ClusteringModel model;
   model.centroids = std::move(initial_centroids);
   model.weights.assign(k, 0.0);
 
   std::vector<uint32_t> assign(n, 0);
+  std::vector<double> dist2(std::min(n, kAssignTile));
   std::vector<double> sums(k * dim);
   std::vector<double> cluster_weight(k);
   // Farthest assigned point per cluster: the donor pool for re-seeding
   // starved centroids.
   std::vector<double> farthest_dist(k);
   std::vector<size_t> farthest_idx(k);
+  CentroidBlock block;
 
   double prev_sse = std::numeric_limits<double>::infinity();
   double sse = prev_sse;
   const double* points = data.points().data();
+  const double* weights = data.weights().data();
 
   size_t iter = 0;
   for (iter = 0; iter < config.max_iterations; ++iter) {
@@ -47,23 +61,24 @@ Result<ClusteringModel> RunWeightedLloyd(const WeightedDataset& data,
     std::fill(sums.begin(), sums.end(), 0.0);
     std::fill(cluster_weight.begin(), cluster_weight.end(), 0.0);
     std::fill(farthest_dist.begin(), farthest_dist.end(), -1.0);
-    const std::vector<double> norms = CentroidSquaredNorms(model.centroids);
+    block.Load(model.centroids);
     sse = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      const double* x = points + i * dim;
-      const Nearest nearest = NearestCentroid(x, model.centroids, norms);
-      const size_t j = nearest.index;
-      const double w = data.weight(i);
-      assign[i] = static_cast<uint32_t>(j);
-      sse += w * nearest.distance_sq;
-      double* sum = sums.data() + j * dim;
-      for (size_t d = 0; d < dim; ++d) sum[d] += w * x[d];
-      cluster_weight[j] += w;
-      if (nearest.distance_sq > farthest_dist[j]) {
-        farthest_dist[j] = nearest.distance_sq;
-        farthest_idx[j] = i;
+    for (size_t i0 = 0; i0 < n; i0 += kAssignTile) {
+      const size_t tile = std::min(kAssignTile, n - i0);
+      kernel.AssignBlock(points + i0 * dim, tile, dim, block,
+                         assign.data() + i0, dist2.data());
+      for (size_t t = 0; t < tile; ++t) {
+        const size_t i = i0 + t;
+        const size_t j = assign[i];
+        sse += weights[i] * dist2[t];
+        if (dist2[t] > farthest_dist[j]) {
+          farthest_dist[j] = dist2[t];
+          farthest_idx[j] = i;
+        }
       }
     }
+    kernel.AccumulateBlock(points, weights, n, dim, assign.data(),
+                           sums.data(), cluster_weight.data());
 
     // --- Empty-cluster repair --------------------------------------------
     // Re-seed each starved centroid to the globally farthest point, then
@@ -123,16 +138,18 @@ Result<ClusteringModel> RunWeightedLloyd(const WeightedDataset& data,
 
   // Final bookkeeping against the final centroids.
   {
-    const std::vector<double> norms = CentroidSquaredNorms(model.centroids);
+    block.Load(model.centroids);
     std::fill(model.weights.begin(), model.weights.end(), 0.0);
     double final_sse = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      const double* x = points + i * dim;
-      const Nearest nearest = NearestCentroid(x, model.centroids, norms);
-      assign[i] = static_cast<uint32_t>(nearest.index);
-      const double w = data.weight(i);
-      model.weights[nearest.index] += w;
-      final_sse += w * nearest.distance_sq;
+    for (size_t i0 = 0; i0 < n; i0 += kAssignTile) {
+      const size_t tile = std::min(kAssignTile, n - i0);
+      kernel.AssignBlock(points + i0 * dim, tile, dim, block,
+                         assign.data() + i0, dist2.data());
+      for (size_t t = 0; t < tile; ++t) {
+        const size_t i = i0 + t;
+        model.weights[assign[i]] += weights[i];
+        final_sse += weights[i] * dist2[t];
+      }
     }
     model.sse = final_sse;
     const double total_weight = data.TotalWeight();

@@ -15,6 +15,8 @@
 
 namespace pmkm {
 
+class DistanceKernel;
+
 /// Parameters of one Lloyd run (seed selection happens outside).
 struct LloydConfig {
   /// Convergence: stop when E(n-1) − E(n) ≤ epsilon (E is the weighted SSE,
@@ -28,6 +30,12 @@ struct LloydConfig {
 
   /// Record per-point assignments in the returned model.
   bool track_assignments = false;
+
+  /// Distance kernel for the assignment hot path; nullptr means the
+  /// process default (DefaultKernel(), see cluster/kernels/kernel.h).
+  /// Assignments are bit-identical across kernels, so this only affects
+  /// speed.
+  const DistanceKernel* kernel = nullptr;
 };
 
 /// Runs weighted Lloyd from the given initial centroids until convergence.

@@ -1,12 +1,31 @@
 #include "cluster/model.h"
 
-#include "cluster/distance.h"
+#include <limits>
 
 namespace pmkm {
 
 size_t ClusteringModel::Predict(std::span<const double> point) const {
   PMKM_CHECK(!centroids.empty());
-  return NearestCentroid(point, centroids).index;
+  PMKM_CHECK(point.size() == centroids.dim());
+  // Same distance arithmetic and tie rule (ascending scan, strictly
+  // smaller wins) as the kernel layer, so Predict always agrees with the
+  // training-time assignments regardless of which kernel produced them.
+  const size_t dim = centroids.dim();
+  const double* c = centroids.data();
+  size_t best = 0;
+  double d_best = std::numeric_limits<double>::infinity();
+  for (size_t j = 0; j < centroids.size(); ++j) {
+    double acc = 0.0;
+    for (size_t d = 0; d < dim; ++d) {
+      const double diff = point[d] - c[j * dim + d];
+      acc += diff * diff;
+    }
+    if (acc < d_best) {
+      d_best = acc;
+      best = j;
+    }
+  }
+  return best;
 }
 
 }  // namespace pmkm

@@ -5,11 +5,15 @@
 #include <future>
 #include <limits>
 
-#include "cluster/distance.h"
+#include "cluster/kernels/kernel.h"
 
 namespace pmkm {
 
 namespace {
+
+/// Points per AssignBlock call inside a worker shard (matches the serial
+/// path's tiling).
+constexpr size_t kAssignTile = 256;
 
 // Per-worker accumulator for one assignment pass over a point range.
 struct RangeAccumulator {
@@ -17,6 +21,7 @@ struct RangeAccumulator {
   std::vector<double> cluster_weight; // k
   std::vector<double> farthest_dist;  // k
   std::vector<size_t> farthest_idx;   // k
+  std::vector<double> dist2;          // kAssignTile scratch
   double sse = 0.0;
 
   void Reset(size_t k, size_t dim) {
@@ -24,6 +29,7 @@ struct RangeAccumulator {
     cluster_weight.assign(k, 0.0);
     farthest_dist.assign(k, -1.0);
     farthest_idx.assign(k, 0);
+    dist2.resize(kAssignTile);
     sse = 0.0;
   }
 };
@@ -50,6 +56,9 @@ Result<ClusteringModel> RunWeightedLloydParallel(
   }
   PMKM_CHECK(rng != nullptr);
 
+  const DistanceKernel& kernel =
+      config.kernel != nullptr ? *config.kernel : DefaultKernel();
+
   ClusteringModel model;
   model.centroids = std::move(initial_centroids);
   model.weights.assign(k, 0.0);
@@ -59,12 +68,16 @@ Result<ClusteringModel> RunWeightedLloydParallel(
   std::vector<RangeAccumulator> acc(num_workers);
   std::vector<uint32_t> assign(n, 0);
   const double* points = data.points().data();
+  const double* weights = data.weights().data();
+  CentroidBlock block;
 
   double prev_sse = std::numeric_limits<double>::infinity();
   double sse = prev_sse;
   size_t iter = 0;
   for (iter = 0; iter < config.max_iterations; ++iter) {
-    const std::vector<double> norms = CentroidSquaredNorms(model.centroids);
+    // One shared read-only centroid block; kernels are stateless, so all
+    // shards use the same instance concurrently.
+    block.Load(model.centroids);
 
     // --- Parallel assignment over contiguous ranges -------------------
     std::vector<std::future<void>> futures;
@@ -76,22 +89,24 @@ Result<ClusteringModel> RunWeightedLloydParallel(
         a.Reset(k, dim);
         const size_t begin = w * per;
         const size_t end = std::min(n, begin + per);
-        for (size_t i = begin; i < end; ++i) {
-          const double* x = points + i * dim;
-          const Nearest nearest =
-              NearestCentroid(x, model.centroids, norms);
-          const size_t j = nearest.index;
-          const double weight = data.weight(i);
-          assign[i] = static_cast<uint32_t>(j);
-          a.sse += weight * nearest.distance_sq;
-          double* sum = a.sums.data() + j * dim;
-          for (size_t d = 0; d < dim; ++d) sum[d] += weight * x[d];
-          a.cluster_weight[j] += weight;
-          if (nearest.distance_sq > a.farthest_dist[j]) {
-            a.farthest_dist[j] = nearest.distance_sq;
-            a.farthest_idx[j] = i;
+        if (begin >= end) return;
+        for (size_t i0 = begin; i0 < end; i0 += kAssignTile) {
+          const size_t tile = std::min(kAssignTile, end - i0);
+          kernel.AssignBlock(points + i0 * dim, tile, dim, block,
+                             assign.data() + i0, a.dist2.data());
+          for (size_t t = 0; t < tile; ++t) {
+            const size_t i = i0 + t;
+            const size_t j = assign[i];
+            a.sse += weights[i] * a.dist2[t];
+            if (a.dist2[t] > a.farthest_dist[j]) {
+              a.farthest_dist[j] = a.dist2[t];
+              a.farthest_idx[j] = i;
+            }
           }
         }
+        kernel.AccumulateBlock(points + begin * dim, weights + begin,
+                               end - begin, dim, assign.data() + begin,
+                               a.sums.data(), a.cluster_weight.data());
       }));
     }
     for (auto& f : futures) f.wait();
@@ -162,16 +177,19 @@ Result<ClusteringModel> RunWeightedLloydParallel(
   // relative to the iterations and keeps reported numbers reduction-order
   // independent of the worker count).
   {
-    const std::vector<double> norms = CentroidSquaredNorms(model.centroids);
+    block.Load(model.centroids);
+    std::vector<double> dist2(std::min(n, kAssignTile));
     std::fill(model.weights.begin(), model.weights.end(), 0.0);
     double final_sse = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      const double* x = points + i * dim;
-      const Nearest nearest = NearestCentroid(x, model.centroids, norms);
-      assign[i] = static_cast<uint32_t>(nearest.index);
-      const double w = data.weight(i);
-      model.weights[nearest.index] += w;
-      final_sse += w * nearest.distance_sq;
+    for (size_t i0 = 0; i0 < n; i0 += kAssignTile) {
+      const size_t tile = std::min(kAssignTile, n - i0);
+      kernel.AssignBlock(points + i0 * dim, tile, dim, block,
+                         assign.data() + i0, dist2.data());
+      for (size_t t = 0; t < tile; ++t) {
+        const size_t i = i0 + t;
+        model.weights[assign[i]] += weights[i];
+        final_sse += weights[i] * dist2[t];
+      }
     }
     model.sse = final_sse;
     const double total = data.TotalWeight();

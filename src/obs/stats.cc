@@ -7,6 +7,7 @@
 namespace pmkm {
 
 void OperatorStats::MergeFrom(const OperatorStats& other) {
+  if (kernel.empty()) kernel = other.kernel;
   rows_in += other.rows_in;
   rows_out += other.rows_out;
   bytes_in += other.bytes_in;
@@ -56,6 +57,7 @@ std::string OperatorStats::ToString() const {
   out += "rows=" + std::to_string(rows_in) + "/" +
          std::to_string(rows_out);
   out += " bytes=" + FormatBytes(bytes_in) + "/" + FormatBytes(bytes_out);
+  if (!kernel.empty()) out += " kernel=" + kernel;
   out += " wall=" + FormatSeconds(wall_seconds);
   out += " cpu=" + FormatSeconds(cpu_seconds);
   out += " queue_wait=" + FormatSeconds(queue_wait_seconds);
@@ -74,6 +76,7 @@ std::string OperatorStats::ToString() const {
 JsonValue OperatorStats::ToJson() const {
   JsonValue j = JsonValue::Object();
   j.Set("name", name);
+  if (!kernel.empty()) j.Set("kernel", kernel);
   j.Set("rows_in", rows_in);
   j.Set("rows_out", rows_out);
   j.Set("bytes_in", bytes_in);

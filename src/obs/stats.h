@@ -21,6 +21,11 @@ class TraceRecorder;
 /// Optional observability sinks threaded through a pipeline run. Both
 /// pointers may be null (the default): a disabled pipeline pays one
 /// pointer test per potential record and nothing else.
+///
+/// Deprecated as a user-facing API: prefer
+/// PipelineBuilder::WithMetrics()/WithTrace() (stream/engine.h), which own
+/// the sink wiring. Populating StreamExecOptions::obs directly keeps
+/// working for existing callers.
 struct ObsContext {
   MetricsRegistry* metrics = nullptr;
   TraceRecorder* trace = nullptr;
@@ -33,6 +38,10 @@ struct ObsContext {
 /// for partial outputs and the merge); bytes count the payload doubles.
 struct OperatorStats {
   std::string name;
+
+  /// Distance kernel the operator's k-means fits ran on ("scalar",
+  /// "avx2", "neon"); empty for operators that do no clustering (scans).
+  std::string kernel;
 
   uint64_t rows_in = 0;
   uint64_t rows_out = 0;

@@ -1,0 +1,321 @@
+#include "stream/engine.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "stream/explain.h"
+
+namespace pmkm {
+
+namespace {
+
+// Resolves options.kernel and points both Lloyd configs at it (explicitly
+// set lloyd.kernel pointers win). Fails if the host cannot run it.
+Status ResolveKernel(EngineOptions* options) {
+  if (!KernelAvailable(options->kernel)) {
+    return Status::InvalidArgument(
+        "kernel '" + std::string(KernelKindToString(options->kernel)) +
+        "' is not available on this host (host is " + HostIsaDescription() +
+        ")");
+  }
+  const DistanceKernel* kernel = &GetKernel(options->kernel);
+  if (options->partial.lloyd.kernel == nullptr) {
+    options->partial.lloyd.kernel = kernel;
+  }
+  if (options->merge.lloyd.kernel == nullptr) {
+    options->merge.lloyd.kernel = kernel;
+  }
+  return Status::OK();
+}
+
+// Applies a forced partition size to an already-computed plan: the clone
+// count and queue capacity are re-derived against the override.
+void ApplyChunkOverride(const EngineOptions& options, size_t max_points,
+                        size_t dim, PhysicalPlan* plan) {
+  if (options.chunk_points_override == 0) return;
+  plan->chunk_points = options.chunk_points_override;
+  const size_t chunks = std::max<size_t>(
+      1, (max_points + plan->chunk_points - 1) / plan->chunk_points);
+  const size_t cores = options.resources.EffectiveCores();
+  plan->partial_clones =
+      std::max<size_t>(1, std::min(cores > 1 ? cores - 1 : 1, chunks));
+  plan->queue_capacity = PlanQueueCapacity(
+      plan->partial_clones, plan->chunk_points, dim,
+      options.resources.memory_bytes_per_operator);
+}
+
+// Executes the compiled plan: wires queues and operators, runs the
+// executor, and assembles the StreamRunResult (including the resilience
+// report and per-operator stats).
+Result<StreamRunResult> RunPlan(std::unique_ptr<Operator> scan,
+                                ScanOperator* scan_raw,
+                                std::shared_ptr<PointChunkQueue> points,
+                                const EngineOptions& options,
+                                const PhysicalPlan& plan) {
+  const StreamExecOptions& exec = options.exec;
+  auto centroids =
+      std::make_shared<CentroidQueue>(plan.queue_capacity);
+
+  // Queue instruments live in the registry, so they survive the queues
+  // themselves and show up in the metrics export.
+  if (exec.obs.metrics != nullptr) {
+    MetricsRegistry* reg = exec.obs.metrics;
+    points->AttachMetrics(QueueMetrics{
+        &reg->gauge("queue.points.depth"),
+        &reg->histogram("queue.points.push_block_us"),
+        &reg->histogram("queue.points.pop_wait_us")});
+    centroids->AttachMetrics(QueueMetrics{
+        &reg->gauge("queue.centroids.depth"),
+        &reg->histogram("queue.centroids.push_block_us"),
+        &reg->histogram("queue.centroids.pop_wait_us")});
+  }
+
+  const bool tolerant =
+      exec.failure_policy == FailurePolicy::kSkipAndContinue;
+
+  Executor executor;
+  scan->set_failure_policy(exec.failure_policy);
+  scan->set_obs(exec.obs);
+  executor.Add(std::move(scan));
+  std::vector<PartialKMeansOperator*> partial_raw;
+  for (size_t c = 0; c < plan.partial_clones; ++c) {
+    auto partial = std::make_unique<PartialKMeansOperator>(
+        options.partial, points, centroids,
+        "partial-kmeans#" + std::to_string(c), exec.io_retry);
+    partial->set_failure_policy(exec.failure_policy);
+    partial->set_obs(exec.obs);
+    partial_raw.push_back(partial.get());
+    executor.Add(std::move(partial));
+  }
+  auto merge = std::make_unique<MergeKMeansOperator>(options.merge,
+                                                     centroids, tolerant);
+  merge->set_obs(exec.obs);
+  MergeKMeansOperator* merge_raw = merge.get();
+  executor.Add(std::move(merge));
+
+  ExecutorOptions executor_options;
+  executor_options.max_retries = exec.max_retries;
+  executor_options.op_timeout_ms = exec.op_timeout_ms;
+
+  const Stopwatch watch;
+  PMKM_RETURN_NOT_OK(executor.Run(executor_options));
+
+  StreamRunResult out;
+  out.plan = plan;
+  out.wall_seconds = watch.ElapsedSeconds();
+  out.cells = merge_raw->results();
+
+  RunReport& report = out.report;
+  report.failure_policy = exec.failure_policy;
+  report.cells_clustered = out.cells.size();
+  report.operator_restarts = executor.report().total_restarts;
+  report.stalled_operators = executor.report().stalled_operators;
+  if (scan_raw != nullptr) {
+    report.io_retries = scan_raw->io_retries();
+    for (const QuarantinedBucket& q : scan_raw->quarantined()) {
+      report.quarantined.push_back(QuarantinedCellReport{
+          q.path, q.cell, q.cell_known, q.error.ToString()});
+    }
+  }
+  for (PartialKMeansOperator* partial : partial_raw) {
+    report.chunks_dropped += partial->chunks_dropped();
+  }
+  // Cells the merge skipped (dropped upstream or incomplete) that the scan
+  // did not already report.
+  for (const auto& [cell, reason] : merge_raw->skipped_cells()) {
+    const bool already_reported = std::any_of(
+        report.quarantined.begin(), report.quarantined.end(),
+        [&cell = cell](const QuarantinedCellReport& q) {
+          return q.cell_known && q.cell == cell;
+        });
+    if (!already_reported) {
+      report.quarantined.push_back(
+          QuarantinedCellReport{"", cell, true, reason});
+    }
+  }
+  report.degraded = !report.quarantined.empty() ||
+                    report.chunks_dropped > 0 ||
+                    executor.report().degraded;
+
+  for (const OperatorOutcome& outcome : executor.report().operators) {
+    out.operator_stats.push_back(outcome.stats);
+  }
+  out.queues.push_back(QueueStatsSnapshot{
+      "points", points->capacity(), points->HighWaterMark(),
+      points->total_pushed()});
+  out.queues.push_back(QueueStatsSnapshot{
+      "centroids", centroids->capacity(), centroids->HighWaterMark(),
+      centroids->total_pushed()});
+  if (exec.obs.metrics != nullptr) {
+    for (const OperatorStats& stats : out.operator_stats) {
+      stats.ExportTo(exec.obs.metrics);
+    }
+    for (const QueueStatsSnapshot& q : out.queues) {
+      exec.obs.metrics->gauge("queue." + q.name + ".high_water")
+          .Set(static_cast<int64_t>(q.high_water_mark));
+      exec.obs.metrics->counter("queue." + q.name + ".pushed")
+          .Increment(q.total_pushed);
+    }
+  }
+  return out;
+}
+
+// Probes bucket files for dimensionality/sizing and compiles the physical
+// plan. Under kSkipAndContinue an unreadable first bucket must not kill
+// the run: probe forward until one opens (the scan will quarantine the
+// bad ones properly later). Also reports the probed dim/points for
+// EXPLAIN rendering.
+struct ProbedPlan {
+  PhysicalPlan plan;
+  size_t dim = 0;
+  size_t total_points = 0;
+};
+
+Result<ProbedPlan> PlanForPaths(const std::vector<std::string>& paths,
+                                const EngineOptions& options) {
+  if (paths.empty()) {
+    return Status::InvalidArgument("no bucket files given");
+  }
+  Status probe_error;
+  for (const std::string& path : paths) {
+    auto probe = GridBucketReader::Open(path);
+    if (probe.ok()) {
+      ProbedPlan out;
+      out.dim = probe->dim();
+      out.total_points = probe->total_points();
+      out.plan = PlanPartialMerge(probe->dim(), probe->total_points(),
+                                  options.resources);
+      ApplyChunkOverride(options, probe->total_points(), probe->dim(),
+                         &out.plan);
+      return out;
+    }
+    probe_error = probe.status();
+    if (options.exec.failure_policy != FailurePolicy::kSkipAndContinue) {
+      return probe_error;
+    }
+  }
+  return probe_error;
+}
+
+}  // namespace
+
+void EngineFlags::Register(FlagParser* parser) {
+  PMKM_CHECK(parser != nullptr);
+  parser->AddInt("k", &k, "clusters per cell")
+      .AddInt("restarts", &restarts, "random seed sets R")
+      .AddInt("memory-kib", &memory_kib,
+              "stream: per-operator memory budget")
+      .AddInt("cores", &cores,
+              "stream: worker cores for cloned operators (0 = autodetect)")
+      .AddString("failure_policy", &failure_policy,
+                 "stream: failfast | retry | skip")
+      .AddInt("max_retries", &max_retries,
+              "stream: operator restarts under --failure_policy=retry")
+      .AddInt("op_timeout_ms", &op_timeout_ms,
+              "stream: watchdog stall timeout (0 = off)")
+      .AddString("kernel", &kernel,
+                 "distance kernel: scalar | avx2 | neon | auto");
+}
+
+Result<EngineOptions> EngineFlags::ToOptions() const {
+  if (k <= 0) return Status::InvalidArgument("--k must be >= 1");
+  if (restarts <= 0) {
+    return Status::InvalidArgument("--restarts must be >= 1");
+  }
+  EngineOptions options;
+  options.partial.k = static_cast<size_t>(k);
+  options.partial.restarts = static_cast<size_t>(restarts);
+  options.merge.k = static_cast<size_t>(k);
+  options.resources.memory_bytes_per_operator =
+      static_cast<size_t>(memory_kib) << 10;
+  options.resources.cores = static_cast<size_t>(std::max<int64_t>(0, cores));
+  PMKM_ASSIGN_OR_RETURN(options.exec.failure_policy,
+                        ParseFailurePolicy(failure_policy));
+  options.exec.max_retries = static_cast<size_t>(max_retries);
+  options.exec.op_timeout_ms = static_cast<uint64_t>(op_timeout_ms);
+  PMKM_ASSIGN_OR_RETURN(options.kernel, ParseKernelKind(kernel));
+  if (!KernelAvailable(options.kernel)) {
+    return Status::InvalidArgument(
+        "--kernel=" + kernel + " is not available on this host (host is " +
+        HostIsaDescription() + ")");
+  }
+  return options;
+}
+
+Result<StreamRunResult> PipelineBuilder::Run(
+    const std::vector<std::string>& bucket_paths) const {
+  EngineOptions options = options_;
+  PMKM_RETURN_NOT_OK(ResolveKernel(&options));
+  PMKM_ASSIGN_OR_RETURN(ProbedPlan probed,
+                        PlanForPaths(bucket_paths, options));
+  auto points =
+      std::make_shared<PointChunkQueue>(probed.plan.queue_capacity);
+  auto scan = std::make_unique<ScanOperator>(
+      bucket_paths, probed.plan.chunk_points, points,
+      options.exec.io_retry);
+  ScanOperator* scan_raw = scan.get();
+  return RunPlan(std::move(scan), scan_raw, points, options, probed.plan);
+}
+
+Result<StreamRunResult> PipelineBuilder::RunInMemory(
+    std::vector<GridBucket> cells) const {
+  if (cells.empty()) return Status::InvalidArgument("no cells given");
+  EngineOptions options = options_;
+  PMKM_RETURN_NOT_OK(ResolveKernel(&options));
+  const size_t dim = cells[0].points.dim();
+  size_t max_points = 0;
+  for (const GridBucket& c : cells) {
+    max_points = std::max(max_points, c.points.size());
+  }
+  PhysicalPlan plan = PlanPartialMerge(dim, max_points, options.resources);
+  ApplyChunkOverride(options, max_points, dim, &plan);
+  auto points = std::make_shared<PointChunkQueue>(plan.queue_capacity);
+  auto scan = std::make_unique<MemoryScanOperator>(
+      std::move(cells), plan.chunk_points, points);
+  return RunPlan(std::move(scan), nullptr, points, options, plan);
+}
+
+Result<std::string> PipelineBuilder::Explain(
+    const std::vector<std::string>& bucket_paths) const {
+  EngineOptions options = options_;
+  PMKM_RETURN_NOT_OK(ResolveKernel(&options));
+  PMKM_ASSIGN_OR_RETURN(ProbedPlan probed,
+                        PlanForPaths(bucket_paths, options));
+  return ExplainPartialMergePlan(
+      bucket_paths.size(), probed.total_points * bucket_paths.size(),
+      probed.dim, options.partial, options.merge, probed.plan);
+}
+
+// ---------------------------------------------------------------------------
+// Legacy free functions (stream/plan.h): thin compat wrappers.
+
+Result<StreamRunResult> RunPartialMergeStream(
+    const std::vector<std::string>& bucket_paths,
+    const KMeansConfig& partial_config,
+    const MergeKMeansConfig& merge_config, const ResourceModel& resources,
+    const StreamExecOptions& exec) {
+  return PipelineBuilder()
+      .WithPartialKMeans(partial_config)
+      .WithMerge(merge_config)
+      .WithResources(resources)
+      .WithExecution(exec)
+      .Run(bucket_paths);
+}
+
+Result<StreamRunResult> RunPartialMergeStreamInMemory(
+    std::vector<GridBucket> cells, const KMeansConfig& partial_config,
+    const MergeKMeansConfig& merge_config, const ResourceModel& resources,
+    size_t chunk_points_override, const StreamExecOptions& exec) {
+  return PipelineBuilder()
+      .WithPartialKMeans(partial_config)
+      .WithMerge(merge_config)
+      .WithResources(resources)
+      .WithExecution(exec)
+      .WithChunkPoints(chunk_points_override)
+      .RunInMemory(std::move(cells));
+}
+
+}  // namespace pmkm

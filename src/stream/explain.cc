@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "cluster/kernels/kernel.h"
 #include "cluster/seeding.h"
 
 namespace pmkm {
@@ -36,10 +37,13 @@ std::string ExplainPartialMergePlan(size_t num_buckets,
      << ", restarts=" << merge.restarts << ")\n";
   os << "└─ exchange (queue cap " << plan.queue_capacity
      << ", centroid sets)\n";
+  const DistanceKernel& kernel =
+      partial.lloyd.kernel != nullptr ? *partial.lloyd.kernel
+                                      : DefaultKernel();
   os << "   └─ partial-kmeans ×" << plan.partial_clones
      << " clone" << (plan.partial_clones == 1 ? "" : "s") << " (k="
      << partial.k << ", R=" << partial.restarts << ", chunk="
-     << plan.chunk_points << " pts)\n";
+     << plan.chunk_points << " pts, kernel=" << kernel.name() << ")\n";
   os << "      └─ exchange (queue cap " << plan.queue_capacity
      << ", point chunks)\n";
   os << "         └─ scan (" << num_buckets << " bucket"

@@ -4,6 +4,7 @@
 #include <functional>
 #include <thread>
 
+#include "cluster/kernels/kernel.h"
 #include "common/fault.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
@@ -240,6 +241,10 @@ Status PartialKMeansOperator::Run() {
     ~Closer() { q->CloseProducer(); }
   } closer{out_.get()};
 
+  const LloydConfig& lloyd = partial_.config().lloyd;
+  mutable_stats().kernel =
+      (lloyd.kernel != nullptr ? *lloyd.kernel : DefaultKernel()).name();
+
   for (;;) {
     const Stopwatch pop_watch;
     std::optional<PointChunk> chunk = in_->Pop();
@@ -392,6 +397,9 @@ Status MergeKMeansOperator::MergeCell(GridCellId cell) {
 }
 
 Status MergeKMeansOperator::Run() {
+  const LloydConfig& lloyd = merger_.config().lloyd;
+  mutable_stats().kernel =
+      (lloyd.kernel != nullptr ? *lloyd.kernel : DefaultKernel()).name();
   for (;;) {
     const Stopwatch pop_watch;
     std::optional<CentroidMessage> msg = in_->Pop();

@@ -3,9 +3,6 @@
 #include <algorithm>
 #include <thread>
 
-#include "common/stopwatch.h"
-#include "obs/metrics.h"
-
 namespace pmkm {
 
 size_t ResourceModel::EffectiveCores() const {
@@ -38,10 +35,26 @@ PhysicalPlan PlanPartialMerge(size_t dim, size_t expected_points_per_cell,
   }
   plan.partial_clones = std::max<size_t>(1, clones);
 
-  // Queue depth: enough for every clone to have one chunk in flight plus
-  // one buffered, bounded so back-pressure still binds memory.
-  plan.queue_capacity = std::max<size_t>(2, 2 * plan.partial_clones);
+  plan.queue_capacity =
+      PlanQueueCapacity(plan.partial_clones, plan.chunk_points, dim,
+                        resources.memory_bytes_per_operator);
   return plan;
+}
+
+size_t PlanQueueCapacity(size_t partial_clones, size_t chunk_points,
+                         size_t dim, size_t memory_bytes_per_operator) {
+  const size_t clones = std::max<size_t>(1, partial_clones);
+  // Enough depth for every clone to have one chunk in flight plus one
+  // buffered...
+  const size_t wanted = 2 * clones;
+  // ...but never more buffered chunks than the per-operator memory budget
+  // covers, so back-pressure still binds memory when chunks are forced
+  // large (e.g. via the engine's chunk_points override).
+  const size_t chunk_bytes =
+      std::max<size_t>(1, chunk_points * dim * sizeof(double));
+  const size_t affordable =
+      clones * (memory_bytes_per_operator / chunk_bytes);
+  return std::max<size_t>(2, std::min(wanted, affordable));
 }
 
 std::string RunReport::Summary() const {
@@ -63,189 +76,6 @@ std::string RunReport::Summary() const {
     out += ": " + q.reason;
   }
   return out;
-}
-
-namespace {
-
-Result<StreamRunResult> RunPlan(std::unique_ptr<Operator> scan,
-                                ScanOperator* scan_raw,
-                                std::shared_ptr<PointChunkQueue> points,
-                                const KMeansConfig& partial_config,
-                                const MergeKMeansConfig& merge_config,
-                                const PhysicalPlan& plan,
-                                const StreamExecOptions& exec) {
-  auto centroids =
-      std::make_shared<CentroidQueue>(plan.queue_capacity);
-
-  // Queue instruments live in the registry, so they survive the queues
-  // themselves and show up in the metrics export.
-  if (exec.obs.metrics != nullptr) {
-    MetricsRegistry* reg = exec.obs.metrics;
-    points->AttachMetrics(QueueMetrics{
-        &reg->gauge("queue.points.depth"),
-        &reg->histogram("queue.points.push_block_us"),
-        &reg->histogram("queue.points.pop_wait_us")});
-    centroids->AttachMetrics(QueueMetrics{
-        &reg->gauge("queue.centroids.depth"),
-        &reg->histogram("queue.centroids.push_block_us"),
-        &reg->histogram("queue.centroids.pop_wait_us")});
-  }
-
-  const bool tolerant =
-      exec.failure_policy == FailurePolicy::kSkipAndContinue;
-
-  Executor executor;
-  scan->set_failure_policy(exec.failure_policy);
-  scan->set_obs(exec.obs);
-  executor.Add(std::move(scan));
-  std::vector<PartialKMeansOperator*> partial_raw;
-  for (size_t c = 0; c < plan.partial_clones; ++c) {
-    auto partial = std::make_unique<PartialKMeansOperator>(
-        partial_config, points, centroids,
-        "partial-kmeans#" + std::to_string(c), exec.io_retry);
-    partial->set_failure_policy(exec.failure_policy);
-    partial->set_obs(exec.obs);
-    partial_raw.push_back(partial.get());
-    executor.Add(std::move(partial));
-  }
-  auto merge = std::make_unique<MergeKMeansOperator>(merge_config,
-                                                     centroids, tolerant);
-  merge->set_obs(exec.obs);
-  MergeKMeansOperator* merge_raw = merge.get();
-  executor.Add(std::move(merge));
-
-  ExecutorOptions executor_options;
-  executor_options.max_retries = exec.max_retries;
-  executor_options.op_timeout_ms = exec.op_timeout_ms;
-
-  const Stopwatch watch;
-  PMKM_RETURN_NOT_OK(executor.Run(executor_options));
-
-  StreamRunResult out;
-  out.plan = plan;
-  out.wall_seconds = watch.ElapsedSeconds();
-  out.cells = merge_raw->results();
-
-  RunReport& report = out.report;
-  report.failure_policy = exec.failure_policy;
-  report.cells_clustered = out.cells.size();
-  report.operator_restarts = executor.report().total_restarts;
-  report.stalled_operators = executor.report().stalled_operators;
-  if (scan_raw != nullptr) {
-    report.io_retries = scan_raw->io_retries();
-    for (const QuarantinedBucket& q : scan_raw->quarantined()) {
-      report.quarantined.push_back(QuarantinedCellReport{
-          q.path, q.cell, q.cell_known, q.error.ToString()});
-    }
-  }
-  for (PartialKMeansOperator* partial : partial_raw) {
-    report.chunks_dropped += partial->chunks_dropped();
-  }
-  // Cells the merge skipped (dropped upstream or incomplete) that the scan
-  // did not already report.
-  for (const auto& [cell, reason] : merge_raw->skipped_cells()) {
-    const bool already_reported = std::any_of(
-        report.quarantined.begin(), report.quarantined.end(),
-        [&cell = cell](const QuarantinedCellReport& q) {
-          return q.cell_known && q.cell == cell;
-        });
-    if (!already_reported) {
-      report.quarantined.push_back(
-          QuarantinedCellReport{"", cell, true, reason});
-    }
-  }
-  report.degraded = !report.quarantined.empty() ||
-                    report.chunks_dropped > 0 ||
-                    executor.report().degraded;
-
-  for (const OperatorOutcome& outcome : executor.report().operators) {
-    out.operator_stats.push_back(outcome.stats);
-  }
-  out.queues.push_back(QueueStatsSnapshot{
-      "points", points->capacity(), points->HighWaterMark(),
-      points->total_pushed()});
-  out.queues.push_back(QueueStatsSnapshot{
-      "centroids", centroids->capacity(), centroids->HighWaterMark(),
-      centroids->total_pushed()});
-  if (exec.obs.metrics != nullptr) {
-    for (const OperatorStats& stats : out.operator_stats) {
-      stats.ExportTo(exec.obs.metrics);
-    }
-    for (const QueueStatsSnapshot& q : out.queues) {
-      exec.obs.metrics->gauge("queue." + q.name + ".high_water")
-          .Set(static_cast<int64_t>(q.high_water_mark));
-      exec.obs.metrics->counter("queue." + q.name + ".pushed")
-          .Increment(q.total_pushed);
-    }
-  }
-  return out;
-}
-
-}  // namespace
-
-Result<StreamRunResult> RunPartialMergeStream(
-    const std::vector<std::string>& bucket_paths,
-    const KMeansConfig& partial_config,
-    const MergeKMeansConfig& merge_config, const ResourceModel& resources,
-    const StreamExecOptions& exec) {
-  if (bucket_paths.empty()) {
-    return Status::InvalidArgument("no bucket files given");
-  }
-  // Peek at a bucket for dimensionality / sizing. Under kSkipAndContinue
-  // an unreadable first bucket must not kill the run: probe forward until
-  // one opens (the scan will quarantine the bad ones properly later).
-  Status probe_error;
-  PhysicalPlan plan;
-  bool planned = false;
-  for (const std::string& path : bucket_paths) {
-    auto probe = GridBucketReader::Open(path);
-    if (probe.ok()) {
-      plan = PlanPartialMerge(probe->dim(), probe->total_points(),
-                              resources);
-      planned = true;
-      break;
-    }
-    probe_error = probe.status();
-    if (exec.failure_policy != FailurePolicy::kSkipAndContinue) {
-      return probe_error;
-    }
-  }
-  if (!planned) return probe_error;
-
-  auto points = std::make_shared<PointChunkQueue>(plan.queue_capacity);
-  auto scan = std::make_unique<ScanOperator>(
-      bucket_paths, plan.chunk_points, points, exec.io_retry);
-  ScanOperator* scan_raw = scan.get();
-  return RunPlan(std::move(scan), scan_raw, points, partial_config,
-                 merge_config, plan, exec);
-}
-
-Result<StreamRunResult> RunPartialMergeStreamInMemory(
-    std::vector<GridBucket> cells, const KMeansConfig& partial_config,
-    const MergeKMeansConfig& merge_config, const ResourceModel& resources,
-    size_t chunk_points_override, const StreamExecOptions& exec) {
-  if (cells.empty()) return Status::InvalidArgument("no cells given");
-  const size_t dim = cells[0].points.dim();
-  size_t max_points = 0;
-  for (const GridBucket& c : cells) {
-    max_points = std::max(max_points, c.points.size());
-  }
-  PhysicalPlan plan = PlanPartialMerge(dim, max_points, resources);
-  if (chunk_points_override > 0) {
-    // Re-plan the clone count against the forced partition size.
-    plan.chunk_points = chunk_points_override;
-    const size_t chunks = std::max<size_t>(
-        1, (max_points + plan.chunk_points - 1) / plan.chunk_points);
-    const size_t cores = resources.EffectiveCores();
-    plan.partial_clones =
-        std::max<size_t>(1, std::min(cores > 1 ? cores - 1 : 1, chunks));
-    plan.queue_capacity = std::max<size_t>(2, 2 * plan.partial_clones);
-  }
-  auto points = std::make_shared<PointChunkQueue>(plan.queue_capacity);
-  auto scan = std::make_unique<MemoryScanOperator>(
-      std::move(cells), plan.chunk_points, points);
-  return RunPlan(std::move(scan), nullptr, points, partial_config,
-                 merge_config, plan, exec);
 }
 
 }  // namespace pmkm

@@ -48,6 +48,17 @@ struct PhysicalPlan {
 PhysicalPlan PlanPartialMerge(size_t dim, size_t expected_points_per_cell,
                               const ResourceModel& resources);
 
+/// The exchange-depth rule, shared by the planner and the engine's
+/// chunk-size override path. Depth scales with the clone count (one chunk
+/// in flight plus one buffered per clone) but is capped so the buffered
+/// chunks stay inside the per-operator memory budget:
+///
+///   cap = max(2, min(2 * clones, clones * memory_bytes / chunk_bytes))
+///
+/// with chunk_bytes = chunk_points * dim * sizeof(double).
+size_t PlanQueueCapacity(size_t partial_clones, size_t chunk_points,
+                         size_t dim, size_t memory_bytes_per_operator);
+
 /// How a streamed run deals with failures.
 struct StreamExecOptions {
   FailurePolicy failure_policy = FailurePolicy::kFailFast;
@@ -108,8 +119,9 @@ struct StreamRunResult {
 };
 
 /// Compiles and executes the full plan over bucket files: one scan, the
-/// planned number of partial clones, one merge. This is the library's
-/// highest-level entry point for on-disk data.
+/// planned number of partial clones, one merge. Thin wrapper over
+/// PipelineBuilder (stream/engine.h), which is the preferred entry point;
+/// kept source-compatible for existing callers.
 Result<StreamRunResult> RunPartialMergeStream(
     const std::vector<std::string>& bucket_paths,
     const KMeansConfig& partial_config,

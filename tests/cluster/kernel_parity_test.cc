@@ -1,0 +1,272 @@
+// Kernel parity: every SIMD distance kernel must be bitwise-identical to
+// the scalar reference — same assignments, same squared distances, same
+// accumulated sums, same drift/separation — on randomized weighted
+// datasets across dimensionalities, and end-to-end Fit results must not
+// depend on the kernel at all. This is the contract that makes --kernel
+// a pure speed knob.
+
+#include "cluster/kernels/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "cluster/hamerly.h"
+#include "cluster/kmeans.h"
+#include "cluster/lloyd.h"
+#include "cluster/seeding.h"
+#include "common/rng.h"
+#include "data/generator.h"
+#include "data/weighted.h"
+
+namespace pmkm {
+namespace {
+
+Dataset MakePoints(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  MisrCellSpec spec;
+  spec.dim = dim;
+  return GenerateMisrLikeCell(n, &rng, spec);
+}
+
+WeightedDataset MakeWeighted(const Dataset& points, uint64_t seed) {
+  Rng rng(seed);
+  WeightedDataset out(points.dim());
+  for (size_t i = 0; i < points.size(); ++i) {
+    out.Append(points.Row(i), 1.0 + static_cast<double>(rng.UniformInt(9)));
+  }
+  return out;
+}
+
+class KernelParityTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(KernelParityTest, AssignBlockBitwiseMatchesScalar) {
+  const size_t dim = GetParam();
+  const size_t n = 3000;
+  const size_t k = 40;
+  const Dataset points = MakePoints(n, dim, 11);
+  const Dataset centroids = MakePoints(k, dim, 12);
+  CentroidBlock block;
+  block.Load(centroids);
+
+  const DistanceKernel& scalar = GetKernel(KernelKind::kScalar);
+  std::vector<uint32_t> ref_assign(n);
+  std::vector<double> ref_dist2(n), ref_second2(n);
+  scalar.AssignBlock(points.data(), n, dim, block, ref_assign.data(),
+                     ref_dist2.data(), ref_second2.data());
+
+  for (const DistanceKernel* kernel : AvailableKernels()) {
+    SCOPED_TRACE(kernel->name());
+    std::vector<uint32_t> assign(n);
+    std::vector<double> dist2(n), second2(n);
+    kernel->AssignBlock(points.data(), n, dim, block, assign.data(),
+                        dist2.data(), second2.data());
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(assign[i], ref_assign[i]) << "point " << i;
+      ASSERT_EQ(dist2[i], ref_dist2[i]) << "point " << i;
+      ASSERT_EQ(second2[i], ref_second2[i]) << "point " << i;
+    }
+    // The no-second-best entry point must agree with itself too.
+    std::vector<uint32_t> assign2(n);
+    std::vector<double> dist2b(n);
+    kernel->AssignBlock(points.data(), n, dim, block, assign2.data(),
+                        dist2b.data());
+    EXPECT_EQ(assign2, ref_assign);
+    EXPECT_EQ(dist2b, ref_dist2);
+  }
+}
+
+TEST_P(KernelParityTest, AccumulateBlockBitwiseMatchesScalar) {
+  const size_t dim = GetParam();
+  const size_t n = 3000;
+  const size_t k = 17;
+  const Dataset points = MakePoints(n, dim, 13);
+  const WeightedDataset data = MakeWeighted(points, 14);
+  Rng rng(15);
+  std::vector<uint32_t> assign(n);
+  for (size_t i = 0; i < n; ++i) {
+    assign[i] = static_cast<uint32_t>(rng.UniformInt(k));
+  }
+
+  const DistanceKernel& scalar = GetKernel(KernelKind::kScalar);
+  std::vector<double> ref_sums(k * dim, 0.0), ref_w(k, 0.0);
+  scalar.AccumulateBlock(data.points().data(), data.weights().data(), n,
+                         dim, assign.data(), ref_sums.data(),
+                         ref_w.data());
+
+  for (const DistanceKernel* kernel : AvailableKernels()) {
+    SCOPED_TRACE(kernel->name());
+    std::vector<double> sums(k * dim, 0.0), w(k, 0.0);
+    kernel->AccumulateBlock(data.points().data(), data.weights().data(), n,
+                            dim, assign.data(), sums.data(), w.data());
+    EXPECT_EQ(sums, ref_sums);
+    EXPECT_EQ(w, ref_w);
+  }
+}
+
+TEST_P(KernelParityTest, DriftAndSeparationBitwiseMatchesScalar) {
+  const size_t dim = GetParam();
+  const size_t k = 40;
+  const Dataset old_c = MakePoints(k, dim, 16);
+  const Dataset new_c = MakePoints(k, dim, 17);
+  CentroidBlock block;
+  block.Load(new_c);
+
+  const DistanceKernel& scalar = GetKernel(KernelKind::kScalar);
+  std::vector<double> ref_drift(k), ref_s(k);
+  scalar.CentroidDriftAndSeparation(old_c.data(), new_c.data(), block, k,
+                                    dim, ref_drift.data(), ref_s.data());
+
+  for (const DistanceKernel* kernel : AvailableKernels()) {
+    SCOPED_TRACE(kernel->name());
+    std::vector<double> drift(k), s(k);
+    kernel->CentroidDriftAndSeparation(old_c.data(), new_c.data(), block,
+                                       k, dim, drift.data(), s.data());
+    EXPECT_EQ(drift, ref_drift);
+    EXPECT_EQ(s, ref_s);
+  }
+}
+
+TEST_P(KernelParityTest, WeightedLloydFitIdenticalAcrossKernels) {
+  const size_t dim = GetParam();
+  const Dataset points = MakePoints(2000, dim, 18);
+  const WeightedDataset data = MakeWeighted(points, 19);
+  Rng seed_rng(20);
+  auto seeds = SelectSeeds(data, 8, SeedingMethod::kRandom, &seed_rng);
+  ASSERT_TRUE(seeds.ok()) << seeds.status();
+
+  LloydConfig ref_config;
+  ref_config.track_assignments = true;
+  ref_config.kernel = &GetKernel(KernelKind::kScalar);
+  Rng ref_rng(21);
+  auto ref = RunWeightedLloyd(data, *seeds, ref_config, &ref_rng);
+  ASSERT_TRUE(ref.ok()) << ref.status();
+
+  for (const DistanceKernel* kernel : AvailableKernels()) {
+    SCOPED_TRACE(kernel->name());
+    LloydConfig config = ref_config;
+    config.kernel = kernel;
+    Rng rng(21);
+    auto model = RunWeightedLloyd(data, *seeds, config, &rng);
+    ASSERT_TRUE(model.ok()) << model.status();
+    EXPECT_EQ(model->centroids, ref->centroids);
+    EXPECT_EQ(model->assignments, ref->assignments);
+    EXPECT_EQ(model->sse, ref->sse);
+    EXPECT_EQ(model->iterations, ref->iterations);
+  }
+}
+
+TEST_P(KernelParityTest, HamerlyFitIdenticalAcrossKernels) {
+  const size_t dim = GetParam();
+  const Dataset points = MakePoints(2000, dim, 22);
+  const WeightedDataset data = MakeWeighted(points, 23);
+  Rng seed_rng(24);
+  auto seeds = SelectSeeds(data, 8, SeedingMethod::kRandom, &seed_rng);
+  ASSERT_TRUE(seeds.ok()) << seeds.status();
+
+  LloydConfig ref_config;
+  ref_config.track_assignments = true;
+  ref_config.kernel = &GetKernel(KernelKind::kScalar);
+  Rng ref_rng(25);
+  auto ref = RunHamerlyLloyd(data, *seeds, ref_config, &ref_rng);
+  ASSERT_TRUE(ref.ok()) << ref.status();
+
+  for (const DistanceKernel* kernel : AvailableKernels()) {
+    SCOPED_TRACE(kernel->name());
+    LloydConfig config = ref_config;
+    config.kernel = kernel;
+    Rng rng(25);
+    auto model = RunHamerlyLloyd(data, *seeds, config, &rng);
+    ASSERT_TRUE(model.ok()) << model.status();
+    EXPECT_EQ(model->centroids, ref->centroids);
+    EXPECT_EQ(model->assignments, ref->assignments);
+    EXPECT_EQ(model->sse, ref->sse);
+    EXPECT_EQ(model->iterations, ref->iterations);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, KernelParityTest,
+                         ::testing::Values(1u, 5u, 6u, 8u, 17u),
+                         [](const auto& info) {
+                           return "d" + std::to_string(info.param);
+                         });
+
+TEST(KernelParityEndToEnd, FitEqualAcrossKernelFlagValues) {
+  // The user-facing contract: KMeans().Fit under --kernel=scalar equals
+  // Fit under any other available --kernel value, including the
+  // Hamerly-accelerated path, on a 10k-point cell.
+  const Dataset cell = MakePoints(10000, 6, 30);
+  for (bool accelerate : {false, true}) {
+    SCOPED_TRACE(accelerate ? "hamerly" : "lloyd");
+    KMeansConfig config;
+    config.k = 40;
+    config.restarts = 2;
+    config.accelerate = accelerate;
+    config.lloyd.kernel = &GetKernel(KernelKind::kScalar);
+    auto ref = KMeans(config).Fit(cell);
+    ASSERT_TRUE(ref.ok()) << ref.status();
+    for (const DistanceKernel* kernel : AvailableKernels()) {
+      SCOPED_TRACE(kernel->name());
+      KMeansConfig alt = config;
+      alt.lloyd.kernel = kernel;
+      auto model = KMeans(alt).Fit(cell);
+      ASSERT_TRUE(model.ok()) << model.status();
+      EXPECT_EQ(model->centroids, ref->centroids);
+      EXPECT_EQ(model->sse, ref->sse);
+    }
+  }
+}
+
+TEST(KernelRegistry, ScalarAlwaysAvailableAndAutoResolves) {
+  EXPECT_TRUE(KernelAvailable(KernelKind::kScalar));
+  EXPECT_TRUE(KernelAvailable(KernelKind::kAuto));
+  EXPECT_STREQ(GetKernel(KernelKind::kScalar).name(), "scalar");
+  // The auto-resolved default is one of the available kernels.
+  const DistanceKernel& def = DefaultKernel();
+  bool found = false;
+  for (const DistanceKernel* kernel : AvailableKernels()) {
+    if (kernel == &def) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(KernelRegistry, ParseRoundTripsAndRejectsUnknown) {
+  for (KernelKind kind : {KernelKind::kAuto, KernelKind::kScalar,
+                          KernelKind::kAvx2, KernelKind::kNeon}) {
+    auto parsed = ParseKernelKind(KernelKindToString(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_TRUE(ParseKernelKind("sse9").status().IsInvalidArgument());
+}
+
+TEST(KernelRegistry, SetDefaultKernelSwapsAndRestores) {
+  const KernelKind original = DefaultKernel().kind();
+  auto previous = SetDefaultKernel(KernelKind::kScalar);
+  ASSERT_TRUE(previous.ok()) << previous.status();
+  EXPECT_EQ(DefaultKernel().kind(), KernelKind::kScalar);
+  ASSERT_TRUE(SetDefaultKernel(original).ok());
+  EXPECT_EQ(DefaultKernel().kind(), original);
+}
+
+TEST(CentroidBlockTest, TransposesAndPadsWithInfinity) {
+  const Dataset centroids = MakePoints(5, 3, 40);
+  CentroidBlock block;
+  block.Load(centroids);
+  EXPECT_EQ(block.k(), 5u);
+  EXPECT_EQ(block.dim(), 3u);
+  EXPECT_EQ(block.padded_k() % CentroidBlock::kLanePad, 0u);
+  const double* t = block.transposed();
+  for (size_t d = 0; d < 3; ++d) {
+    for (size_t j = 0; j < 5; ++j) {
+      EXPECT_EQ(t[d * block.padded_k() + j], centroids.Row(j)[d]);
+    }
+    for (size_t j = 5; j < block.padded_k(); ++j) {
+      EXPECT_TRUE(std::isinf(t[d * block.padded_k() + j]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pmkm

@@ -1,0 +1,197 @@
+// EngineOptions / EngineFlags / PipelineBuilder: the unified front door
+// to the streamed partial/merge pipeline.
+
+#include "stream/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/flags.h"
+#include "data/generator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace pmkm {
+namespace {
+
+GridBucket MakeBucket(int id, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  GridBucket bucket;
+  bucket.cell = GridCellId{id, id};
+  bucket.points = GenerateMisrLikeCell(n, &rng);
+  return bucket;
+}
+
+TEST(EngineFlagsTest, RegistersAndConverts) {
+  EngineFlags flags;
+  FlagParser parser;
+  flags.Register(&parser);
+  const char* argv[] = {"prog",          "--k=7",
+                        "--restarts=3",  "--memory-kib=64",
+                        "--cores=5",     "--failure_policy=skip",
+                        "--kernel=scalar"};
+  ASSERT_TRUE(parser.Parse(7, const_cast<char**>(argv)).ok());
+  auto options = flags.ToOptions();
+  ASSERT_TRUE(options.ok()) << options.status();
+  EXPECT_EQ(options->partial.k, 7u);
+  EXPECT_EQ(options->partial.restarts, 3u);
+  EXPECT_EQ(options->merge.k, 7u);
+  EXPECT_EQ(options->resources.memory_bytes_per_operator, 64u << 10);
+  EXPECT_EQ(options->resources.cores, 5u);
+  EXPECT_EQ(options->exec.failure_policy,
+            FailurePolicy::kSkipAndContinue);
+  EXPECT_EQ(options->kernel, KernelKind::kScalar);
+}
+
+TEST(EngineFlagsTest, RejectsBadValues) {
+  {
+    EngineFlags flags;
+    flags.k = 0;
+    EXPECT_TRUE(flags.ToOptions().status().IsInvalidArgument());
+  }
+  {
+    EngineFlags flags;
+    flags.failure_policy = "shrug";
+    EXPECT_TRUE(flags.ToOptions().status().IsInvalidArgument());
+  }
+  {
+    EngineFlags flags;
+    flags.kernel = "mmx";
+    EXPECT_TRUE(flags.ToOptions().status().IsInvalidArgument());
+  }
+}
+
+TEST(PipelineBuilderTest, RunInMemoryMatchesLegacyFreeFunction) {
+  KMeansConfig partial;
+  partial.k = 5;
+  partial.restarts = 2;
+  partial.seed = 9;
+  MergeKMeansConfig merge;
+  merge.k = 5;
+  ResourceModel resources;
+  resources.cores = 2;
+  resources.memory_bytes_per_operator = 6 * 8 * 4 * 150;
+
+  auto via_builder = PipelineBuilder()
+                         .WithPartialKMeans(partial)
+                         .WithMerge(merge)
+                         .WithResources(resources)
+                         .RunInMemory({MakeBucket(1, 600, 2)});
+  auto via_legacy = RunPartialMergeStreamInMemory(
+      {MakeBucket(1, 600, 2)}, partial, merge, resources);
+  ASSERT_TRUE(via_builder.ok()) << via_builder.status();
+  ASSERT_TRUE(via_legacy.ok()) << via_legacy.status();
+  const auto& a = via_builder->cells.at(GridCellId{1, 1});
+  const auto& b = via_legacy->cells.at(GridCellId{1, 1});
+  EXPECT_EQ(a.model.centroids, b.model.centroids);
+  EXPECT_EQ(a.model.sse, b.model.sse);
+}
+
+TEST(PipelineBuilderTest, ResultIdenticalAcrossKernels) {
+  // --kernel is a pure speed knob: the streamed pipeline's output is
+  // bitwise identical under every available kernel.
+  KMeansConfig partial;
+  partial.k = 6;
+  partial.restarts = 2;
+  MergeKMeansConfig merge;
+  merge.k = 6;
+  ResourceModel resources;
+  resources.cores = 3;
+
+  auto Run = [&](KernelKind kind) {
+    return PipelineBuilder()
+        .WithPartialKMeans(partial)
+        .WithMerge(merge)
+        .WithResources(resources)
+        .WithKernel(kind)
+        .RunInMemory({MakeBucket(2, 1500, 3)});
+  };
+  auto ref = Run(KernelKind::kScalar);
+  ASSERT_TRUE(ref.ok()) << ref.status();
+  for (const DistanceKernel* kernel : AvailableKernels()) {
+    SCOPED_TRACE(kernel->name());
+    auto alt = Run(kernel->kind());
+    ASSERT_TRUE(alt.ok()) << alt.status();
+    const auto& a = ref->cells.at(GridCellId{2, 2});
+    const auto& b = alt->cells.at(GridCellId{2, 2});
+    EXPECT_EQ(a.model.centroids, b.model.centroids);
+    EXPECT_EQ(a.model.sse, b.model.sse);
+  }
+}
+
+TEST(PipelineBuilderTest, OperatorStatsNameActiveKernel) {
+  auto result = PipelineBuilder()
+                    .WithKernel(KernelKind::kScalar)
+                    .RunInMemory({MakeBucket(3, 800, 4)});
+  ASSERT_TRUE(result.ok()) << result.status();
+  bool partial_seen = false, merge_seen = false;
+  for (const OperatorStats& stats : result->operator_stats) {
+    if (stats.name.rfind("partial-kmeans", 0) == 0) {
+      partial_seen = true;
+      EXPECT_EQ(stats.kernel, "scalar");
+    } else if (stats.name == "merge-kmeans") {
+      merge_seen = true;
+      EXPECT_EQ(stats.kernel, "scalar");
+    }
+  }
+  EXPECT_TRUE(partial_seen);
+  EXPECT_TRUE(merge_seen);
+}
+
+TEST(PipelineBuilderTest, WithMetricsAndTraceWireSinks) {
+  MetricsRegistry registry;
+  TraceRecorder trace;
+  auto result = PipelineBuilder()
+                    .WithMetrics(&registry)
+                    .WithTrace(&trace)
+                    .RunInMemory({MakeBucket(4, 500, 5)});
+  ASSERT_TRUE(result.ok()) << result.status();
+  // The queue gauges only exist when the metrics sink was attached.
+  const std::string json = registry.ToJsonString();
+  EXPECT_NE(json.find("queue.points.depth"), std::string::npos);
+  EXPECT_GT(trace.size(), 0u);
+}
+
+TEST(PipelineBuilderTest, ChunkOverrideKeepsQueueRule) {
+  // A forced chunk size larger than the memory budget must clamp the
+  // queue to the floor of 2 instead of buffering 2·clones giant chunks.
+  ResourceModel resources;
+  resources.cores = 5;
+  resources.memory_bytes_per_operator = 6 * 8 * 4 * 100;  // 100-pt chunks
+  KMeansConfig partial;
+  partial.k = 4;
+  partial.restarts = 1;
+  MergeKMeansConfig merge;
+  merge.k = 4;
+  auto result = PipelineBuilder()
+                    .WithPartialKMeans(partial)
+                    .WithMerge(merge)
+                    .WithResources(resources)
+                    .WithChunkPoints(2000)
+                    .RunInMemory({MakeBucket(5, 4000, 6)});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->plan.chunk_points, 2000u);
+  EXPECT_EQ(result->plan.queue_capacity,
+            PlanQueueCapacity(result->plan.partial_clones, 2000, 6,
+                              resources.memory_bytes_per_operator));
+}
+
+TEST(PipelineBuilderTest, ExplainNamesKernel) {
+  // Explain goes through bucket files; write one.
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("pmkm_engine_test_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const GridBucket bucket = MakeBucket(6, 300, 7);
+  const std::string path = (dir / "cell.pmkb").string();
+  ASSERT_TRUE(WriteGridBucket(path, bucket).ok());
+  auto text = PipelineBuilder()
+                  .WithKernel(KernelKind::kScalar)
+                  .Explain({path});
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(text.ok()) << text.status();
+  EXPECT_NE(text->find("kernel=scalar"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pmkm

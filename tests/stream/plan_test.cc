@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 
 #include "cluster/metrics.h"
@@ -44,6 +45,35 @@ TEST(PlanTest, ClonesUseAvailableCores) {
   const PhysicalPlan plan = PlanPartialMerge(6, 100000, r);
   EXPECT_EQ(plan.partial_clones, 7u);  // cores − 1
   EXPECT_GE(plan.queue_capacity, 2 * plan.partial_clones);
+}
+
+TEST(PlanTest, QueueCapacityRule) {
+  // cap = max(2, min(2·clones, clones · memory / chunk_bytes)).
+  // Planner-sized chunks occupy a quarter of the budget (factor-4 working
+  // set), so the 2·clones term binds...
+  EXPECT_EQ(PlanQueueCapacity(4, 100, 6, 100 * 6 * 8 * 4), 8u);
+  // ...a chunk as large as the whole budget leaves one buffered chunk per
+  // clone...
+  EXPECT_EQ(PlanQueueCapacity(4, 400, 6, 400 * 6 * 8), 4u);
+  // ...and chunks larger than the budget clamp to the floor of 2.
+  EXPECT_EQ(PlanQueueCapacity(4, 4000, 6, 400 * 6 * 8), 2u);
+  EXPECT_EQ(PlanQueueCapacity(1, 1, 1, 0), 2u);  // floor holds everywhere
+}
+
+TEST(PlanTest, PlannerQueueCapacityFollowsRule) {
+  for (size_t cores : {2u, 4u, 9u}) {
+    ResourceModel r;
+    r.cores = cores;
+    r.memory_bytes_per_operator = 1 << 16;
+    const PhysicalPlan plan = PlanPartialMerge(6, 1000000, r);
+    EXPECT_EQ(plan.queue_capacity,
+              PlanQueueCapacity(plan.partial_clones, plan.chunk_points, 6,
+                                r.memory_bytes_per_operator));
+    // Planner-derived chunks always fit the budget 4×, so the capacity
+    // equals the historical 2·clones rule.
+    EXPECT_EQ(plan.queue_capacity,
+              std::max<size_t>(2, 2 * plan.partial_clones));
+  }
 }
 
 TEST(PlanTest, MinimumOnePointPartition) {

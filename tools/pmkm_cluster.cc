@@ -5,7 +5,10 @@
 //         buckets/*.pmkb
 //
 // Algorithms: pm (partial/merge, default), serial, stream (full engine
-// with resource-driven planning).
+// with resource-driven planning). Engine-level flags (--k, --restarts,
+// --memory-kib, --cores, --failure_policy, --max_retries,
+// --op_timeout_ms, --kernel) come from EngineFlags and are shared with
+// the stream benches; the stream path runs through PipelineBuilder.
 
 #include <filesystem>
 #include <iostream>
@@ -21,8 +24,8 @@
 #include "data/csv.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "stream/engine.h"
 #include "stream/explain.h"
-#include "stream/plan.h"
 
 namespace {
 
@@ -46,37 +49,22 @@ pmkm::Status WriteTextFile(const std::string& path,
 int main(int argc, char** argv) {
   std::string algo = "pm";
   std::string out = "models";
-  int64_t k = 40;
   int64_t splits = 10;
-  int64_t restarts = 10;
-  int64_t memory_kib = 512;
   bool quiet = false;
   bool explain = false;
   std::string csv_dir;
-  std::string failure_policy = "failfast";
-  int64_t max_retries = 2;
-  int64_t op_timeout_ms = 0;
   std::string faults;
   bool stats = false;
   std::string metrics_out;
   std::string prom_out;
   std::string trace_out;
+  pmkm::EngineFlags engine_flags;
   pmkm::FlagParser parser;
   parser.AddString("algo", &algo, "pm | serial | stream")
       .AddString("out", &out, "output directory for .pmkm model files")
       .AddString("csv-dir", &csv_dir,
                  "also export centroids+weights as CSV here (optional)")
-      .AddInt("k", &k, "clusters per cell")
       .AddInt("splits", &splits, "pm: partitions per cell")
-      .AddInt("restarts", &restarts, "random seed sets R")
-      .AddInt("memory-kib", &memory_kib,
-              "stream: per-operator memory budget")
-      .AddString("failure_policy", &failure_policy,
-                 "stream: failfast | retry | skip")
-      .AddInt("max_retries", &max_retries,
-              "stream: operator restarts under --failure_policy=retry")
-      .AddInt("op_timeout_ms", &op_timeout_ms,
-              "stream: watchdog stall timeout (0 = off)")
       .AddString("faults", &faults,
                  "arm fault-injection sites, e.g. io.read:p=0.05,seed=7")
       .AddBool("explain", &explain,
@@ -93,6 +81,7 @@ int main(int argc, char** argv) {
                  "stream: write a Chrome trace_event JSON here (open in "
                  "chrome://tracing or Perfetto)")
       .AddBool("quiet", &quiet, "suppress the per-cell report");
+  engine_flags.Register(&parser);
   const pmkm::Status st = parser.Parse(argc, argv);
   if (st.IsCancelled()) return 0;
   if (!st.ok()) return Fail(st);
@@ -101,13 +90,20 @@ int main(int argc, char** argv) {
         pmkm::FaultRegistry::Global().ArmFromString(faults);
     if (!fs.ok()) return Fail(fs);
   }
-  auto policy = pmkm::ParseFailurePolicy(failure_policy);
-  if (!policy.ok()) return Fail(policy.status());
+  auto options = engine_flags.ToOptions();
+  if (!options.ok()) return Fail(options.status());
   if (parser.positional().empty()) {
     std::cerr << "usage: " << argv[0]
               << " [flags] bucket.pmkb [bucket2.pmkb ...]\n"
               << parser.Usage(argv[0]);
     return 1;
+  }
+  // The serial and pm paths run k-means outside the engine; point the
+  // process default kernel at the chosen one so --kernel applies there
+  // too (the stream path resolves it per-run via the builder).
+  {
+    auto prev = pmkm::SetDefaultKernel(options->kernel);
+    if (!prev.ok()) return Fail(prev.status());
   }
   std::filesystem::create_directories(out);
 
@@ -131,43 +127,26 @@ int main(int argc, char** argv) {
   };
 
   if (algo == "stream") {
-    pmkm::KMeansConfig partial;
-    partial.k = static_cast<size_t>(k);
-    partial.restarts = static_cast<size_t>(restarts);
-    pmkm::MergeKMeansConfig merge;
-    merge.k = static_cast<size_t>(k);
-    pmkm::ResourceModel resources;
-    resources.memory_bytes_per_operator =
-        static_cast<size_t>(memory_kib) << 10;
-    if (explain) {
-      auto probe =
-          pmkm::GridBucketReader::Open(parser.positional().front());
-      if (!probe.ok()) return Fail(probe.status());
-      const pmkm::PhysicalPlan plan = pmkm::PlanPartialMerge(
-          probe->dim(), probe->total_points(), resources);
-      std::cout << pmkm::ExplainPartialMergePlan(
-          parser.positional().size(),
-          probe->total_points() * parser.positional().size(),
-          probe->dim(), partial, merge, plan);
-    }
-    pmkm::StreamExecOptions exec;
-    exec.failure_policy = *policy;
-    exec.max_retries = static_cast<size_t>(max_retries);
-    exec.op_timeout_ms = static_cast<uint64_t>(op_timeout_ms);
+    pmkm::PipelineBuilder builder(*options);
     // Observability is on only when some output asks for it; otherwise
     // the pipeline runs with null sinks (zero instrumentation cost).
     pmkm::MetricsRegistry registry;
     pmkm::TraceRecorder tracer;
     if (stats || !metrics_out.empty() || !prom_out.empty()) {
-      exec.obs.metrics = &registry;
+      builder.WithMetrics(&registry);
     }
-    if (!trace_out.empty()) exec.obs.trace = &tracer;
-    auto run = pmkm::RunPartialMergeStream(parser.positional(), partial,
-                                           merge, resources, exec);
+    if (!trace_out.empty()) builder.WithTrace(&tracer);
+    if (explain) {
+      auto text = builder.Explain(parser.positional());
+      if (!text.ok()) return Fail(text.status());
+      std::cout << *text;
+    }
+    auto run = builder.Run(parser.positional());
     if (!run.ok()) return Fail(run.status());
     if (stats) {
       std::cout << "\nEXPLAIN ANALYZE\n"
-                << pmkm::ExplainAnalyzePartialMerge(partial, merge, *run);
+                << pmkm::ExplainAnalyzePartialMerge(options->partial,
+                                                    options->merge, *run);
     }
     if (!metrics_out.empty()) {
       const pmkm::Status ws =
@@ -208,16 +187,12 @@ int main(int argc, char** argv) {
     const pmkm::Stopwatch watch;
     pmkm::ClusteringModel model;
     if (algo == "serial") {
-      pmkm::KMeansConfig config;
-      config.k = static_cast<size_t>(k);
-      config.restarts = static_cast<size_t>(restarts);
-      auto fitted = pmkm::KMeans(config).Fit(bucket->points);
+      auto fitted = pmkm::KMeans(options->partial).Fit(bucket->points);
       if (!fitted.ok()) return Fail(fitted.status());
       model = std::move(fitted).value();
     } else if (algo == "pm") {
       pmkm::PartialMergeConfig config;
-      config.partial.k = static_cast<size_t>(k);
-      config.partial.restarts = static_cast<size_t>(restarts);
+      config.partial = options->partial;
       config.num_partitions = static_cast<size_t>(splits);
       auto result = pmkm::PartialMergeKMeans(config).Run(bucket->points);
       if (!result.ok()) return Fail(result.status());
