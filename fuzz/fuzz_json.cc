@@ -1,0 +1,30 @@
+// Fuzz harness for JsonValue::Parse (src/obs/json.cc) — the parser that
+// reads back metrics/trace/run-stats files in `pmkm_inspect`. Invariants
+// checked beyond "does not crash":
+//   1. Parse never recurses past its depth cap (stack safety on "[[[[").
+//   2. Accepted documents round-trip: Dump() of a parsed value must
+//      itself parse (the exporters rely on this).
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "obs/json.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > (1u << 20)) return 0;  // bound per-input cost
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  pmkm::Result<pmkm::JsonValue> parsed = pmkm::JsonValue::Parse(text);
+  if (!parsed.ok()) return 0;
+
+  const std::string compact = parsed.value().Dump();
+  pmkm::Result<pmkm::JsonValue> again = pmkm::JsonValue::Parse(compact);
+  if (!again.ok()) std::abort();  // round-trip invariant violated
+
+  // Pretty-printed output must also stay parseable.
+  const std::string pretty = parsed.value().Dump(/*indent=*/2);
+  pmkm::Result<pmkm::JsonValue> pretty_again = pmkm::JsonValue::Parse(pretty);
+  if (!pretty_again.ok()) std::abort();
+  return 0;
+}

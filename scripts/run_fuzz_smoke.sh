@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Builds the fuzz harnesses with ASan+UBSan and runs each for a short
+# time budget over its seed corpus (fuzz/corpus/<target>/).
+#
+#   scripts/run_fuzz_smoke.sh [seconds-per-harness]   (default: 30)
+#
+# Under Clang this is real coverage-guided libFuzzer; under GCC it is the
+# standalone replay driver (corpus + deterministic mutations) — same
+# command line either way, see fuzz/CMakeLists.txt. Findings land in
+# build-fuzz/fuzz/corpus_<target>/ and crash files in the CWD.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+budget="${1:-30}"
+
+cmake -B build-fuzz -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DPMKM_BUILD_FUZZERS=ON \
+  -DPMKM_SANITIZE=address,undefined \
+  -DPMKM_FUZZ_SMOKE_SECONDS="${budget}" \
+  -DPMKM_BUILD_TESTS=OFF \
+  -DPMKM_BUILD_BENCHMARKS=OFF \
+  -DPMKM_BUILD_EXAMPLES=OFF
+cmake --build build-fuzz -j "$(nproc)" --target fuzz_smoke
+
+echo "==> fuzz smoke passed (${budget}s per harness)"

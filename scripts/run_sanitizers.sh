@@ -2,39 +2,77 @@
 # Builds and runs the tier-1 test suite under sanitizers:
 #   build-asan/  AddressSanitizer + UndefinedBehaviorSanitizer
 #   build-tsan/  ThreadSanitizer (the stream executor is thread-heavy)
+#   build-msan/  MemorySanitizer (requires Clang; see below)
 #
-# Usage: scripts/run_sanitizers.sh [asan|tsan]   (default: both)
+# Usage: scripts/run_sanitizers.sh [asan|tsan|msan|all] [--label L]
+#   (default: asan + tsan; msan only on request since it needs Clang)
+#
+#   --label unit          only fast hermetic tests (ctest -L unit)
+#   --label integration   only pipeline/subprocess tests
+#
+# MSan note: PMKM_SANITIZE=memory is validated by CMake (Clang-only,
+# incompatible with asan/tsan). For signal without false positives the
+# C++ standard library should also be MSan-instrumented; without an
+# instrumented libc++ expect noise from the standard library.
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+label=""
+which="all"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    asan|tsan|msan|all) which="$1"; shift ;;
+    --label)
+      [[ $# -ge 2 ]] || { echo "--label needs a value" >&2; exit 2; }
+      label="$2"; shift 2 ;;
+    --label=*) label="${1#--label=}"; shift ;;
+    *)
+      echo "usage: $0 [asan|tsan|msan|all] [--label unit|integration]" >&2
+      exit 2 ;;
+  esac
+done
+
+ctest_args=(--output-on-failure -j "$(nproc)")
+if [[ -n "${label}" ]]; then
+  ctest_args+=(-L "${label}")
+fi
+
 run_suite() {
   local name="$1" sanitize="$2"
+  shift 2
   local dir="build-${name}"
   echo "==> configuring ${dir} (PMKM_SANITIZE=${sanitize})"
   cmake -B "${dir}" -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DPMKM_SANITIZE="${sanitize}" \
     -DPMKM_BUILD_BENCHMARKS=OFF \
-    -DPMKM_BUILD_EXAMPLES=OFF
+    -DPMKM_BUILD_EXAMPLES=OFF \
+    "$@"
   echo "==> building ${dir}"
   cmake --build "${dir}" -j "$(nproc)"
-  echo "==> testing ${dir}"
-  ctest --test-dir "${dir}" --output-on-failure -j "$(nproc)"
+  echo "==> testing ${dir}${label:+ (label: ${label})}"
+  ctest --test-dir "${dir}" "${ctest_args[@]}"
 }
 
-which="${1:-all}"
+run_msan() {
+  local clangxx="${CLANGXX:-clang++}"
+  if ! command -v "${clangxx}" > /dev/null; then
+    echo "MSan requires Clang; ${clangxx} not found" >&2
+    echo "(install clang or set CLANGXX to a clang++ binary)" >&2
+    exit 3
+  fi
+  run_suite msan "memory" -DCMAKE_CXX_COMPILER="${clangxx}"
+}
+
 case "${which}" in
   asan) run_suite asan "address,undefined" ;;
   tsan) run_suite tsan "thread" ;;
+  msan) run_msan ;;
   all)
     run_suite asan "address,undefined"
     run_suite tsan "thread"
-    ;;
-  *)
-    echo "usage: $0 [asan|tsan]" >&2
-    exit 2
     ;;
 esac
 

@@ -1,0 +1,149 @@
+#!/usr/bin/env bash
+# Project static-analysis gate (DESIGN.md §11). Runs three stages and
+# exits non-zero on any new finding:
+#
+#   1. pmkm_lint          project invariants (tools/pmkm_lint.py)
+#   2. thread-safety      full Clang build with -Wthread-safety
+#                         -Werror=thread-safety over src/, tools/, tests/
+#   3. clang-tidy         curated .clang-tidy profile, gated against
+#                         scripts/clang_tidy_baseline.txt
+#
+# Stages 2 and 3 need the Clang toolchain (clang++ / clang-tidy). When a
+# tool is missing the stage is SKIPPED with a warning — the gate then
+# covers what the host can check — unless PMKM_SA_STRICT=1, which turns a
+# missing tool into a failure (use in CI, where Clang is installed).
+#
+# Usage:
+#   scripts/run_static_analysis.sh [--update-baseline]
+#
+# Environment:
+#   CLANGXX      Clang C++ compiler   (default: clang++)
+#   CLANG_TIDY   clang-tidy binary    (default: clang-tidy)
+#   PMKM_SA_STRICT=1  fail instead of skip when a tool is missing
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CLANGXX="${CLANGXX:-clang++}"
+CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
+STRICT="${PMKM_SA_STRICT:-0}"
+BASELINE="scripts/clang_tidy_baseline.txt"
+UPDATE_BASELINE=0
+if [[ "${1:-}" == "--update-baseline" ]]; then
+  UPDATE_BASELINE=1
+fi
+
+failures=0
+skipped=0
+
+skip_or_fail() {
+  local what="$1"
+  if [[ "${STRICT}" == "1" ]]; then
+    echo "FAIL: ${what} (PMKM_SA_STRICT=1)" >&2
+    failures=$((failures + 1))
+  else
+    echo "SKIP: ${what}" >&2
+    skipped=$((skipped + 1))
+  fi
+}
+
+# ---------------------------------------------------------------------------
+echo "==> stage 1/3: pmkm_lint"
+if command -v python3 > /dev/null; then
+  if python3 tools/pmkm_lint.py; then
+    echo "pmkm_lint: clean"
+  else
+    failures=$((failures + 1))
+  fi
+else
+  skip_or_fail "python3 not found; cannot run pmkm_lint"
+fi
+
+# ---------------------------------------------------------------------------
+echo "==> stage 2/3: Clang -Wthread-safety build"
+if command -v "${CLANGXX}" > /dev/null; then
+  # PMKM_THREAD_SAFETY_ANALYSIS is ON by default under Clang; -Werror
+  # makes any thread-safety finding a build failure.
+  cmake -B build-tsa -S . \
+    -DCMAKE_CXX_COMPILER="${CLANGXX}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    -DPMKM_THREAD_SAFETY_ANALYSIS=ON \
+    -DPMKM_BUILD_BENCHMARKS=OFF \
+    -DPMKM_BUILD_EXAMPLES=OFF > /dev/null
+  if cmake --build build-tsa -j "$(nproc)"; then
+    echo "thread-safety build: clean"
+  else
+    echo "FAIL: thread-safety findings (see build output above)" >&2
+    failures=$((failures + 1))
+  fi
+else
+  skip_or_fail "${CLANGXX} not found; cannot run -Wthread-safety build"
+fi
+
+# ---------------------------------------------------------------------------
+echo "==> stage 3/3: clang-tidy gate"
+if command -v "${CLANG_TIDY}" > /dev/null; then
+  # Reuse the clang compile database when stage 2 produced one; otherwise
+  # export one from the default (gcc) configuration — clang-tidy only
+  # needs the flags, not the compiler.
+  compdb_dir="build-tsa"
+  if [[ ! -f "${compdb_dir}/compile_commands.json" ]]; then
+    compdb_dir="build"
+    cmake -B "${compdb_dir}" -S . \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+  fi
+
+  # Normalize findings to "relative/file: check-name" (drop line/column so
+  # unrelated edits do not churn the baseline), sorted and unique.
+  mapfile -t tidy_sources < <(find src tools -name '*.cc' | sort)
+  current_findings="$(
+    "${CLANG_TIDY}" -p "${compdb_dir}" --quiet "${tidy_sources[@]}" \
+        2> /dev/null |
+      grep -E '^[^ ]+:[0-9]+:[0-9]+: (warning|error):' |
+      sed -E "s|^$(pwd)/||" |
+      sed -E 's|^([^:]+):[0-9]+:[0-9]+: (warning\|error): .*\[([a-z0-9.,-]+)\]$|\1: \3|' |
+      sort -u || true
+  )"
+
+  if [[ "${UPDATE_BASELINE}" == "1" ]]; then
+    {
+      grep '^#' "${BASELINE}"
+      echo "${current_findings}"
+    } | grep -v '^$' > "${BASELINE}.tmp" && mv "${BASELINE}.tmp" "${BASELINE}"
+    echo "baseline updated: $(grep -cv '^#' "${BASELINE}" || true) finding(s)"
+  else
+    baseline_findings="$(grep -v '^#' "${BASELINE}" | grep -v '^$' || true)"
+    new_findings="$(comm -23 <(echo "${current_findings}" | grep -v '^$' || true) \
+                             <(echo "${baseline_findings}") || true)"
+    fixed_findings="$(comm -13 <(echo "${current_findings}" | grep -v '^$' || true) \
+                               <(echo "${baseline_findings}") || true)"
+    if [[ -n "${fixed_findings}" ]]; then
+      echo "note: baselined findings no longer fire (run --update-baseline):"
+      echo "${fixed_findings}" | sed 's/^/  /'
+    fi
+    if [[ -n "${new_findings}" ]]; then
+      echo "FAIL: new clang-tidy findings (fix, or baseline with justification):" >&2
+      echo "${new_findings}" | sed 's/^/  /' >&2
+      failures=$((failures + 1))
+    else
+      echo "clang-tidy: no new findings"
+    fi
+  fi
+else
+  skip_or_fail "${CLANG_TIDY} not found; cannot run clang-tidy gate"
+fi
+
+# ---------------------------------------------------------------------------
+echo
+if [[ "${failures}" -gt 0 ]]; then
+  echo "static analysis: FAILED (${failures} stage(s))"
+  exit 1
+fi
+if [[ "${skipped}" -gt 0 ]]; then
+  echo "static analysis: OK (${skipped} stage(s) skipped — install" \
+       "clang/clang-tidy or set PMKM_SA_STRICT=1 to require them)"
+else
+  echo "static analysis: OK (all stages)"
+fi

@@ -1,0 +1,172 @@
+// Compile-time concurrency checking: Clang thread-safety-analysis macros
+// plus the annotated synchronization primitives (Mutex, MutexLock, CondVar)
+// every concurrent structure in pmkm builds on.
+//
+// Under Clang with -Wthread-safety the analysis proves, per translation
+// unit, that every field marked PMKM_GUARDED_BY(mu) is only touched while
+// `mu` is held and that every function marked PMKM_REQUIRES(mu) is only
+// called with `mu` held. The project treats these findings as errors
+// (-Werror=thread-safety, see scripts/run_static_analysis.sh), so a
+// locking bug in annotated code does not compile. Under GCC (which has no
+// thread-safety analysis) the macros expand to nothing and the wrappers
+// compile to the bare std primitives.
+//
+// Conventions (DESIGN.md §11):
+//   - Shared mutable state is a private field annotated
+//     PMKM_GUARDED_BY(mu_); the mutex is declared *before* the data it
+//     guards.
+//   - Private helpers that assume the lock carry PMKM_REQUIRES(mu_) and a
+//     "Locked" name suffix.
+//   - Public methods that take the lock are annotated PMKM_EXCLUDES(mu_)
+//     so the analysis rejects self-deadlocking re-entry.
+//   - Opting out requires PMKM_NO_THREAD_SAFETY_ANALYSIS plus a comment
+//     justifying why the analysis cannot see the invariant.
+
+#ifndef PMKM_COMMON_ANNOTATIONS_H_
+#define PMKM_COMMON_ANNOTATIONS_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define PMKM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PMKM_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Declares a type to be a lockable capability ("mutex").
+#define PMKM_CAPABILITY(x) PMKM_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type whose lifetime acquires/releases a capability.
+#define PMKM_SCOPED_CAPABILITY PMKM_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field is only read/written while holding the given mutex(es).
+#define PMKM_GUARDED_BY(x) PMKM_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointee is only dereferenced while holding the given mutex(es).
+#define PMKM_PT_GUARDED_BY(x) PMKM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Caller must hold the mutex(es) exclusively when calling.
+#define PMKM_REQUIRES(...) \
+  PMKM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Caller must hold the mutex(es) at least shared when calling.
+#define PMKM_REQUIRES_SHARED(...) \
+  PMKM_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the mutex(es) and holds them on return.
+#define PMKM_ACQUIRE(...) \
+  PMKM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the mutex(es) held on entry.
+#define PMKM_RELEASE(...) \
+  PMKM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the mutex(es) iff it returns the given value.
+#define PMKM_TRY_ACQUIRE(...) \
+  PMKM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT already hold the mutex(es) (deadlock prevention).
+#define PMKM_EXCLUDES(...) PMKM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Asserts at analysis time that the capability is held (runtime no-op).
+#define PMKM_ASSERT_CAPABILITY(x) \
+  PMKM_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define PMKM_RETURN_CAPABILITY(x) PMKM_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment justifying why the invariant is invisible to the
+/// analysis (e.g. lock ownership transferred through std::adopt_lock).
+#define PMKM_NO_THREAD_SAFETY_ANALYSIS \
+  PMKM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace pmkm {
+
+/// std::mutex with thread-safety-analysis capability annotations. Use with
+/// MutexLock; fields it protects are declared PMKM_GUARDED_BY(mu_).
+class PMKM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() PMKM_ACQUIRE() { mu_.lock(); }
+  void Unlock() PMKM_RELEASE() { mu_.unlock(); }
+  bool TryLock() PMKM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Analysis-only assertion that the calling thread holds this mutex;
+  /// compiles to nothing. Use in helpers reached only under the lock when
+  /// restructuring to PMKM_REQUIRES is not possible.
+  void AssertHeld() const PMKM_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex (std::lock_guard shaped, analysis-visible).
+class PMKM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PMKM_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() PMKM_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with Mutex. Waits temporarily release the
+/// mutex exactly like std::condition_variable; the analysis sees the lock
+/// as continuously held across a Wait, which matches the invariant the
+/// caller relies on (guarded state may only be touched between waits).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified. The mutex is released while blocked and
+  /// re-acquired before returning.
+  // Analysis disabled: ownership round-trips through std::adopt_lock /
+  // release(), which the analysis cannot track; the lock is held on entry
+  // and on exit, which is all callers observe.
+  void Wait(Mutex& mu) PMKM_REQUIRES(mu) PMKM_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  /// Blocks until `pred()` holds (spurious-wakeup safe). `pred` is always
+  /// evaluated with the mutex held.
+  template <typename Pred>
+  void Wait(Mutex& mu, Pred pred) PMKM_REQUIRES(mu) {
+    while (!pred()) Wait(mu);
+  }
+
+  /// Blocks until notified or the duration elapses.
+  // Analysis disabled: same std::adopt_lock round-trip as Wait above.
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(Mutex& mu,
+                         const std::chrono::duration<Rep, Period>& dur)
+      PMKM_REQUIRES(mu) PMKM_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(lock, dur);
+    lock.release();
+    return status;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace pmkm
+
+#endif  // PMKM_COMMON_ANNOTATIONS_H_

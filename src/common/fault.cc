@@ -29,7 +29,9 @@ Status ParseCode(const std::string& value, StatusCode* out) {
 
 FaultRegistry& FaultRegistry::Global() {
   static FaultRegistry* registry = [] {
-    auto* r = new FaultRegistry();
+    // Intentionally leaked process singleton (never destroyed, so fault
+    // points stay usable during static destruction).
+    auto* r = new FaultRegistry();  // pmkm-lint: allow(naked-new)
     if (const char* env = std::getenv("PMKM_FAULTS");
         env != nullptr && env[0] != '\0') {
       const Status st = r->ArmFromString(env);
@@ -43,7 +45,7 @@ FaultRegistry& FaultRegistry::Global() {
 }
 
 void FaultRegistry::Arm(const std::string& site, FaultSpec spec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ArmedSite armed;
   armed.rng.Reseed(spec.seed);
   armed.spec = std::move(spec);
@@ -52,14 +54,14 @@ void FaultRegistry::Arm(const std::string& site, FaultSpec spec) {
 }
 
 void FaultRegistry::Disarm(const std::string& site) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (sites_.erase(site) > 0) {
     armed_count_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
 void FaultRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   sites_.clear();
   armed_count_.store(0, std::memory_order_relaxed);
 }
@@ -122,7 +124,7 @@ Status FaultRegistry::ArmFromString(const std::string& spec) {
   return Status::OK();
 }
 
-bool FaultRegistry::Fires(ArmedSite* site) {
+bool FaultRegistry::Fires(ArmedSite* site) {  // requires mu_ (see header)
   const FaultSpec& spec = site->spec;
   bool fire = false;
   if (spec.nth > 0) {
@@ -142,7 +144,7 @@ Status FaultRegistry::Hit(const std::string& site) {
   if (armed_count_.load(std::memory_order_relaxed) == 0) {
     return Status::OK();
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sites_.find(site);
   if (it == sites_.end()) return Status::OK();
   ArmedSite& armed = it->second;
@@ -157,7 +159,7 @@ Status FaultRegistry::Hit(const std::string& site) {
 
 uint64_t FaultRegistry::StallMs(const std::string& site) {
   if (armed_count_.load(std::memory_order_relaxed) == 0) return 0;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sites_.find(site);
   if (it == sites_.end()) return 0;
   ArmedSite& armed = it->second;
@@ -167,13 +169,13 @@ uint64_t FaultRegistry::StallMs(const std::string& site) {
 }
 
 uint64_t FaultRegistry::hits(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sites_.find(site);
   return it == sites_.end() ? 0 : it->second.hits;
 }
 
 uint64_t FaultRegistry::failures(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sites_.find(site);
   return it == sites_.end() ? 0 : it->second.failures;
 }

@@ -24,9 +24,9 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 
+#include "common/annotations.h"
 #include "common/rng.h"
 #include "common/status.h"
 
@@ -59,25 +59,25 @@ class FaultRegistry {
   /// The process singleton. Arms sites from $PMKM_FAULTS on first use.
   static FaultRegistry& Global();
 
-  void Arm(const std::string& site, FaultSpec spec);
-  void Disarm(const std::string& site);
+  void Arm(const std::string& site, FaultSpec spec) PMKM_EXCLUDES(mu_);
+  void Disarm(const std::string& site) PMKM_EXCLUDES(mu_);
 
   /// Disarms every site and zeroes all counters.
-  void Reset();
+  void Reset() PMKM_EXCLUDES(mu_);
 
   /// Parses the spec-string grammar above and arms each site.
-  Status ArmFromString(const std::string& spec);
+  Status ArmFromString(const std::string& spec) PMKM_EXCLUDES(mu_);
 
   /// Records a hit at `site` and returns the injected error if the site is
   /// armed with an error fault that fires on this hit; OK otherwise.
-  Status Hit(const std::string& site);
+  Status Hit(const std::string& site) PMKM_EXCLUDES(mu_);
 
   /// Records a hit at `site` and returns the stall duration if the site is
   /// armed with a stall fault that fires on this hit; 0 otherwise.
-  uint64_t StallMs(const std::string& site);
+  uint64_t StallMs(const std::string& site) PMKM_EXCLUDES(mu_);
 
-  uint64_t hits(const std::string& site) const;
-  uint64_t failures(const std::string& site) const;
+  uint64_t hits(const std::string& site) const PMKM_EXCLUDES(mu_);
+  uint64_t failures(const std::string& site) const PMKM_EXCLUDES(mu_);
 
  private:
   FaultRegistry() = default;
@@ -89,11 +89,13 @@ class FaultRegistry {
     uint64_t failures = 0;
   };
 
-  // True if this hit (already counted in *site) should misbehave.
-  static bool Fires(ArmedSite* site);
+  // True if this hit (already counted in *site) should misbehave. `site`
+  // points into sites_, so the registry lock must be held.
+  bool Fires(ArmedSite* site) PMKM_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, ArmedSite> sites_;
+  mutable Mutex mu_;
+  std::map<std::string, ArmedSite> sites_ PMKM_GUARDED_BY(mu_);
+  // Fast disarmed-path check; the authoritative site table stays under mu_.
   std::atomic<int> armed_count_{0};
 };
 

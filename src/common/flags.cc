@@ -79,7 +79,8 @@ Status FlagParser::Parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
-      std::cout << Usage(argv[0]);
+      // --help goes to stdout by CLI convention, not through logging.
+      std::cout << Usage(argv[0]);  // pmkm-lint: allow(stdio)
       return Status::Cancelled("help requested");
     }
     if (arg.rfind("--", 0) != 0) {

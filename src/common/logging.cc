@@ -60,7 +60,8 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 LogMessage::~LogMessage() {
   if (enabled_) {
     std::lock_guard<std::mutex> lock(LogMutex());
-    std::cerr << stream_.str() << std::endl;
+    // The logging sink itself: the one sanctioned stderr writer.
+    std::cerr << stream_.str() << std::endl;  // pmkm-lint: allow(stdio)
   }
   if (level_ == LogLevel::kFatal) std::abort();
 }

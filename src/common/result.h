@@ -14,8 +14,12 @@ namespace pmkm {
 
 /// Holds either a successfully produced T or the Status explaining why it
 /// could not be produced. A Result never holds an OK status without a value.
+///
+/// [[nodiscard]]: discarding a Result loses both the value and the error;
+/// the compiler rejects it (-Werror=unused-result) unless explicitly cast
+/// to void with a justification comment.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value: success.
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -35,7 +35,12 @@ enum class StatusCode : int {
 const char* StatusCodeToString(StatusCode code);
 
 /// Outcome of a fallible operation: OK, or a code plus message.
-class Status {
+///
+/// [[nodiscard]]: ignoring a returned Status silently swallows the error,
+/// so every Status-returning call must be propagated
+/// (PMKM_RETURN_NOT_OK), checked (PMKM_CHECK_OK / .ok()), or explicitly
+/// discarded with a (void) cast plus a justification comment.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status. Equivalent to Status::OK().
   Status() = default;

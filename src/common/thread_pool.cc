@@ -18,8 +18,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) {
         // shutdown_ is set and the queue is drained.
         return;
@@ -30,25 +30,25 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --active_;
-      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+      if (queue_.empty() && active_ == 0) idle_cv_.NotifyAll();
     }
   }
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mu_);
+  while (!queue_.empty() || active_ != 0) idle_cv_.Wait(mu_);
 }
 
 void ThreadPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) return;
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }

@@ -4,13 +4,13 @@
 #ifndef PMKM_COMMON_THREAD_POOL_H_
 #define PMKM_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.h"
 
 namespace pmkm {
 
@@ -30,25 +30,25 @@ class ThreadPool {
 
   /// Enqueues `fn`; the returned future resolves with its result.
   template <typename Fn>
-  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+  std::future<std::invoke_result_t<Fn>> Submit(Fn&& fn) PMKM_EXCLUDES(mu_) {
     using R = std::invoke_result_t<Fn>;
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (shutdown_) return std::future<R>();
       queue_.emplace_back([task] { (*task)(); });
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
     return fut;
   }
 
   /// Blocks until every submitted task has finished.
-  void WaitIdle();
+  void WaitIdle() PMKM_EXCLUDES(mu_);
 
   /// Stops accepting tasks and joins the workers after draining the queue.
-  void Shutdown();
+  void Shutdown() PMKM_EXCLUDES(mu_);
 
   size_t num_threads() const { return workers_.size(); }
 
@@ -56,15 +56,18 @@ class ThreadPool {
   static size_t DefaultThreadCount();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() PMKM_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
+  Mutex mu_;
+  CondVar cv_;
+  CondVar idle_cv_;
+  std::deque<std::function<void()>> queue_ PMKM_GUARDED_BY(mu_);
+  // Written once in the constructor before any concurrent access; joined in
+  // Shutdown. Not guarded: after construction the vector itself is
+  // immutable (only the threads it holds run).
   std::vector<std::thread> workers_;
-  size_t active_ = 0;
-  bool shutdown_ = false;
+  size_t active_ PMKM_GUARDED_BY(mu_) = 0;
+  bool shutdown_ PMKM_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace pmkm

@@ -1,5 +1,6 @@
 #include "data/io.h"
 
+#include <algorithm>
 #include <cstring>
 #include <filesystem>
 
@@ -24,6 +25,11 @@ namespace {
 
 constexpr uint32_t kMagic = 0x424b4d50;  // "PMKB" little-endian
 constexpr uint32_t kVersion = 1;
+
+// Upper bound on the per-point dimensionality a bucket header may claim.
+// Real workloads are low-dimensional (the paper uses <= 64); the bound
+// exists so a corrupt/hostile header cannot request absurd allocations.
+constexpr uint32_t kMaxBucketDim = 1u << 20;
 
 struct Header {
   uint32_t magic;
@@ -89,7 +95,8 @@ Result<GridBucket> ReadGridBucket(const std::string& path) {
   GridBucket bucket;
   bucket.cell = reader.cell();
   bucket.points = Dataset(reader.dim());
-  bucket.points.Reserve(reader.total_points());
+  bucket.points.Reserve(
+      std::min(reader.total_points(), reader.available_points()));
   Dataset chunk(reader.dim());
   for (;;) {
     PMKM_ASSIGN_OR_RETURN(bool more, reader.Next(1 << 16, &chunk));
@@ -213,13 +220,32 @@ Result<GridBucketReader> GridBucketReader::Open(const std::string& path) {
                            std::to_string(h.version) + ": " + path);
   }
   if (h.dim == 0) return Status::IOError("zero dimensionality: " + path);
-
+  if (h.dim > kMaxBucketDim) {
+    return Status::IOError("implausible dimensionality " +
+                           std::to_string(h.dim) +
+                           " (corrupt header): " + path);
+  }
   GridBucketReader reader;
   reader.in_ = std::move(in);
   reader.path_ = path;
   reader.cell_ = GridCellId{h.lat, h.lon};
   reader.dim_ = h.dim;
   reader.total_points_ = h.count;
+  // How many whole points the file can actually hold past the header,
+  // independent of what the header claims. Next() bounds its buffer by
+  // this, so a corrupt/hostile count never drives an allocation. The
+  // division cannot overflow or divide by zero: 0 < dim <= kMaxBucketDim.
+  std::error_code size_ec;
+  const uint64_t file_size = std::filesystem::file_size(path, size_ec);
+  if (!size_ec && file_size >= sizeof(Header)) {
+    reader.available_points_ = static_cast<size_t>(
+        (file_size - sizeof(Header)) /
+        (static_cast<uint64_t>(h.dim) * sizeof(double)));
+  } else {
+    // Unsizeable stream (or racing writer): fall back to trusting the
+    // header; truncation still surfaces as a short read in Next().
+    reader.available_points_ = h.count;
+  }
   reader.running_hash_ = internal::kFnvOffset;
   return reader;
 }
@@ -246,6 +272,11 @@ Result<bool> GridBucketReader::Next(size_t max_points, Dataset* out) {
     return false;
   }
   const size_t take = std::min(max_points, total_points_ - points_read_);
+  if (points_read_ + take > available_points_) {
+    // The file cannot hold what the header promised; report the same
+    // error a short read would, without sizing a buffer from the header.
+    return Status::IOError("truncated bucket payload: " + path_);
+  }
   std::vector<double> buf(take * dim_);
   in_->read(reinterpret_cast<char*>(buf.data()),
             static_cast<std::streamsize>(buf.size() * sizeof(double)));

@@ -94,6 +94,12 @@ class GridBucketReader {
   size_t total_points() const { return total_points_; }
   size_t points_read() const { return points_read_; }
 
+  /// Points the file can physically hold given its size — an upper bound
+  /// on what Next() will ever deliver. Preallocate with
+  /// min(total_points(), available_points()): the header's count is
+  /// untrusted input and must not size an allocation on its own.
+  size_t available_points() const { return available_points_; }
+
   /// Reads up to `max_points` further points into `*out` (replacing its
   /// contents). Returns true if points were produced, false at end of
   /// stream. Corruption (short file, checksum mismatch) yields an error.
@@ -108,6 +114,9 @@ class GridBucketReader {
   size_t dim_ = 0;
   size_t total_points_ = 0;
   size_t points_read_ = 0;
+  /// Points the file can physically hold (from its size), used to bound
+  /// Next()'s buffer so a corrupt header cannot drive an allocation.
+  size_t available_points_ = 0;
   uint64_t running_hash_ = 0;
 };
 

@@ -154,8 +154,15 @@ std::string JsonValue::Dump(int indent) const {
 namespace {
 
 /// Recursive-descent parser over the serialized text.
+///
+/// Nesting depth is capped at kMaxParseDepth: the parser recurses once per
+/// container level, so without a cap a short adversarial input ("[[[[...")
+/// overflows the stack. 256 levels is far beyond anything the exporters
+/// emit while keeping worst-case stack usage trivially small.
 class JsonParser {
  public:
+  static constexpr int kMaxParseDepth = 256;
+
   explicit JsonParser(const std::string& text) : text_(text) {}
 
   Result<JsonValue> ParseDocument() {
@@ -193,10 +200,20 @@ class JsonParser {
     if (pos_ >= text_.size()) return Error("unexpected end of input");
     const char c = text_[pos_];
     switch (c) {
-      case '{':
-        return ParseObject();
-      case '[':
-        return ParseArray();
+      case '{': {
+        if (depth_ >= kMaxParseDepth) return Error("nesting too deep");
+        ++depth_;
+        Result<JsonValue> obj = ParseObject();
+        --depth_;
+        return obj;
+      }
+      case '[': {
+        if (depth_ >= kMaxParseDepth) return Error("nesting too deep");
+        ++depth_;
+        Result<JsonValue> arr = ParseArray();
+        --depth_;
+        return arr;
+      }
       case '"': {
         PMKM_ASSIGN_OR_RETURN(std::string s, ParseString());
         return JsonValue(std::move(s));
@@ -349,6 +366,7 @@ class JsonParser {
 
   const std::string& text_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -102,28 +102,28 @@ Histogram::Snapshot Histogram::TakeSnapshot() const {
 // MetricsRegistry
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return *slot;
 }
 
 JsonValue MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   JsonValue root = JsonValue::Object();
   JsonValue counters = JsonValue::Object();
   for (const auto& [name, c] : counters_) {
@@ -176,7 +176,7 @@ std::string PromNumber(double v) {
 
 std::string MetricsRegistry::ToPrometheusText(
     const std::string& prefix) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   for (const auto& [name, c] : counters_) {
     const std::string p = PromName(prefix, name);

@@ -25,9 +25,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/annotations.h"
 #include "obs/json.h"
 
 namespace pmkm {
@@ -117,25 +117,32 @@ class Histogram {
 /// once and record through the pointer ever after.
 class MetricsRegistry {
  public:
-  Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
-  Histogram& histogram(const std::string& name);
+  Counter& counter(const std::string& name) PMKM_EXCLUDES(mu_);
+  Gauge& gauge(const std::string& name) PMKM_EXCLUDES(mu_);
+  Histogram& histogram(const std::string& name) PMKM_EXCLUDES(mu_);
 
   /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
-  JsonValue ToJson() const;
+  JsonValue ToJson() const PMKM_EXCLUDES(mu_);
   std::string ToJsonString(int indent = 2) const {
     return ToJson().Dump(indent);
   }
 
   /// Prometheus text exposition format; metric names are prefixed and
   /// sanitized ([a-zA-Z0-9_] only). Histograms export as summaries.
-  std::string ToPrometheusText(const std::string& prefix = "pmkm") const;
+  std::string ToPrometheusText(const std::string& prefix = "pmkm") const
+      PMKM_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_;
+  // The maps are guarded; the instruments they point at are internally
+  // thread-safe (atomics), so recording through a previously resolved
+  // pointer takes no lock.
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      PMKM_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      PMKM_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      PMKM_GUARDED_BY(mu_);
 };
 
 }  // namespace pmkm

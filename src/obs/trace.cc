@@ -12,13 +12,13 @@ uint32_t TraceRecorder::TidLocked(std::thread::id id) {
 }
 
 void TraceRecorder::Add(TraceEvent event) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   event.tid = TidLocked(std::this_thread::get_id());
   events_.push_back(std::move(event));
 }
 
 JsonValue TraceRecorder::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   JsonValue root = JsonValue::Object();
   JsonValue events = JsonValue::Array();
   for (const TraceEvent& e : events_) {

@@ -22,12 +22,12 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/status.h"
 #include "obs/json.h"
 
@@ -56,30 +56,30 @@ class TraceRecorder {
             .count());
   }
 
-  void Add(TraceEvent event);
+  void Add(TraceEvent event) PMKM_EXCLUDES(mu_);
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const PMKM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return events_.size();
   }
 
-  std::vector<TraceEvent> Events() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> Events() const PMKM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return events_;
   }
 
   /// {"traceEvents": [...], "displayTimeUnit": "ms"}.
-  JsonValue ToJson() const;
+  JsonValue ToJson() const PMKM_EXCLUDES(mu_);
 
-  Status WriteJson(const std::string& path) const;
+  Status WriteJson(const std::string& path) const PMKM_EXCLUDES(mu_);
 
  private:
   // Small dense id per thread; Chrome renders one row per tid.
-  uint32_t TidLocked(std::thread::id id);
+  uint32_t TidLocked(std::thread::id id) PMKM_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
-  std::map<std::thread::id, uint32_t> tids_;
+  mutable Mutex mu_;
+  std::vector<TraceEvent> events_ PMKM_GUARDED_BY(mu_);
+  std::map<std::thread::id, uint32_t> tids_ PMKM_GUARDED_BY(mu_);
   std::chrono::steady_clock::time_point origin_;
 };
 

@@ -1,10 +1,10 @@
 #include "stream/operator.h"
 
+#include <atomic>
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 
+#include "common/annotations.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "obs/trace.h"
@@ -33,26 +33,41 @@ Result<FailurePolicy> ParseFailurePolicy(const std::string& name) {
                                  "' (use failfast|retry|skip)");
 }
 
+namespace {
+
+/// Supervision state shared by the operator threads and the watchdog for
+/// one Executor::Run; annotated so the cross-thread accesses are verified
+/// by thread-safety analysis.
+struct RunState {
+  Mutex mu;
+  Status first_error PMKM_GUARDED_BY(mu);
+
+  std::atomic<bool> failed{false};
+  std::atomic<bool> degraded{false};
+  std::atomic<size_t> running{0};
+
+  /// Signals the watchdog: either poll timeout elapsed or pipeline done.
+  Mutex wake_mu;
+  CondVar wake_cv;
+};
+
+}  // namespace
+
 Status Executor::Run(const ExecutorOptions& options) {
   report_ = ExecutorReport{};
   report_.operators.resize(ops_.size());
   if (ops_.empty()) return Status::OK();
 
-  std::mutex mu;
-  Status first_error;
-  std::atomic<bool> failed{false};
-  std::atomic<bool> degraded{false};
-  std::atomic<size_t> running{ops_.size()};
+  RunState state;
+  state.running.store(ops_.size());
   std::vector<std::atomic<bool>> done(ops_.size());
-  std::mutex wake_mu;
-  std::condition_variable wake_cv;
 
   auto on_error = [&](const Status& st) {
     bool expected = false;
-    if (failed.compare_exchange_strong(expected, true)) {
+    if (state.failed.compare_exchange_strong(expected, true)) {
       {
-        std::lock_guard<std::mutex> lock(mu);
-        first_error = st;
+        MutexLock lock(state.mu);
+        state.first_error = st;
       }
       for (auto& op : ops_) op->Abort();
     }
@@ -76,7 +91,7 @@ Status Executor::Run(const ExecutorOptions& options) {
       for (;;) {
         st = op->Run();
         if (st.ok() || st.IsCancelled() ||
-            failed.load(std::memory_order_acquire)) {
+            state.failed.load(std::memory_order_acquire)) {
           break;
         }
         if (op->failure_policy() == FailurePolicy::kRetryOperator &&
@@ -103,14 +118,14 @@ Status Executor::Run(const ExecutorOptions& options) {
       outcome.stats = stats;
       if (!st.ok()) {
         const bool torn_down =
-            st.IsCancelled() && failed.load(std::memory_order_acquire);
+            st.IsCancelled() && state.failed.load(std::memory_order_acquire);
         if (!torn_down) {
           if (!st.IsCancelled() &&
               op->failure_policy() == FailurePolicy::kSkipAndContinue) {
             // Tolerated: the operator closed out cleanly (Finish above),
             // so downstream still observes an exact end-of-stream.
             outcome.skipped = true;
-            degraded.store(true, std::memory_order_relaxed);
+            state.degraded.store(true, std::memory_order_relaxed);
             PMKM_LOG(Warning) << "operator '" << op->name()
                               << "' skipped after failure: " << st;
           } else {
@@ -119,9 +134,9 @@ Status Executor::Run(const ExecutorOptions& options) {
         }
       }
       done[i].store(true, std::memory_order_release);
-      if (running.fetch_sub(1) == 1) {
-        std::lock_guard<std::mutex> lock(wake_mu);
-        wake_cv.notify_all();
+      if (state.running.fetch_sub(1) == 1) {
+        MutexLock lock(state.wake_mu);
+        state.wake_cv.NotifyAll();
       }
     });
   }
@@ -137,11 +152,11 @@ Status Executor::Run(const ExecutorOptions& options) {
       uint64_t last_sum = 0;
       for (auto& op : ops_) last_sum += op->progress();
       auto last_change = Clock::now();
-      std::unique_lock<std::mutex> lock(wake_mu);
+      MutexLock lock(state.wake_mu);
       for (;;) {
-        wake_cv.wait_for(lock, poll);
-        if (running.load(std::memory_order_acquire) == 0 ||
-            failed.load(std::memory_order_acquire)) {
+        state.wake_cv.WaitFor(state.wake_mu, poll);
+        if (state.running.load(std::memory_order_acquire) == 0 ||
+            state.failed.load(std::memory_order_acquire)) {
           return;
         }
         uint64_t sum = 0;
@@ -172,8 +187,8 @@ Status Executor::Run(const ExecutorOptions& options) {
   for (auto& t : threads) t.join();
   if (watchdog.joinable()) {
     {
-      std::lock_guard<std::mutex> lock(wake_mu);
-      wake_cv.notify_all();
+      MutexLock lock(state.wake_mu);
+      state.wake_cv.NotifyAll();
     }
     watchdog.join();
   }
@@ -181,10 +196,10 @@ Status Executor::Run(const ExecutorOptions& options) {
   for (const OperatorOutcome& outcome : report_.operators) {
     report_.total_restarts += outcome.restarts;
   }
-  report_.degraded = degraded.load(std::memory_order_relaxed);
+  report_.degraded = state.degraded.load(std::memory_order_relaxed);
 
-  std::lock_guard<std::mutex> lock(mu);
-  return first_error;
+  MutexLock lock(state.mu);
+  return state.first_error;
 }
 
 }  // namespace pmkm

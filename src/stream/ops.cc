@@ -274,7 +274,9 @@ Status PartialKMeansOperator::Run() {
       const Stopwatch stall_watch;
       while (!in_->cancelled() &&
              stall_watch.ElapsedMillis() < static_cast<double>(stall_ms)) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        // Fault-injected stall (op.stall), not a latency hack.
+        std::this_thread::sleep_for(  // pmkm-lint: allow(sleep)
+            std::chrono::milliseconds(1));
       }
     }
     mutable_stats().rows_in += chunk->points.size();

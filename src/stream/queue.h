@@ -9,15 +9,17 @@
 // histograms; the blocked-wait clock is only read when a producer or
 // consumer actually has to wait AND a histogram is attached, so an
 // uninstrumented queue pays nothing beyond a null check.
+//
+// Concurrency contract: every mutable field is PMKM_GUARDED_BY(mu_) and
+// verified by Clang thread-safety analysis (DESIGN.md §11).
 
 #ifndef PMKM_STREAM_QUEUE_H_
 #define PMKM_STREAM_QUEUE_H_
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 
+#include "common/annotations.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
@@ -41,38 +43,43 @@ class BoundedBlockingQueue {
 
   /// Registers one producer; must be balanced by CloseProducer(). A queue
   /// starts with zero producers, so register before any Push.
-  void AddProducer() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void AddProducer() PMKM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     ++producers_;
   }
 
   /// Signals that one producer is done. When the last producer closes, all
   /// blocked consumers wake and Pop drains the remainder then returns
   /// nullopt.
-  void CloseProducer() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void CloseProducer() PMKM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     PMKM_CHECK(producers_ > 0);
-    if (--producers_ == 0) not_empty_.notify_all();
+    if (--producers_ == 0) not_empty_.NotifyAll();
   }
 
-  /// Attaches observability instruments. Call before the pipeline starts;
-  /// not synchronized against concurrent Push/Pop.
-  void AttachMetrics(const QueueMetrics& metrics) { metrics_ = metrics; }
+  /// Attaches observability instruments. Synchronized: safe to call while
+  /// producers and consumers are already running (instruments only start
+  /// recording from the next operation).
+  void AttachMetrics(const QueueMetrics& metrics) PMKM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    metrics_ = metrics;
+  }
 
   /// Blocks while full; returns false if the queue was cancelled.
-  bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    const auto can_push = [this] {
-      return items_.size() < capacity_ || cancelled_;
-    };
-    if (!can_push()) {
+  bool Push(T item) PMKM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    if (items_.size() >= capacity_ && !cancelled_) {
       if (metrics_.push_block_us != nullptr) {
         const Stopwatch blocked;
-        not_full_.wait(lock, can_push);
+        while (items_.size() >= capacity_ && !cancelled_) {
+          not_full_.Wait(mu_);
+        }
         metrics_.push_block_us->Record(
             static_cast<double>(blocked.ElapsedMicros()));
       } else {
-        not_full_.wait(lock, can_push);
+        while (items_.size() >= capacity_ && !cancelled_) {
+          not_full_.Wait(mu_);
+        }
       }
     }
     if (cancelled_) return false;
@@ -82,25 +89,26 @@ class BoundedBlockingQueue {
     if (metrics_.depth != nullptr) {
       metrics_.depth->Set(static_cast<int64_t>(items_.size()));
     }
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Blocks while empty and producers remain; nullopt = end of stream (all
   /// producers closed and queue drained) or cancelled.
-  std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    const auto can_pop = [this] {
-      return !items_.empty() || producers_ == 0 || cancelled_;
-    };
-    if (!can_pop()) {
+  std::optional<T> Pop() PMKM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    if (items_.empty() && producers_ > 0 && !cancelled_) {
       if (metrics_.pop_wait_us != nullptr) {
         const Stopwatch waited;
-        not_empty_.wait(lock, can_pop);
+        while (items_.empty() && producers_ > 0 && !cancelled_) {
+          not_empty_.Wait(mu_);
+        }
         metrics_.pop_wait_us->Record(
             static_cast<double>(waited.ElapsedMicros()));
       } else {
-        not_empty_.wait(lock, can_pop);
+        while (items_.empty() && producers_ > 0 && !cancelled_) {
+          not_empty_.Wait(mu_);
+        }
       }
     }
     if (cancelled_ || items_.empty()) return std::nullopt;
@@ -109,42 +117,42 @@ class BoundedBlockingQueue {
     if (metrics_.depth != nullptr) {
       metrics_.depth->Set(static_cast<int64_t>(items_.size()));
     }
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return item;
   }
 
   /// Aborts the stream: wakes everyone, Push/Pop fail from now on. Used to
   /// tear a pipeline down on operator error.
-  void Cancel() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Cancel() PMKM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     cancelled_ = true;
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
-  bool cancelled() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool cancelled() const PMKM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return cancelled_;
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const PMKM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return items_.size();
   }
 
   /// Synonym for size(), named for the depth gauge it feeds.
-  size_t Depth() const { return size(); }
+  size_t Depth() const PMKM_EXCLUDES(mu_) { return size(); }
 
   /// Deepest the queue has ever been: how hard back-pressure was leaned
   /// on. Capacity-bounded by construction.
-  size_t HighWaterMark() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t HighWaterMark() const PMKM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return high_water_;
   }
 
   /// Total items accepted by Push over the queue's lifetime.
-  uint64_t total_pushed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total_pushed() const PMKM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return total_pushed_;
   }
 
@@ -152,15 +160,15 @@ class BoundedBlockingQueue {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  size_t producers_ = 0;
-  bool cancelled_ = false;
-  size_t high_water_ = 0;
-  uint64_t total_pushed_ = 0;
-  QueueMetrics metrics_;
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ PMKM_GUARDED_BY(mu_);
+  size_t producers_ PMKM_GUARDED_BY(mu_) = 0;
+  bool cancelled_ PMKM_GUARDED_BY(mu_) = false;
+  size_t high_water_ PMKM_GUARDED_BY(mu_) = 0;
+  uint64_t total_pushed_ PMKM_GUARDED_BY(mu_) = 0;
+  QueueMetrics metrics_ PMKM_GUARDED_BY(mu_);
 };
 
 }  // namespace pmkm

@@ -1,0 +1,16 @@
+// MUST NOT COMPILE: a discarded Result<T> loses both the value and the
+// error. Expected diagnostic: -Werror=unused-result on the bare Make()
+// call.
+
+#include "common/result.h"
+
+namespace {
+
+pmkm::Result<int> Make() { return 42; }
+
+}  // namespace
+
+int main() {
+  Make();  // error: ignoring [[nodiscard]] Result<int>
+  return 0;
+}

@@ -1,0 +1,15 @@
+// MUST NOT COMPILE: a discarded Status is a swallowed error.
+// Expected diagnostic: -Werror=unused-result on the bare Fallible() call.
+
+#include "common/status.h"
+
+namespace {
+
+pmkm::Status Fallible() { return pmkm::Status::IOError("boom"); }
+
+}  // namespace
+
+int main() {
+  Fallible();  // error: ignoring [[nodiscard]] Status
+  return 0;
+}

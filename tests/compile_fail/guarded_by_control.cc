@@ -1,0 +1,33 @@
+// Positive control for the thread-safety negative tests: the same shapes
+// with correct locking MUST compile cleanly under -Werror=thread-safety.
+
+#include "common/annotations.h"
+
+namespace {
+
+class SafeCounter {
+ public:
+  void Increment() PMKM_EXCLUDES(mu_) {
+    pmkm::MutexLock lock(mu_);
+    IncrementLocked();
+  }
+
+  int Read() const PMKM_EXCLUDES(mu_) {
+    pmkm::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  void IncrementLocked() PMKM_REQUIRES(mu_) { ++value_; }
+
+  mutable pmkm::Mutex mu_;
+  int value_ PMKM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  SafeCounter counter;
+  counter.Increment();
+  return counter.Read() == 1 ? 0 : 1;
+}

@@ -1,0 +1,32 @@
+// MUST NOT COMPILE under Clang -Werror=thread-safety: reading a
+// PMKM_GUARDED_BY field without holding its mutex is a data race by
+// declaration. (GCC compiles this file — the annotations are no-ops there —
+// which is why the test is registered only for Clang.)
+
+#include "common/annotations.h"
+
+namespace {
+
+class RaceyCounter {
+ public:
+  void Increment() {
+    pmkm::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  int Read() const {
+    return value_;  // error: reading value_ requires holding mu_
+  }
+
+ private:
+  mutable pmkm::Mutex mu_;
+  int value_ PMKM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  RaceyCounter counter;
+  counter.Increment();
+  return counter.Read();
+}

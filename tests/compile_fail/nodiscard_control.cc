@@ -1,0 +1,24 @@
+// Positive control for the discard_* negative tests: the same calls with
+// the results consumed (or explicitly void-cast with justification) MUST
+// compile, proving the negative tests fail for the intended reason and not
+// a broken include path.
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace {
+
+pmkm::Status Fallible() { return pmkm::Status::IOError("boom"); }
+pmkm::Result<int> Make() { return 42; }
+
+}  // namespace
+
+int main() {
+  const pmkm::Status st = Fallible();
+  if (!st.ok()) return 1;
+  const pmkm::Result<int> r = Make();
+  if (!r.ok()) return 1;
+  // The sanctioned escape hatch: explicit discard with a reason.
+  (void)Fallible();  // best-effort call, failure tolerable here
+  return *r == 42 ? 0 : 1;
+}

@@ -1,0 +1,25 @@
+// MUST NOT COMPILE under Clang -Werror=thread-safety: calling a
+// PMKM_REQUIRES(mu) function without holding `mu` violates the declared
+// locking contract.
+
+#include "common/annotations.h"
+
+namespace {
+
+class Store {
+ public:
+  void Mutate() PMKM_REQUIRES(mu_) { ++value_; }
+
+  pmkm::Mutex mu_;
+
+ private:
+  int value_ PMKM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Store store;
+  store.Mutate();  // error: calling Mutate() requires holding store.mu_
+  return 0;
+}

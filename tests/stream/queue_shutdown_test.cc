@@ -1,0 +1,150 @@
+// TSan regression tests for BoundedBlockingQueue shutdown paths.
+//
+// PR 4 made AttachMetrics synchronized (it used to write the instrument
+// pointers unguarded, racing any in-flight Push/Pop that read them). These
+// tests hammer exactly that interleaving — queue teardown via Cancel /
+// CloseProducer while instruments are being attached and snapshots read —
+// and exist to keep the ThreadSanitizer suite (scripts/run_sanitizers.sh
+// tsan) red if the race ever comes back.
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "stream/queue.h"
+
+namespace pmkm {
+namespace {
+
+TEST(QueueShutdownTest, ConcurrentAttachMetricsWhileStreaming) {
+  for (int round = 0; round < 8; ++round) {
+    BoundedBlockingQueue<int> queue(4);
+    MetricsRegistry registry;
+    constexpr int kProducers = 3;
+    constexpr int kConsumers = 3;
+    constexpr int kItemsPerProducer = 500;
+
+    for (int p = 0; p < kProducers; ++p) queue.AddProducer();
+
+    std::vector<std::thread> threads;
+    threads.reserve(kProducers + kConsumers + 1);
+
+    // Re-attach instruments continuously while the stream is moving: the
+    // queue must never read a half-written QueueMetrics struct.
+    threads.emplace_back([&queue, &registry] {
+      for (int i = 0; i < 200; ++i) {
+        QueueMetrics metrics;
+        metrics.depth = &registry.gauge("queue.depth");
+        metrics.push_block_us = &registry.histogram("queue.push_block_us");
+        metrics.pop_wait_us = &registry.histogram("queue.pop_wait_us");
+        queue.AttachMetrics(metrics);
+        queue.AttachMetrics(QueueMetrics{});  // detach again
+      }
+    });
+
+    for (int p = 0; p < kProducers; ++p) {
+      threads.emplace_back([&queue] {
+        for (int i = 0; i < kItemsPerProducer; ++i) {
+          if (!queue.Push(i)) break;
+        }
+        queue.CloseProducer();
+      });
+    }
+
+    std::atomic<int> popped{0};
+    for (int c = 0; c < kConsumers; ++c) {
+      threads.emplace_back([&queue, &popped] {
+        while (queue.Pop().has_value()) {
+          popped.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(popped.load(), kProducers * kItemsPerProducer);
+    EXPECT_EQ(queue.total_pushed(),
+              static_cast<uint64_t>(kProducers * kItemsPerProducer));
+    EXPECT_LE(queue.HighWaterMark(), queue.capacity());
+  }
+}
+
+TEST(QueueShutdownTest, CancelRacesAttachAndBlockedThreads) {
+  for (int round = 0; round < 16; ++round) {
+    BoundedBlockingQueue<int> queue(2);
+    MetricsRegistry registry;
+    queue.AddProducer();
+
+    std::vector<std::thread> threads;
+
+    // Producers block on the tiny capacity until Cancel releases them.
+    for (int p = 0; p < 2; ++p) {
+      threads.emplace_back([&queue] {
+        for (int i = 0; i < 1000; ++i) {
+          if (!queue.Push(i)) return;  // cancelled
+        }
+      });
+    }
+    // One consumer drains slowly so producers really do block.
+    threads.emplace_back([&queue] {
+      for (int i = 0; i < 10; ++i) {
+        if (!queue.Pop().has_value()) return;
+      }
+      while (queue.Pop().has_value()) {
+      }
+    });
+    // Metrics attach/detach churn during the teardown.
+    threads.emplace_back([&queue, &registry] {
+      QueueMetrics metrics;
+      metrics.depth = &registry.gauge("depth");
+      for (int i = 0; i < 100; ++i) {
+        queue.AttachMetrics(metrics);
+        queue.AttachMetrics(QueueMetrics{});
+      }
+    });
+    // Snapshot readers race the teardown too.
+    threads.emplace_back([&queue] {
+      for (int i = 0; i < 100; ++i) {
+        (void)queue.Depth();
+        (void)queue.HighWaterMark();
+        (void)queue.total_pushed();
+        (void)queue.cancelled();
+      }
+    });
+
+    queue.Cancel();
+    for (auto& t : threads) t.join();
+    EXPECT_TRUE(queue.cancelled());
+    // Cancelled queue rejects further traffic.
+    EXPECT_FALSE(queue.Push(1));
+    EXPECT_FALSE(queue.Pop().has_value());
+    queue.CloseProducer();
+  }
+}
+
+TEST(QueueShutdownTest, CloseProducerWakesAllBlockedConsumers) {
+  BoundedBlockingQueue<int> queue(4);
+  queue.AddProducer();
+
+  std::atomic<int> finished{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 4; ++c) {
+    consumers.emplace_back([&queue, &finished] {
+      while (queue.Pop().has_value()) {
+      }
+      finished.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+
+  ASSERT_TRUE(queue.Push(1));
+  queue.CloseProducer();  // end of stream: every consumer must wake
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(finished.load(), 4);
+}
+
+}  // namespace
+}  // namespace pmkm

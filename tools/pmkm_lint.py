@@ -1,0 +1,335 @@
+#!/usr/bin/env python3
+"""pmkm_lint: fast project-invariant linter for the pmkm tree.
+
+Enforces the invariants that make the partial/merge k-means engine
+trustworthy at scale but that no compiler checks (DESIGN.md §11):
+
+  rng           All randomness flows through common/rng.h (seeded,
+                reproducible). `rand()`, `srand()`, `std::random_device`,
+                and raw `std::mt19937` are banned everywhere else: one
+                unseeded draw makes a TB-scale run unreproducible.
+  naked-new     Library code (src/) never uses naked new/delete; ownership
+                is expressed with containers and smart pointers so leaks
+                are structurally impossible.
+  stdio         Library code (src/) never writes to std::cout/std::cerr or
+                printf; it uses PMKM_LOG so output is leveled and
+                capturable. CLI surface (tools/, bench/, examples/) is
+                exempt.
+  sleep         `std::this_thread::sleep_for` in library code hides
+                latency bugs and breaks determinism; only the retry
+                backoff and fault-injection machinery may sleep.
+  header-guard  Every header uses an #ifndef guard named
+                PMKM_<PATH>_H_ (path relative to src/, or to the repo root
+                outside src/); `#pragma once` is forbidden for
+                consistency.
+  fault-site    PMKM_FAULT_POINT sites are string literals named
+                `component.action` (lowercase dotted), so fault specs in
+                PMKM_FAULTS/--faults stay greppable and collision-free.
+
+Suppression: append `// pmkm-lint: allow(<rule>)` to the offending line
+(or the line above) together with a comment justifying the exception.
+
+Usage:
+  tools/pmkm_lint.py [--root DIR] [--list-rules] [files...]
+
+With no file arguments, lints the standard project surface under --root
+(default: the repo containing this script). Exits non-zero if any finding
+is reported. Registered as the `lint.pmkm` ctest.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# (rule id, human description) — keep in sync with the docstring.
+RULES = {
+    "rng": "randomness outside common/rng.h",
+    "naked-new": "naked new/delete in library code",
+    "stdio": "std::cout/std::cerr/printf in library code",
+    "sleep": "sleep_for outside retry/fault code",
+    "header-guard": "header guard missing or misnamed",
+    "fault-site": "malformed PMKM_FAULT_POINT site name",
+}
+
+# Directories scanned when no explicit file list is given.
+DEFAULT_DIRS = ("src", "tools", "bench", "tests", "examples", "fuzz")
+SOURCE_EXTENSIONS = (".h", ".cc", ".cpp")
+
+SUPPRESS_RE = re.compile(r"pmkm-lint:\s*allow\(([a-z\-]+(?:\s*,\s*[a-z\-]+)*)\)")
+
+RNG_RE = re.compile(
+    r"\b(?:rand|srand)\s*\(|std::random_device|std::mt19937")
+NEW_RE = re.compile(r"(?<![\w.:])new\b(?!\s*\()")
+DELETE_RE = re.compile(r"(?<![\w.:])delete(?:\s*\[\s*\])?\s+[\w*(]")
+STDIO_RE = re.compile(r"std::c(?:out|err)\b|(?<![\w.:])f?printf\s*\(")
+SLEEP_RE = re.compile(
+    r"std::this_thread::sleep_for|(?<![\w.:])(?:usleep|nanosleep)\s*\(")
+FAULT_POINT_RE = re.compile(r"PMKM_FAULT_POINT\s*\(\s*([^)]*)\)")
+FAULT_SITE_RE = re.compile(r'^"[a-z0-9_]+(?:\.[a-z0-9_]+)+"$')
+
+
+def strip_comments_and_strings(text):
+    """Returns `text` with comments and string/char literals blanked out
+    (replaced by spaces), preserving line structure so line numbers hold.
+    String literals become `""` so literal-shaped regexes still anchor."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append("'")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state == "string":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "code"
+                out.append('"')
+            elif c == "\n":  # unterminated; recover
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "char":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == "'":
+                state = "code"
+                out.append("'")
+            elif c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def expected_guard(relpath):
+    """PMKM_<PATH>_H_ with the path relative to src/ when inside it."""
+    path = relpath
+    if path.startswith("src" + os.sep):
+        path = path[len("src" + os.sep):]
+    stem = path[:-2] if path.endswith(".h") else path
+    return "PMKM_" + re.sub(r"[^A-Za-z0-9]", "_", stem).upper() + "_H_"
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def suppressions_for(raw_lines, lineno):
+    """Rules allowed on `lineno` (1-based) by a trailing or preceding
+    `// pmkm-lint: allow(rule[, rule...])` comment."""
+    allowed = set()
+    for candidate in (lineno, lineno - 1):
+        if 1 <= candidate <= len(raw_lines):
+            m = SUPPRESS_RE.search(raw_lines[candidate - 1])
+            if m:
+                allowed.update(r.strip() for r in m.group(1).split(","))
+    return allowed
+
+
+def in_dir(relpath, *dirs):
+    return any(
+        relpath == d or relpath.startswith(d + os.sep) for d in dirs)
+
+
+def lint_file(root, relpath):
+    path = os.path.join(root, relpath)
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    except OSError as err:
+        return [Finding(relpath, 0, "io", f"cannot read: {err}")]
+
+    findings = []
+    raw_lines = text.splitlines()
+    code_lines = strip_comments_and_strings(text).splitlines()
+    fname = os.path.basename(relpath)
+
+    def check(lineno, rule, message):
+        if rule not in suppressions_for(raw_lines, lineno):
+            findings.append(Finding(relpath, lineno, rule, message))
+
+    is_src = in_dir(relpath, "src")
+    rng_exempt = relpath == os.path.join("src", "common", "rng.h")
+    sleep_exempt = fname in ("retry.cc", "retry.h", "fault.cc", "fault.h")
+    fault_def_file = relpath == os.path.join("src", "common", "fault.h")
+
+    for lineno, line in enumerate(code_lines, start=1):
+        if not rng_exempt and RNG_RE.search(line):
+            check(lineno, "rng",
+                  "unseeded randomness; draw from common/rng.h Rng instead")
+        if is_src:
+            if NEW_RE.search(line):
+                check(lineno, "naked-new",
+                      "naked new; use std::make_unique/containers")
+            if DELETE_RE.search(line):
+                check(lineno, "naked-new",
+                      "naked delete; use RAII ownership")
+            if STDIO_RE.search(line):
+                check(lineno, "stdio",
+                      "direct stdout/stderr in library code; use PMKM_LOG")
+            if not sleep_exempt and SLEEP_RE.search(line):
+                check(lineno, "sleep",
+                      "sleep in library code; only retry/fault code may "
+                      "sleep")
+        if not fault_def_file:
+            for m in FAULT_POINT_RE.finditer(line):
+                # Re-read the argument from the raw line: literals were
+                # blanked in the stripped text.
+                raw_match = FAULT_POINT_RE.search(raw_lines[lineno - 1])
+                arg = (raw_match.group(1) if raw_match else m.group(1)).strip()
+                if not FAULT_SITE_RE.match(arg):
+                    check(lineno, "fault-site",
+                          f"site must be a literal \"component.action\" "
+                          f"(lowercase dotted), got: {arg or '<empty>'}")
+
+    if fname.endswith(".h"):
+        findings.extend(
+            lint_header_guard(relpath, raw_lines, code_lines))
+
+    return findings
+
+
+def lint_header_guard(relpath, raw_lines, code_lines):
+    findings = []
+    guard = expected_guard(relpath)
+    ifndef = None
+    define = None
+    for lineno, line in enumerate(code_lines, start=1):
+        stripped = line.strip()
+        if stripped.startswith("#pragma once"):
+            if "header-guard" not in suppressions_for(raw_lines, lineno):
+                findings.append(Finding(
+                    relpath, lineno, "header-guard",
+                    f"#pragma once; use #ifndef {guard} for consistency"))
+            return findings
+        if ifndef is None:
+            m = re.match(r"#\s*ifndef\s+(\w+)", stripped)
+            if m:
+                ifndef = (lineno, m.group(1))
+                continue
+        elif define is None:
+            m = re.match(r"#\s*define\s+(\w+)", stripped)
+            if m:
+                define = (lineno, m.group(1))
+                break
+    if ifndef is None or define is None:
+        findings.append(Finding(
+            relpath, 1, "header-guard",
+            f"missing include guard; expected #ifndef {guard}"))
+        return findings
+    if ifndef[1] != guard:
+        if "header-guard" not in suppressions_for(raw_lines, ifndef[0]):
+            findings.append(Finding(
+                relpath, ifndef[0], "header-guard",
+                f"guard '{ifndef[1]}' should be '{guard}'"))
+    elif define[1] != guard:
+        findings.append(Finding(
+            relpath, define[0], "header-guard",
+            f"#define '{define[1]}' does not match guard '{guard}'"))
+    return findings
+
+
+def collect_files(root, args_files):
+    if args_files:
+        for f in args_files:
+            yield os.path.relpath(os.path.abspath(f), root)
+        return
+    for d in DEFAULT_DIRS:
+        top = os.path.join(root, d)
+        if not os.path.isdir(top):
+            continue
+        for dirpath, dirnames, filenames in os.walk(top):
+            dirnames[:] = sorted(
+                n for n in dirnames if not n.startswith("."))
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTENSIONS):
+                    yield os.path.relpath(
+                        os.path.join(dirpath, name), root)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="pmkm_lint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument(
+        "--root", default=os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: parent of this script)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule ids and exit")
+    parser.add_argument("files", nargs="*",
+                        help="specific files to lint (default: project)")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, description in RULES.items():
+            print(f"{rule:14} {description}")
+        return 0
+
+    root = os.path.abspath(args.root)
+    findings = []
+    checked = 0
+    for relpath in collect_files(root, args.files):
+        checked += 1
+        findings.extend(lint_file(root, relpath))
+
+    for finding in findings:
+        print(finding)
+    status = "FAILED" if findings else "OK"
+    print(f"pmkm_lint: {status} — {checked} files checked, "
+          f"{len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
