@@ -69,13 +69,17 @@ class BoundedBlockingQueue {
   bool Push(T item) PMKM_EXCLUDES(mu_) {
     MutexLock lock(mu_);
     if (items_.size() >= capacity_ && !cancelled_) {
-      if (metrics_.push_block_us != nullptr) {
+      // Capture the instrument before waiting: Wait releases mu_, so a
+      // concurrent AttachMetrics may swap metrics_ out from under us.
+      // Registry-owned instruments are never destroyed, so the captured
+      // pointer stays valid across the wait.
+      if (Histogram* push_block_us = metrics_.push_block_us;
+          push_block_us != nullptr) {
         const Stopwatch blocked;
         while (items_.size() >= capacity_ && !cancelled_) {
           not_full_.Wait(mu_);
         }
-        metrics_.push_block_us->Record(
-            static_cast<double>(blocked.ElapsedMicros()));
+        push_block_us->Record(static_cast<double>(blocked.ElapsedMicros()));
       } else {
         while (items_.size() >= capacity_ && !cancelled_) {
           not_full_.Wait(mu_);
@@ -98,13 +102,15 @@ class BoundedBlockingQueue {
   std::optional<T> Pop() PMKM_EXCLUDES(mu_) {
     MutexLock lock(mu_);
     if (items_.empty() && producers_ > 0 && !cancelled_) {
-      if (metrics_.pop_wait_us != nullptr) {
+      // Same capture-before-wait rule as Push: metrics_ may be swapped by
+      // AttachMetrics while the condvar wait has mu_ released.
+      if (Histogram* pop_wait_us = metrics_.pop_wait_us;
+          pop_wait_us != nullptr) {
         const Stopwatch waited;
         while (items_.empty() && producers_ > 0 && !cancelled_) {
           not_empty_.Wait(mu_);
         }
-        metrics_.pop_wait_us->Record(
-            static_cast<double>(waited.ElapsedMicros()));
+        pop_wait_us->Record(static_cast<double>(waited.ElapsedMicros()));
       } else {
         while (items_.empty() && producers_ > 0 && !cancelled_) {
           not_empty_.Wait(mu_);
