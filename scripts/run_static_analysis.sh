@@ -1,17 +1,27 @@
 #!/usr/bin/env bash
-# Project static-analysis gate (DESIGN.md §11). Runs three stages and
+# Project static-analysis gate (DESIGN.md §11–12). Runs four stages and
 # exits non-zero on any new finding:
 #
 #   1. pmkm_lint          project invariants (tools/pmkm_lint.py)
 #   2. thread-safety      full Clang build with -Wthread-safety
 #                         -Werror=thread-safety over src/, tools/, tests/
 #   3. clang-tidy         curated .clang-tidy profile, gated against
-#                         scripts/clang_tidy_baseline.txt
+#                         scripts/clang_tidy_baseline.txt. The compilation
+#                         database is regenerated before every run; a
+#                         database that still misses a source afterwards is
+#                         a FAILURE (a stale compdb silently analyzes the
+#                         wrong file set), never a skip.
+#   4. schedcheck         PMKM_SCHEDCHECK=ON build + the schedcheck-labeled
+#                         ctest suites: lock-order witness, deterministic
+#                         schedule explorer, seeded-bug doubles, and
+#                         bounded schedule sweeps over the queue/executor
+#                         (PR budget; nightly raises PMKM_SCHEDCHECK_SEEDS)
 #
 # Stages 2 and 3 need the Clang toolchain (clang++ / clang-tidy). When a
 # tool is missing the stage is SKIPPED with a warning — the gate then
 # covers what the host can check — unless PMKM_SA_STRICT=1, which turns a
 # missing tool into a failure (use in CI, where Clang is installed).
+# Stage 4 runs with any compiler (the hooks are plain C++).
 #
 # Usage:
 #   scripts/run_static_analysis.sh [--update-baseline]
@@ -20,6 +30,7 @@
 #   CLANGXX      Clang C++ compiler   (default: clang++)
 #   CLANG_TIDY   clang-tidy binary    (default: clang-tidy)
 #   PMKM_SA_STRICT=1  fail instead of skip when a tool is missing
+#   PMKM_SCHEDCHECK_SEEDS  schedule-sweep seed budget (default here: 200)
 
 set -euo pipefail
 
@@ -49,7 +60,7 @@ skip_or_fail() {
 }
 
 # ---------------------------------------------------------------------------
-echo "==> stage 1/3: pmkm_lint"
+echo "==> stage 1/4: pmkm_lint"
 if command -v python3 > /dev/null; then
   if python3 tools/pmkm_lint.py; then
     echo "pmkm_lint: clean"
@@ -61,7 +72,7 @@ else
 fi
 
 # ---------------------------------------------------------------------------
-echo "==> stage 2/3: Clang -Wthread-safety build"
+echo "==> stage 2/4: Clang -Wthread-safety build"
 if command -v "${CLANGXX}" > /dev/null; then
   # PMKM_THREAD_SAFETY_ANALYSIS is ON by default under Clang; -Werror
   # makes any thread-safety finding a build failure.
@@ -83,21 +94,42 @@ else
 fi
 
 # ---------------------------------------------------------------------------
-echo "==> stage 3/3: clang-tidy gate"
+echo "==> stage 3/4: clang-tidy gate"
 if command -v "${CLANG_TIDY}" > /dev/null; then
-  # Reuse the clang compile database when stage 2 produced one; otherwise
-  # export one from the default (gcc) configuration — clang-tidy only
-  # needs the flags, not the compiler.
+  # Prefer the clang compile database from stage 2; otherwise export one
+  # from the default (gcc) configuration — clang-tidy only needs the
+  # flags, not the compiler. Either way the database is REGENERATED now:
+  # reusing a stale compile_commands.json (sources added or removed since
+  # the last configure) makes clang-tidy silently analyze the wrong file
+  # set, which is worse than failing.
   compdb_dir="build-tsa"
-  if [[ ! -f "${compdb_dir}/compile_commands.json" ]]; then
+  if [[ ! -f "${compdb_dir}/CMakeCache.txt" ]]; then
     compdb_dir="build"
-    cmake -B "${compdb_dir}" -S . \
-      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
   fi
+  cmake -B "${compdb_dir}" -S . \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
 
   # Normalize findings to "relative/file: check-name" (drop line/column so
   # unrelated edits do not churn the baseline), sorted and unique.
   mapfile -t tidy_sources < <(find src tools -name '*.cc' | sort)
+
+  # Stale-database guard: every source we are about to lint must appear in
+  # the regenerated database; a miss means the build system does not know
+  # the file (e.g. not listed in CMakeLists) and MUST fail, not skip —
+  # otherwise new files ride past the gate unanalyzed.
+  compdb_stale=0
+  for tidy_src in "${tidy_sources[@]}"; do
+    if ! grep -q "${tidy_src}" "${compdb_dir}/compile_commands.json"; then
+      echo "FAIL: ${tidy_src} missing from" \
+           "${compdb_dir}/compile_commands.json (stale compilation" \
+           "database — is the file registered in CMakeLists.txt?)" >&2
+      compdb_stale=1
+    fi
+  done
+  if [[ "${compdb_stale}" == "1" ]]; then
+    failures=$((failures + 1))
+  fi
+
   current_findings="$(
     "${CLANG_TIDY}" -p "${compdb_dir}" --quiet "${tidy_sources[@]}" \
         2> /dev/null |
@@ -133,6 +165,31 @@ if command -v "${CLANG_TIDY}" > /dev/null; then
   fi
 else
   skip_or_fail "${CLANG_TIDY} not found; cannot run clang-tidy gate"
+fi
+
+# ---------------------------------------------------------------------------
+echo "==> stage 4/4: schedcheck (lock-order witness + schedule sweeps)"
+# Compiler-agnostic: the hooks are plain C++. PR-gate budget is modest
+# (200 seeds per sweep); the nightly workflow raises PMKM_SCHEDCHECK_SEEDS.
+schedcheck_targets=(lock_graph_test scheduler_test seeded_bugs_test
+                    queue_sweep_test executor_sweep_test)
+if cmake -B build-schedcheck -S . \
+     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+     -DPMKM_SCHEDCHECK=ON > /dev/null &&
+   cmake --build build-schedcheck -j "$(nproc)" \
+     --target "${schedcheck_targets[@]}" > /dev/null; then
+  if (cd build-schedcheck &&
+      PMKM_SCHEDCHECK_SEEDS="${PMKM_SCHEDCHECK_SEEDS:-200}" \
+        ctest -L schedcheck --output-on-failure); then
+    echo "schedcheck: clean"
+  else
+    echo "FAIL: schedcheck suites (replay the printed seed with" \
+         "PMKM_SCHEDCHECK_SEED=<seed>)" >&2
+    failures=$((failures + 1))
+  fi
+else
+  echo "FAIL: schedcheck build (PMKM_SCHEDCHECK=ON)" >&2
+  failures=$((failures + 1))
 fi
 
 # ---------------------------------------------------------------------------

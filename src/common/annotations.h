@@ -29,6 +29,17 @@
 #include <condition_variable>
 #include <mutex>
 
+// PMKM_SCHEDCHECK (CMake option of the same name) reroutes every operation
+// on these wrappers through the concurrency-analysis hooks in
+// common/schedcheck/hooks.h — the runtime lock-order witness and the
+// deterministic schedule explorer (DESIGN.md §12). The definition is
+// global (add_compile_definitions) so every TU agrees on the wrapper
+// layout; when it is off, the wrappers compile to the bare std primitives
+// and the analysis layer costs nothing.
+#if defined(PMKM_SCHEDCHECK)
+#include "common/schedcheck/hooks.h"
+#endif
+
 #if defined(__clang__) && (!defined(SWIG))
 #define PMKM_THREAD_ANNOTATION(x) __attribute__((x))
 #else
@@ -89,13 +100,38 @@ namespace pmkm {
 /// MutexLock; fields it protects are declared PMKM_GUARDED_BY(mu_).
 class PMKM_CAPABILITY("mutex") Mutex {
  public:
+#if defined(PMKM_SCHEDCHECK)
+  // The defaulted SourceSite captures the *construction* site, which keys
+  // this mutex's lock class in the lock-order graph (all instances built
+  // at one source line form one class, the lockdep model).
+  explicit Mutex(
+      schedcheck::SourceSite site = schedcheck::SourceSite::Current()) {
+    schedcheck::OnMutexCreate(this, site);
+  }
+  ~Mutex() { schedcheck::OnMutexDestroy(this); }
+#else
   Mutex() = default;
+#endif
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
+#if defined(PMKM_SCHEDCHECK)
+  // The defaulted SourceSite is the static acquisition site reported in
+  // lock-order-inversion witnesses.
+  void Lock(schedcheck::SourceSite site = schedcheck::SourceSite::Current())
+      PMKM_ACQUIRE() {
+    schedcheck::OnMutexLock(&mu_, this, site);
+  }
+  void Unlock() PMKM_RELEASE() { schedcheck::OnMutexUnlock(&mu_, this); }
+  bool TryLock(schedcheck::SourceSite site = schedcheck::SourceSite::Current())
+      PMKM_TRY_ACQUIRE(true) {
+    return schedcheck::OnMutexTryLock(&mu_, this, site);
+  }
+#else
   void Lock() PMKM_ACQUIRE() { mu_.lock(); }
   void Unlock() PMKM_RELEASE() { mu_.unlock(); }
   bool TryLock() PMKM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+#endif
 
   /// Analysis-only assertion that the calling thread holds this mutex;
   /// compiles to nothing. Use in helpers reached only under the lock when
@@ -110,7 +146,16 @@ class PMKM_CAPABILITY("mutex") Mutex {
 /// RAII lock for Mutex (std::lock_guard shaped, analysis-visible).
 class PMKM_SCOPED_CAPABILITY MutexLock {
  public:
+#if defined(PMKM_SCHEDCHECK)
+  explicit MutexLock(
+      Mutex& mu, schedcheck::SourceSite site = schedcheck::SourceSite::Current())
+      PMKM_ACQUIRE(mu)
+      : mu_(mu) {
+    mu_.Lock(site);
+  }
+#else
   explicit MutexLock(Mutex& mu) PMKM_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+#endif
   ~MutexLock() PMKM_RELEASE() { mu_.Unlock(); }
 
   MutexLock(const MutexLock&) = delete;
@@ -136,9 +181,13 @@ class CondVar {
   // release(), which the analysis cannot track; the lock is held on entry
   // and on exit, which is all callers observe.
   void Wait(Mutex& mu) PMKM_REQUIRES(mu) PMKM_NO_THREAD_SAFETY_ANALYSIS {
+#if defined(PMKM_SCHEDCHECK)
+    schedcheck::OnCondWait(&cv_, this, &mu.mu_, &mu);
+#else
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();
+#endif
   }
 
   /// Blocks until `pred()` holds (spurious-wakeup safe). `pred` is always
@@ -154,19 +203,43 @@ class CondVar {
   std::cv_status WaitFor(Mutex& mu,
                          const std::chrono::duration<Rep, Period>& dur)
       PMKM_REQUIRES(mu) PMKM_NO_THREAD_SAFETY_ANALYSIS {
+#if defined(PMKM_SCHEDCHECK)
+    // Inside a scheduler episode the timeout becomes a scheduling choice
+    // (no real time passes); outside one this is the plain timed wait.
+    const bool timed_out = schedcheck::OnCondWaitFor(
+        &cv_, this, &mu.mu_, &mu,
+        std::chrono::duration_cast<std::chrono::nanoseconds>(dur));
+    return timed_out ? std::cv_status::timeout : std::cv_status::no_timeout;
+#else
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     const std::cv_status status = cv_.wait_for(lock, dur);
     lock.release();
     return status;
+#endif
   }
 
+#if defined(PMKM_SCHEDCHECK)
+  void NotifyOne() { schedcheck::OnCondNotifyOne(&cv_, this); }
+  void NotifyAll() { schedcheck::OnCondNotifyAll(&cv_, this); }
+#else
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }
+#endif
 
  private:
   std::condition_variable cv_;
 };
 
 }  // namespace pmkm
+
+/// Marks a non-lock interleaving point for the deterministic schedule
+/// explorer (queue push/pop entry, executor error paths, fault-registry
+/// hits). Compiles to nothing unless the build defines PMKM_SCHEDCHECK;
+/// inside a scheduler episode it is a decision point, otherwise a no-op.
+#if defined(PMKM_SCHEDCHECK)
+#define PMKM_SCHED_POINT(label) ::pmkm::schedcheck::SchedPoint(label)
+#else
+#define PMKM_SCHED_POINT(label) ((void)0)
+#endif
 
 #endif  // PMKM_COMMON_ANNOTATIONS_H_

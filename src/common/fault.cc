@@ -144,6 +144,10 @@ Status FaultRegistry::Hit(const std::string& site) {
   if (armed_count_.load(std::memory_order_relaxed) == 0) {
     return Status::OK();
   }
+  // Fault sites mark I/O and operator boundaries — exactly the places
+  // whose relative order matters under failure injection, so they double
+  // as interleaving points for the schedule explorer.
+  PMKM_SCHED_POINT("fault.hit");
   MutexLock lock(mu_);
   auto it = sites_.find(site);
   if (it == sites_.end()) return Status::OK();

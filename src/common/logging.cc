@@ -3,7 +3,8 @@
 #include <atomic>
 #include <cstdlib>
 #include <iostream>
-#include <mutex>
+
+#include "common/annotations.h"
 
 namespace pmkm {
 namespace {
@@ -11,8 +12,10 @@ namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
 
 // Serializes whole lines so concurrent operator threads do not interleave.
-std::mutex& LogMutex() {
-  static std::mutex m;
+// An annotated Mutex (not a raw std::mutex) so the schedcheck hooks see
+// the sink as a sync point like every other lock in the project.
+Mutex& LogMutex() {
+  static Mutex m;
   return m;
 }
 
@@ -59,7 +62,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::lock_guard<std::mutex> lock(LogMutex());
+    MutexLock lock(LogMutex());
     // The logging sink itself: the one sanctioned stderr writer.
     std::cerr << stream_.str() << std::endl;  // pmkm-lint: allow(stdio)
   }

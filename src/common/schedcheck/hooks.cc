@@ -1,0 +1,169 @@
+#include "common/schedcheck/hooks.h"
+
+#include "common/schedcheck/lock_graph.h"
+#include "common/schedcheck/scheduler.h"
+
+namespace pmkm {
+namespace schedcheck {
+namespace {
+
+// Reentrancy guard: if analysis code itself touches an instrumented
+// primitive (e.g. an instrumented logging mutex inside a cycle handler),
+// the nested event must route straight to the real operation or it would
+// re-enter the analysis locks and self-deadlock.
+thread_local int in_hook = 0;
+
+struct HookGuard {
+  HookGuard() { ++in_hook; }
+  ~HookGuard() { --in_hook; }
+};
+
+bool Reentrant() { return in_hook > 0; }
+
+}  // namespace
+
+bool HooksEnabledInBuild() {
+#if defined(PMKM_SCHEDCHECK)
+  return true;
+#else
+  return false;
+#endif
+}
+
+void OnMutexCreate(const void* id, SourceSite site) {
+  if (Reentrant()) return;
+  HookGuard guard;
+  LockGraph::Global().OnCreate(id, site);
+}
+
+void OnMutexDestroy(const void* id) {
+  if (Reentrant()) return;
+  HookGuard guard;
+  LockGraph::Global().OnDestroy(id);
+}
+
+void OnMutexLock(std::mutex* real, const void* id, SourceSite site) {
+  if (Reentrant()) {
+    real->lock();
+    return;
+  }
+  HookGuard guard;
+  Scheduler& sched = Scheduler::Global();
+  if (sched.OnScheduledThread()) {
+    sched.AcquireMutex(real, id);  // may throw EpisodePoisoned (pre-grant)
+  } else {
+    real->lock();
+  }
+  // Recorded after the grant so a poison unwind leaves no stale held-stack
+  // entry; the held→acquired edges are identical either way.
+  LockGraph::Global().OnAcquire(id, site);
+}
+
+bool OnMutexTryLock(std::mutex* real, const void* id, SourceSite site) {
+  if (Reentrant()) return real->try_lock();
+  HookGuard guard;
+  Scheduler& sched = Scheduler::Global();
+  const bool acquired = sched.OnScheduledThread()
+                            ? sched.TryAcquireMutex(real, id)
+                            : real->try_lock();
+  if (acquired) LockGraph::Global().OnTryAcquire(id, site);
+  return acquired;
+}
+
+void OnMutexUnlock(std::mutex* real, const void* id) {
+  if (Reentrant()) {
+    real->unlock();
+    return;
+  }
+  HookGuard guard;
+  LockGraph::Global().OnRelease(id);
+  Scheduler& sched = Scheduler::Global();
+  if (sched.OnScheduledThread()) {
+    sched.ReleaseMutex(real, id);
+  } else {
+    real->unlock();
+  }
+}
+
+void OnCondWait(std::condition_variable* cv, const void* cv_id,
+                std::mutex* real_mu, const void* mu_id) {
+  if (Reentrant()) {
+    std::unique_lock<std::mutex> lk(*real_mu, std::adopt_lock);
+    cv->wait(lk);
+    lk.release();
+    return;
+  }
+  HookGuard guard;
+  // The wait releases the mutex and reacquires it on wake; mirror that in
+  // the held stack so edges recorded while parked stay truthful.
+  LockGraph::Global().OnRelease(mu_id);
+  Scheduler& sched = Scheduler::Global();
+  if (sched.OnScheduledThread()) {
+    sched.CondWait(cv_id, real_mu, mu_id);  // may throw EpisodePoisoned
+  } else {
+    std::unique_lock<std::mutex> lk(*real_mu, std::adopt_lock);
+    cv->wait(lk);
+    lk.release();
+  }
+  LockGraph::Global().OnAcquire(mu_id, SourceSite::Current());
+}
+
+bool OnCondWaitFor(std::condition_variable* cv, const void* cv_id,
+                   std::mutex* real_mu, const void* mu_id,
+                   std::chrono::nanoseconds timeout) {
+  if (Reentrant()) {
+    std::unique_lock<std::mutex> lk(*real_mu, std::adopt_lock);
+    const auto status = cv->wait_for(lk, timeout);
+    lk.release();
+    return status == std::cv_status::timeout;
+  }
+  HookGuard guard;
+  LockGraph::Global().OnRelease(mu_id);
+  Scheduler& sched = Scheduler::Global();
+  bool timed_out;
+  if (sched.OnScheduledThread()) {
+    // Inside an episode the timeout is a scheduling choice; no real time
+    // passes and the real condvar is never slept on.
+    timed_out = sched.CondWaitFor(cv_id, real_mu, mu_id);
+  } else {
+    std::unique_lock<std::mutex> lk(*real_mu, std::adopt_lock);
+    timed_out = cv->wait_for(lk, timeout) == std::cv_status::timeout;
+    lk.release();
+  }
+  LockGraph::Global().OnAcquire(mu_id, SourceSite::Current());
+  return timed_out;
+}
+
+void OnCondNotifyOne(std::condition_variable* cv, const void* cv_id) {
+  if (Reentrant()) {
+    cv->notify_one();
+    return;
+  }
+  HookGuard guard;
+  // The real notify reaches unregistered waiters; modeled waiters never
+  // sleep on the real condvar, so this cannot double-wake them.
+  cv->notify_one();
+  Scheduler& sched = Scheduler::Global();
+  if (sched.OnScheduledThread()) sched.CondNotify(cv_id, /*notify_all=*/false);
+}
+
+void OnCondNotifyAll(std::condition_variable* cv, const void* cv_id) {
+  if (Reentrant()) {
+    cv->notify_all();
+    return;
+  }
+  HookGuard guard;
+  cv->notify_all();
+  Scheduler& sched = Scheduler::Global();
+  if (sched.OnScheduledThread()) sched.CondNotify(cv_id, /*notify_all=*/true);
+}
+
+void SchedPoint(const char* label) {
+  if (Reentrant()) return;
+  HookGuard guard;
+  Scheduler& sched = Scheduler::Global();
+  if (sched.OnScheduledThread()) sched.SchedPoint(label);
+}
+
+}  // namespace schedcheck
+}  // namespace pmkm

@@ -1,0 +1,105 @@
+// Instrumentation hooks for the concurrency-analysis layer (DESIGN.md §12).
+//
+// Every annotated synchronization primitive in pmkm funnels its operations
+// through the functions declared here. Two independent analyses consume the
+// stream of events:
+//
+//   1. The runtime lock-order witness (lock_graph.h): every acquire records
+//      a lock-class edge; the first edge closing a cycle across distinct
+//      lock classes fails fast with the witness chains of both sides.
+//   2. The deterministic schedule explorer (scheduler.h): inside a test
+//      episode, registered threads are serialized and interleaved under a
+//      seeded strategy, so schedule-dependent bugs reproduce from a seed.
+//
+// Wiring is compile-time selectable: `pmkm::Mutex`/`pmkm::CondVar`
+// (common/annotations.h) call these hooks only when the build defines
+// PMKM_SCHEDCHECK (CMake option of the same name, OFF by default), so
+// release builds pay nothing. The always-instrumented doubles in
+// schedcheck/sync.h call them unconditionally — that is what lets the
+// seeded-bug regression suites run in every build.
+//
+// This library is deliberately dependency-free (standard library only):
+// pmkm_common links pmkm_schedcheck, so schedcheck cannot use PMKM_LOG,
+// Status, or Rng without a cycle. Fatal diagnostics go to stderr.
+
+#ifndef PMKM_COMMON_SCHEDCHECK_HOOKS_H_
+#define PMKM_COMMON_SCHEDCHECK_HOOKS_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+
+namespace pmkm {
+namespace schedcheck {
+
+/// Static source position captured at a call site through default
+/// arguments (the std::source_location trick, spelled with builtins so the
+/// struct stays an aggregate and works identically under GCC and Clang).
+struct SourceSite {
+  const char* file = "?";
+  int line = 0;
+  const char* function = "?";
+
+  static constexpr SourceSite Current(const char* f = __builtin_FILE(),
+                                      int l = __builtin_LINE(),
+                                      const char* fn = __builtin_FUNCTION()) {
+    return SourceSite{f, l, fn};
+  }
+
+  /// "file.cc:123" with the directory prefix dropped.
+  std::string ToString() const;
+};
+
+/// True when this build compiled common/annotations.h with the hooks wired
+/// in (PMKM_SCHEDCHECK=ON), i.e. when the *production* Mutex/CondVar emit
+/// events. The schedcheck doubles emit events in every build regardless.
+bool HooksEnabledInBuild();
+
+// --- Mutex events -----------------------------------------------------------
+// `id` is the stable identity of the wrapper object; `real` is the
+// underlying std primitive the hook operates on. Create/Destroy bracket the
+// wrapper's lifetime and key its lock class by construction site.
+
+void OnMutexCreate(const void* id, SourceSite site);
+void OnMutexDestroy(const void* id);
+
+/// Blocking acquire: schedule point + lock-order record + the real lock.
+void OnMutexLock(std::mutex* real, const void* id, SourceSite site);
+
+/// Non-blocking acquire. No lock-order edges (a try-lock cannot deadlock),
+/// but a successful try-lock joins the held set so later acquires see it.
+bool OnMutexTryLock(std::mutex* real, const void* id, SourceSite site);
+
+void OnMutexUnlock(std::mutex* real, const void* id);
+
+// --- Condition-variable events ---------------------------------------------
+// The caller holds (model and real) the paired mutex, exactly like
+// std::condition_variable::wait. Inside a scheduler episode the wait is
+// fully modeled — the real condvar is never slept on, which is what makes
+// lost-wakeup and use-after-wait bugs reproducible from a seed.
+
+void OnCondWait(std::condition_variable* cv, const void* cv_id,
+                std::mutex* real_mu, const void* mu_id);
+
+/// Returns true when the wait ended by timeout. Inside an episode the
+/// timeout is a *scheduling choice* (the explorer may wake the waiter as
+/// timed-out at any decision point), so both the signal and timeout paths
+/// of the caller get explored without real time passing.
+bool OnCondWaitFor(std::condition_variable* cv, const void* cv_id,
+                   std::mutex* real_mu, const void* mu_id,
+                   std::chrono::nanoseconds timeout);
+
+void OnCondNotifyOne(std::condition_variable* cv, const void* cv_id);
+void OnCondNotifyAll(std::condition_variable* cv, const void* cv_id);
+
+// --- Explicit schedule points ----------------------------------------------
+
+/// Marks a non-lock interleaving point (queue push/pop entry, executor
+/// error paths, fault-registry hits). No-op outside a scheduler episode.
+void SchedPoint(const char* label);
+
+}  // namespace schedcheck
+}  // namespace pmkm
+
+#endif  // PMKM_COMMON_SCHEDCHECK_HOOKS_H_

@@ -1,0 +1,395 @@
+#include "common/schedcheck/lock_graph.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace pmkm {
+namespace schedcheck {
+namespace {
+
+/// The thread's currently held locks, innermost last. Thread-local, so it
+/// needs no synchronization; entries reference class ids owned by the
+/// (leaked) global graph.
+struct HeldLock {
+  const void* id;
+  int class_id;
+  SourceSite site;
+};
+
+thread_local std::vector<HeldLock>* tls_held = nullptr;
+
+std::vector<HeldLock>& HeldStack() {
+  if (tls_held == nullptr) {
+    // Leaked per-thread on purpose: worker threads may still release locks
+    // during thread_local destruction, after a vector member would already
+    // be gone. A few dozen bytes per thread, test builds only.
+    tls_held = new std::vector<HeldLock>();  // pmkm-lint: allow(naked-new)
+  }
+  return *tls_held;
+}
+
+std::string BaseName(const char* path) {
+  const char* base = path;
+  for (const char* p = path; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  return base;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string SiteKey(const SourceSite& site) {
+  return BaseName(site.file) + ":" + std::to_string(site.line);
+}
+
+}  // namespace
+
+std::string SourceSite::ToString() const {
+  return BaseName(file) + ":" + std::to_string(line);
+}
+
+std::string CycleReport::ToString() const {
+  std::ostringstream out;
+  out << "lock-order inversion: a cycle of " << edges.size()
+      << " edge(s) across distinct lock classes\n";
+  size_t i = 0;
+  for (const Edge& e : edges) {
+    out << "  witness " << ++i << ": holding " << e.from_class
+        << " (acquired at " << e.from_site << "), then acquired "
+        << e.to_class << " at " << e.to_site << "\n"
+        << "    held chain: " << e.held_chain << "\n";
+  }
+  out << "acquiring these locks in a fixed global order removes the cycle";
+  return out.str();
+}
+
+LockGraph& LockGraph::Global() {
+  static LockGraph* graph = [] {
+    // Leaked singleton: statically-stored mutexes unregister at exit.
+    auto* g = new LockGraph();  // pmkm-lint: allow(naked-new)
+    if (const char* out = std::getenv("PMKM_LOCKGRAPH_OUT");
+        out != nullptr && out[0] != '\0') {
+      static std::string path = out;
+      std::atexit([] {
+        // Direct stderr/file IO: schedcheck sits below the logging layer
+        // (pmkm_common links pmkm_schedcheck, not the other way around).
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        if (f == nullptr) {
+          std::fprintf(  // pmkm-lint: allow(stdio)
+              stderr, "schedcheck: cannot write lock graph to %s\n",
+              path.c_str());
+          return;
+        }
+        const std::string json = LockGraph::Global().ToJson();
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+      });
+    }
+    return g;
+  }();
+  return *graph;
+}
+
+void LockGraph::OnCreate(const void* id, SourceSite site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int cls = [&] {
+    const std::string key = SiteKey(site);
+    auto it = class_by_site_.find(key);
+    if (it != class_by_site_.end()) return it->second;
+    const int fresh = static_cast<int>(classes_.size());
+    classes_.push_back(LockClass{site, 0});
+    class_by_site_.emplace(key, fresh);
+    return fresh;
+  }();
+  ++classes_[static_cast<size_t>(cls)].instances;
+  instance_class_[id] = cls;
+}
+
+void LockGraph::OnDestroy(const void* id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = instance_class_.find(id);
+  if (it == instance_class_.end()) return;
+  --classes_[static_cast<size_t>(it->second)].instances;
+  instance_class_.erase(it);
+}
+
+int LockGraph::ClassOfLocked(const void* id, SourceSite fallback_site) {
+  auto it = instance_class_.find(id);
+  if (it != instance_class_.end()) return it->second;
+  // Unregistered mutex (created before the graph existed, or a bare hook
+  // call): key a class by the acquisition site so the event is not lost.
+  const std::string key = SiteKey(fallback_site);
+  auto by_site = class_by_site_.find(key);
+  if (by_site != class_by_site_.end()) {
+    instance_class_[id] = by_site->second;
+    return by_site->second;
+  }
+  const int fresh = static_cast<int>(classes_.size());
+  classes_.push_back(LockClass{fallback_site, 1});
+  class_by_site_.emplace(key, fresh);
+  instance_class_[id] = fresh;
+  return fresh;
+}
+
+void LockGraph::OnAcquire(const void* id, SourceSite site) {
+  std::vector<HeldLock>& held = HeldStack();
+  CycleReport report;
+  bool cycle_found = false;
+  CycleHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int cls = ClassOfLocked(id, site);
+    for (const HeldLock& h : held) {
+      const auto key = std::make_pair(h.class_id, cls);
+      auto it = edges_.find(key);
+      if (it != edges_.end()) {
+        ++it->second.count;
+        continue;
+      }
+      EdgeInfo info;
+      info.from_site = h.site;
+      info.to_site = site;
+      info.count = 1;
+      std::string chain;
+      for (const HeldLock& c : held) {
+        if (!chain.empty()) chain += " -> ";
+        chain += SiteKey(classes_[static_cast<size_t>(c.class_id)].site);
+        chain += " (locked at " + SiteKey(c.site) + ")";
+      }
+      info.held_chain = std::move(chain);
+      edges_.emplace(key, std::move(info));
+      if (h.class_id != cls && !cycle_found) {
+        const auto cycle_edges = FindCycleLocked(h.class_id, cls);
+        if (!cycle_edges.empty()) {
+          report = BuildReportLocked(cycle_edges);
+          cycle_found = true;
+          handler = handler_;
+        }
+      }
+    }
+    held.push_back(HeldLock{id, ClassOfLocked(id, site), site});
+  }
+  if (cycle_found) {
+    if (handler) {
+      handler(report);
+    } else {
+      const std::string text = report.ToString();
+      std::fprintf(  // pmkm-lint: allow(stdio)
+          stderr, "schedcheck FATAL: %s\n", text.c_str());
+      std::abort();
+    }
+  }
+}
+
+void LockGraph::OnTryAcquire(const void* id, SourceSite site) {
+  // A try-lock never blocks, so it adds no deadlock-relevant edge; it only
+  // joins the held chain so subsequent blocking acquires see it.
+  std::lock_guard<std::mutex> lock(mu_);
+  HeldStack().push_back(HeldLock{id, ClassOfLocked(id, site), site});
+}
+
+void LockGraph::OnRelease(const void* id) {
+  std::vector<HeldLock>& held = HeldStack();
+  // Search from the innermost end: releases are usually LIFO but need not
+  // be (hand-over-hand locking releases the outer lock first).
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    if (it->id == id) {
+      held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void LockGraph::SetCycleHandler(CycleHandler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  handler_ = std::move(handler);
+}
+
+std::string LockGraph::DescribeInstance(const void* id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = instance_class_.find(id);
+  if (it == instance_class_.end()) return "<unregistered mutex>";
+  return "mutex class " +
+         SiteKey(classes_[static_cast<size_t>(it->second)].site);
+}
+
+std::vector<std::pair<int, int>> LockGraph::FindCycleLocked(int from,
+                                                            int to) const {
+  // Tarjan's strongly-connected components over the class graph. The new
+  // edge from→to closes a cycle iff both endpoints land in one SCC of
+  // size ≥ 2 (distinct classes; same-class nesting is non-fatal).
+  const int n = static_cast<int>(classes_.size());
+  std::vector<std::vector<int>> adj(static_cast<size_t>(n));
+  for (const auto& [key, info] : edges_) {
+    adj[static_cast<size_t>(key.first)].push_back(key.second);
+  }
+  std::vector<int> index(static_cast<size_t>(n), -1);
+  std::vector<int> lowlink(static_cast<size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<size_t>(n), false);
+  std::vector<int> stack;
+  std::vector<int> component(static_cast<size_t>(n), -1);
+  int next_index = 0;
+  int next_component = 0;
+
+  // Iterative Tarjan (explicit frame stack: node + next-neighbor cursor).
+  struct Frame {
+    int v;
+    size_t edge;
+  };
+  for (int root = 0; root < n; ++root) {
+    if (index[static_cast<size_t>(root)] != -1) continue;
+    std::vector<Frame> frames{{root, 0}};
+    index[static_cast<size_t>(root)] = lowlink[static_cast<size_t>(root)] =
+        next_index++;
+    stack.push_back(root);
+    on_stack[static_cast<size_t>(root)] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto v = static_cast<size_t>(f.v);
+      if (f.edge < adj[v].size()) {
+        const int w = adj[v][f.edge++];
+        const auto wu = static_cast<size_t>(w);
+        if (index[wu] == -1) {
+          index[wu] = lowlink[wu] = next_index++;
+          stack.push_back(w);
+          on_stack[wu] = true;
+          frames.push_back(Frame{w, 0});
+        } else if (on_stack[wu]) {
+          lowlink[v] = std::min(lowlink[v], index[wu]);
+        }
+      } else {
+        if (lowlink[v] == index[v]) {
+          for (;;) {
+            const int w = stack.back();
+            stack.pop_back();
+            on_stack[static_cast<size_t>(w)] = false;
+            component[static_cast<size_t>(w)] = next_component;
+            if (w == f.v) break;
+          }
+          ++next_component;
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          const auto parent = static_cast<size_t>(frames.back().v);
+          lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+        }
+      }
+    }
+  }
+
+  if (component[static_cast<size_t>(from)] !=
+      component[static_cast<size_t>(to)]) {
+    return {};
+  }
+  // Both endpoints in one SCC: report every intra-SCC edge (the full set of
+  // orderings participating in the inversion).
+  const int scc = component[static_cast<size_t>(from)];
+  std::vector<std::pair<int, int>> cycle;
+  for (const auto& [key, info] : edges_) {
+    if (key.first != key.second &&
+        component[static_cast<size_t>(key.first)] == scc &&
+        component[static_cast<size_t>(key.second)] == scc) {
+      cycle.push_back(key);
+    }
+  }
+  return cycle;
+}
+
+CycleReport LockGraph::BuildReportLocked(
+    const std::vector<std::pair<int, int>>& cycle_edges) const {
+  CycleReport report;
+  for (const auto& key : cycle_edges) {
+    const EdgeInfo& info = edges_.at(key);
+    CycleReport::Edge e;
+    e.from_class = SiteKey(classes_[static_cast<size_t>(key.first)].site);
+    e.to_class = SiteKey(classes_[static_cast<size_t>(key.second)].site);
+    e.from_site = SiteKey(info.from_site);
+    e.to_site = SiteKey(info.to_site);
+    e.held_chain = info.held_chain;
+    report.edges.push_back(std::move(e));
+  }
+  return report;
+}
+
+std::string LockGraph::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\n  \"classes\": [\n";
+  for (size_t i = 0; i < classes_.size(); ++i) {
+    out << "    {\"id\": " << i << ", \"site\": \""
+        << JsonEscape(SiteKey(classes_[i].site)) << "\", \"function\": \""
+        << JsonEscape(classes_[i].site.function) << "\", \"instances\": "
+        << classes_[i].instances << "}"
+        << (i + 1 < classes_.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"edges\": [\n";
+  size_t i = 0;
+  for (const auto& [key, info] : edges_) {
+    out << "    {\"from\": " << key.first << ", \"to\": " << key.second
+        << ", \"from_site\": \"" << JsonEscape(SiteKey(info.from_site))
+        << "\", \"to_site\": \"" << JsonEscape(SiteKey(info.to_site))
+        << "\", \"held_chain\": \"" << JsonEscape(info.held_chain)
+        << "\", \"count\": " << info.count << ", \"same_class\": "
+        << (key.first == key.second ? "true" : "false") << "}"
+        << (++i < edges_.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+std::string LockGraph::ToDot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "digraph lockgraph {\n  rankdir=LR;\n  node [shape=box];\n";
+  for (size_t i = 0; i < classes_.size(); ++i) {
+    out << "  n" << i << " [label=\"" << JsonEscape(SiteKey(classes_[i].site))
+        << "\\n(" << classes_[i].instances << " live)\"];\n";
+  }
+  for (const auto& [key, info] : edges_) {
+    out << "  n" << key.first << " -> n" << key.second << " [label=\""
+        << JsonEscape(SiteKey(info.from_site)) << " -> "
+        << JsonEscape(SiteKey(info.to_site)) << " x" << info.count << "\""
+        << (key.first == key.second ? ", style=dashed" : "") << "];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+void LockGraph::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  edges_.clear();
+}
+
+size_t LockGraph::edge_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return edges_.size();
+}
+
+size_t LockGraph::class_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return classes_.size();
+}
+
+}  // namespace schedcheck
+}  // namespace pmkm

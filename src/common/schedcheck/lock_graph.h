@@ -1,0 +1,121 @@
+// Runtime lock-order witness (DESIGN.md §12).
+//
+// Mutexes are grouped into *lock classes* keyed by their static
+// construction site (every BoundedBlockingQueue::mu_ is one class, the
+// executor RunState mutexes another, ...), the lockdep model. Each blocking
+// acquire records, for every lock already held by the thread, a directed
+// edge held-class → acquired-class together with a witness: the static
+// acquisition sites of both locks and the thread's full held chain at that
+// moment. The first new edge that closes a cycle across *distinct* classes
+// is a lock-order inversion — a schedule exists that deadlocks — and fails
+// fast through the cycle handler (default: print both witness chains to
+// stderr and abort). Same-class edges (two instances of one class nested)
+// are recorded and visible in the dump but are not fatal: instance-level
+// cycles are the schedule explorer's job, and distinct members of one
+// struct can legitimately share a construction site.
+//
+// Cycle detection runs Tarjan's SCC algorithm over the accumulated class
+// graph on every first-seen edge; the graph is tiny (one node per lock
+// declaration in the program), so this is cheap even on hot paths.
+//
+// The accumulated graph can be exported as JSON (machine-readable, read by
+// `pmkm_inspect lockgraph`) or DOT (graphviz). Setting PMKM_LOCKGRAPH_OUT
+// to a path dumps the JSON at process exit.
+
+#ifndef PMKM_COMMON_SCHEDCHECK_LOCK_GRAPH_H_
+#define PMKM_COMMON_SCHEDCHECK_LOCK_GRAPH_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/schedcheck/hooks.h"
+
+namespace pmkm {
+namespace schedcheck {
+
+/// One lock-order inversion: the edges of the offending strongly connected
+/// component, each carrying the witness context that first recorded it.
+struct CycleReport {
+  struct Edge {
+    std::string from_class;   ///< construction site of the held lock's class
+    std::string to_class;     ///< construction site of the acquired class
+    std::string from_site;    ///< static acquisition site of the held lock
+    std::string to_site;      ///< static acquisition site of the new lock
+    std::string held_chain;   ///< full held chain when the edge was recorded
+  };
+  std::vector<Edge> edges;
+
+  /// Human-readable multi-line report with both witness chains.
+  std::string ToString() const;
+};
+
+/// Process-wide lock-order graph. Thread-safe. Intentionally leaked
+/// singleton so statically-stored mutexes stay registered through exit.
+class LockGraph {
+ public:
+  static LockGraph& Global();
+
+  // Event sinks (called by hooks.cc; `id` identifies the wrapper object).
+  void OnCreate(const void* id, SourceSite site);
+  void OnDestroy(const void* id);
+  void OnAcquire(const void* id, SourceSite site);
+  void OnTryAcquire(const void* id, SourceSite site);
+  void OnRelease(const void* id);
+
+  /// Replaces the action taken when a new edge closes a cycle. The default
+  /// handler prints the report and aborts; tests install a capturing
+  /// handler. Passing nullptr restores the default.
+  using CycleHandler = std::function<void(const CycleReport&)>;
+  void SetCycleHandler(CycleHandler handler);
+
+  /// "class@site" description of a registered mutex, for diagnostics
+  /// (scheduler deadlock reports name the mutex a thread is blocked on).
+  std::string DescribeInstance(const void* id) const;
+
+  std::string ToJson() const;
+  std::string ToDot() const;
+
+  /// Drops all recorded edges (lock classes and live instances persist, so
+  /// concurrently held locks stay attributable). Test isolation only.
+  void ResetForTest();
+
+  size_t edge_count() const;
+  size_t class_count() const;
+
+ private:
+  LockGraph() = default;
+
+  struct LockClass {
+    SourceSite site;
+    size_t instances = 0;
+  };
+  struct EdgeInfo {
+    SourceSite from_site;
+    SourceSite to_site;
+    std::string held_chain;
+    uint64_t count = 0;
+  };
+
+  int ClassOfLocked(const void* id, SourceSite fallback_site);
+  /// Returns the SCC (as edge list) containing `from`→`to` if that edge
+  /// sits on a cycle of ≥ 2 distinct classes; empty otherwise.
+  std::vector<std::pair<int, int>> FindCycleLocked(int from, int to) const;
+  CycleReport BuildReportLocked(
+      const std::vector<std::pair<int, int>>& cycle_edges) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, int> class_by_site_;     // "file:line" → class id
+  std::vector<LockClass> classes_;
+  std::map<const void*, int> instance_class_;    // live mutex → class id
+  std::map<std::pair<int, int>, EdgeInfo> edges_;
+  CycleHandler handler_;
+};
+
+}  // namespace schedcheck
+}  // namespace pmkm
+
+#endif  // PMKM_COMMON_SCHEDCHECK_LOCK_GRAPH_H_

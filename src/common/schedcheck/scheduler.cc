@@ -1,0 +1,501 @@
+#include "common/schedcheck/scheduler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/schedcheck/lock_graph.h"
+
+namespace pmkm {
+namespace schedcheck {
+namespace {
+
+// The calling thread's registration, cached thread-locally so the
+// per-hook "am I scheduled?" check is lock-free. `tls_gen` matches the
+// scheduler's episode generation only while this thread is registered in
+// the *current* episode (generations are bumped at both Begin and End, so
+// stale registrations from a previous episode can never match).
+thread_local uint64_t tls_gen = 0;
+thread_local uint64_t tls_tid = kInvalidTid;
+
+using Strategy = ScheduleOptions::Strategy;
+
+}  // namespace
+
+Scheduler& Scheduler::Global() {
+  // Leaked: sync points fire from thread_local destructors at exit.
+  static Scheduler* scheduler = new Scheduler();  // pmkm-lint: allow(naked-new)
+  return *scheduler;
+}
+
+bool Scheduler::OnScheduledThread() const {
+  return tls_gen != 0 &&
+         tls_gen == episode_gen_.load(std::memory_order_relaxed);
+}
+
+uint64_t Scheduler::TidOfCurrent() const {
+  return OnScheduledThread() ? tls_tid : kInvalidTid;
+}
+
+uint64_t Scheduler::NextRandLocked() {
+  // SplitMix64; schedcheck cannot depend on common/rng.h (layering) and
+  // needs nothing fancier than a well-mixed stream from a 64-bit seed.
+  uint64_t z = (rng_ += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+void Scheduler::BeginEpisode(const ScheduleOptions& options) {
+  std::unique_lock<std::mutex> lk(smu_);
+  if (episode_active_) {
+    std::fprintf(  // pmkm-lint: allow(stdio)
+        stderr, "schedcheck FATAL: BeginEpisode while an episode is active\n");
+    std::abort();
+  }
+  episode_active_ = true;
+  poisoned_ = false;
+  opts_ = options;
+  result_ = ScheduleResult{};
+  forced_pos_ = 0;
+  rng_ = options.seed ^ 0x6a09e667f3bcc909ull;
+  next_tid_ = 0;
+  low_priority_ = -1;
+  threads_.clear();
+  mutex_owner_.clear();
+  poison_held_.clear();
+  const uint64_t gen =
+      episode_gen_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  ThreadRec main_rec;
+  main_rec.tid = next_tid_++;
+  main_rec.name = "main";
+  main_rec.priority = static_cast<int64_t>(NextRandLocked() & 0x7fffffff);
+  active_tid_ = main_rec.tid;
+  tls_gen = gen;
+  tls_tid = main_rec.tid;
+  threads_.emplace(main_rec.tid, std::move(main_rec));
+}
+
+ScheduleResult Scheduler::EndEpisode() {
+  std::unique_lock<std::mutex> lk(smu_);
+  const uint64_t me = TidOfCurrent();
+  // The body should have joined every spawned thread already; if not,
+  // keep scheduling until the stragglers drain (the step budget poisons
+  // the episode if they cannot).
+  for (;;) {
+    bool others_live = false;
+    for (const auto& [tid, rec] : threads_) {
+      if (tid != me && rec.state != State::kFinished) others_live = true;
+    }
+    if (!others_live) break;
+    RescheduleLocked(lk, me, /*may_throw=*/false);
+  }
+  episode_active_ = false;
+  episode_gen_.fetch_add(1, std::memory_order_relaxed);
+  tls_gen = 0;
+  tls_tid = kInvalidTid;
+  active_tid_ = kInvalidTid;
+  ScheduleResult out = std::move(result_);
+  result_ = ScheduleResult{};
+  threads_.clear();
+  mutex_owner_.clear();
+  poison_held_.clear();
+  scv_.notify_all();
+  return out;
+}
+
+uint64_t Scheduler::RegisterCurrentThread(const char* name) {
+  std::unique_lock<std::mutex> lk(smu_);
+  if (!episode_active_) return kInvalidTid;
+  ThreadRec rec;
+  rec.tid = next_tid_++;
+  rec.name = (name != nullptr && name[0] != '\0') ? name : "worker";
+  rec.priority = static_cast<int64_t>(NextRandLocked() & 0x7fffffff);
+  const uint64_t tid = rec.tid;
+  threads_.emplace(tid, std::move(rec));
+  tls_gen = episode_gen_.load(std::memory_order_relaxed);
+  tls_tid = tid;
+  return tid;
+}
+
+void Scheduler::WaitForTurn() {
+  std::unique_lock<std::mutex> lk(smu_);
+  const uint64_t me = TidOfCurrent();
+  if (me == kInvalidTid) return;
+  while (active_tid_ != me) scv_.wait(lk);
+}
+
+void Scheduler::UnregisterCurrentThread() {
+  std::unique_lock<std::mutex> lk(smu_);
+  const uint64_t me = TidOfCurrent();
+  if (me == kInvalidTid) return;
+  threads_.at(me).state = State::kFinished;
+  for (auto& [tid, rec] : threads_) {
+    if (rec.state == State::kBlockedJoin &&
+        reinterpret_cast<uintptr_t>(rec.wait_obj) == me) {
+      rec.state = State::kRunnable;
+    }
+  }
+  tls_gen = 0;
+  tls_tid = kInvalidTid;
+  // Hand the token on; returns immediately because this thread is finished.
+  RescheduleLocked(lk, me, /*may_throw=*/false);
+}
+
+bool Scheduler::JoinThread(uint64_t tid) {
+  std::unique_lock<std::mutex> lk(smu_);
+  const uint64_t me = TidOfCurrent();
+  if (me == kInvalidTid || tid == kInvalidTid) return false;
+  for (;;) {
+    auto it = threads_.find(tid);
+    if (it == threads_.end() || it->second.state == State::kFinished) {
+      return true;
+    }
+    ThreadRec& my = threads_.at(me);
+    my.state = State::kBlockedJoin;
+    my.wait_obj = reinterpret_cast<const void*>(static_cast<uintptr_t>(tid));
+    // No throw: Join runs from Thread destructors, possibly mid-unwind.
+    RescheduleLocked(lk, me, /*may_throw=*/false);
+  }
+}
+
+void Scheduler::AcquireMutex(std::mutex* real, const void* id) {
+  std::unique_lock<std::mutex> lk(smu_);
+  const uint64_t me = TidOfCurrent();
+  if (me == kInvalidTid) {
+    lk.unlock();
+    real->lock();
+    return;
+  }
+  RescheduleLocked(lk, me, /*may_throw=*/true);  // pre-acquire point
+  AcquireMutexLoopLocked(lk, me, real, id);
+  // Never throws after the grant: the caller's RAII guard must engage so
+  // a later poison unwinds through a balanced Unlock.
+}
+
+bool Scheduler::TryAcquireMutex(std::mutex* real, const void* id) {
+  std::unique_lock<std::mutex> lk(smu_);
+  const uint64_t me = TidOfCurrent();
+  if (me == kInvalidTid) {
+    lk.unlock();
+    return real->try_lock();
+  }
+  RescheduleLocked(lk, me, /*may_throw=*/true);
+  if (mutex_owner_.count(id) != 0) return false;
+  mutex_owner_.emplace(id, me);
+  lk.unlock();
+  real->lock();  // uncontended among registered threads by construction
+  return true;
+}
+
+void Scheduler::ReleaseMutex(std::mutex* real, const void* id) {
+  std::unique_lock<std::mutex> lk(smu_);
+  const uint64_t me = TidOfCurrent();
+  if (me == kInvalidTid) {
+    lk.unlock();
+    real->unlock();
+    return;
+  }
+  if (poison_held_.erase({me, id}) == 0) {
+    auto it = mutex_owner_.find(id);
+    if (it != mutex_owner_.end() && it->second == me) {
+      real->unlock();
+      mutex_owner_.erase(it);
+    }
+    // else: unlocking a mutex the model says we do not hold. Reachable
+    // only while a poisoned episode unwinds through a guard whose CondWait
+    // threw after releasing the mutex; skipping the real unlock is the
+    // balanced behavior there.
+  }
+  WakeBlockedOnMutexLocked(id);
+  // Post-release interleaving point. No throw: Unlock runs in destructors.
+  RescheduleLocked(lk, me, /*may_throw=*/false);
+}
+
+void Scheduler::CondWait(const void* cv_id, std::mutex* real_mu,
+                         const void* mu_id) {
+  std::unique_lock<std::mutex> lk(smu_);
+  const uint64_t me = TidOfCurrent();
+  if (me == kInvalidTid) {
+    lk.unlock();
+    std::fprintf(  // pmkm-lint: allow(stdio)
+        stderr, "schedcheck FATAL: CondWait on an unscheduled thread\n");
+    std::abort();
+  }
+  // Drain mode: the signal may never come; unwind with the mutex held so
+  // the caller's RAII guard releases it.
+  if (poisoned_) throw EpisodePoisoned{};
+
+  // Release the paired mutex (model + real), exactly like cv::wait.
+  if (poison_held_.erase({me, mu_id}) == 0) {
+    auto it = mutex_owner_.find(mu_id);
+    if (it != mutex_owner_.end() && it->second == me) {
+      real_mu->unlock();
+      mutex_owner_.erase(it);
+    }
+  }
+  WakeBlockedOnMutexLocked(mu_id);
+  ThreadRec& my = threads_.at(me);
+  my.state = State::kWaitingCv;
+  my.wait_obj = cv_id;
+  my.timed_out = false;
+  RescheduleLocked(lk, me, /*may_throw=*/false);  // parked until notified
+  AcquireMutexLoopLocked(lk, me, real_mu, mu_id);
+  if (poisoned_) throw EpisodePoisoned{};  // mutex held → balanced unwind
+}
+
+bool Scheduler::CondWaitFor(const void* cv_id, std::mutex* real_mu,
+                            const void* mu_id) {
+  std::unique_lock<std::mutex> lk(smu_);
+  const uint64_t me = TidOfCurrent();
+  if (me == kInvalidTid) {
+    lk.unlock();
+    std::fprintf(  // pmkm-lint: allow(stdio)
+        stderr, "schedcheck FATAL: CondWaitFor on an unscheduled thread\n");
+    std::abort();
+  }
+  if (poisoned_) throw EpisodePoisoned{};
+
+  if (poison_held_.erase({me, mu_id}) == 0) {
+    auto it = mutex_owner_.find(mu_id);
+    if (it != mutex_owner_.end() && it->second == me) {
+      real_mu->unlock();
+      mutex_owner_.erase(it);
+    }
+  }
+  WakeBlockedOnMutexLocked(mu_id);
+  ThreadRec& my = threads_.at(me);
+  my.state = State::kTimedWaitingCv;  // schedulable: waking it = timeout
+  my.wait_obj = cv_id;
+  my.timed_out = false;
+  RescheduleLocked(lk, me, /*may_throw=*/false);
+  const bool timed_out = threads_.at(me).timed_out;
+  AcquireMutexLoopLocked(lk, me, real_mu, mu_id);
+  if (poisoned_) throw EpisodePoisoned{};
+  return timed_out;
+}
+
+void Scheduler::CondNotify(const void* cv_id, bool notify_all) {
+  std::unique_lock<std::mutex> lk(smu_);
+  const uint64_t me = TidOfCurrent();
+  if (me == kInvalidTid) return;
+  // notify_one wakes the lowest-tid modeled waiter (deterministic). A
+  // notify with no modeled waiter wakes nobody — which is exactly how a
+  // lost wakeup becomes a reproducible deadlock instead of a timing fluke.
+  for (auto& [tid, rec] : threads_) {
+    if ((rec.state == State::kWaitingCv ||
+         rec.state == State::kTimedWaitingCv) &&
+        rec.wait_obj == cv_id) {
+      rec.state = State::kRunnable;
+      rec.timed_out = false;
+      if (!notify_all) break;
+    }
+  }
+  // Post-notify interleaving point. No throw: NotifyAll runs in paths
+  // (queue Cancel, pool shutdown) reached from destructors.
+  RescheduleLocked(lk, me, /*may_throw=*/false);
+}
+
+void Scheduler::SchedPoint(const char* label) {
+  (void)label;
+  std::unique_lock<std::mutex> lk(smu_);
+  const uint64_t me = TidOfCurrent();
+  if (me == kInvalidTid) return;
+  RescheduleLocked(lk, me, /*may_throw=*/true);
+}
+
+void Scheduler::Yield() { SchedPoint("yield"); }
+
+void Scheduler::AcquireMutexLoopLocked(std::unique_lock<std::mutex>& lk,
+                                       uint64_t me, std::mutex* real,
+                                       const void* id) {
+  for (;;) {
+    if (mutex_owner_.count(id) == 0) {
+      mutex_owner_.emplace(id, me);
+      lk.unlock();
+      // Uncontended among registered threads (the model gated us); may
+      // briefly contend with unregistered threads, which is fine.
+      real->lock();
+      lk.lock();
+      return;
+    }
+    if (poisoned_) {
+      // Drain grant: pretend-acquire without the real lock (the owner may
+      // never release). Serialized execution keeps this sound enough for
+      // threads that are only limping to their unwind point.
+      poison_held_.emplace(me, id);
+      return;
+    }
+    ThreadRec& my = threads_.at(me);
+    my.state = State::kBlockedMutex;
+    my.wait_obj = id;
+    RescheduleLocked(lk, me, /*may_throw=*/false);
+  }
+}
+
+void Scheduler::WakeBlockedOnMutexLocked(const void* id) {
+  for (auto& [tid, rec] : threads_) {
+    if (rec.state == State::kBlockedMutex && rec.wait_obj == id) {
+      rec.state = State::kRunnable;  // re-contends in its acquire loop
+    }
+  }
+}
+
+void Scheduler::RescheduleLocked(std::unique_lock<std::mutex>& lk,
+                                 uint64_t me, bool may_throw) {
+  ++result_.steps;
+  if (!poisoned_ && result_.steps > opts_.max_steps) {
+    PoisonLocked(/*budget=*/true);
+  }
+  if (poisoned_ && result_.steps > 4 * opts_.max_steps + 4000) {
+    std::fprintf(  // pmkm-lint: allow(stdio)
+        stderr,
+        "schedcheck FATAL: poisoned episode failed to drain "
+        "(%d steps; threads:%s)\n",
+        result_.steps, DescribeThreadsLocked().c_str());
+    std::abort();
+  }
+  PickNextLocked();
+  scv_.notify_all();
+  while (active_tid_ != me) {
+    if (threads_.at(me).state == State::kFinished) return;
+    if (active_tid_ == kInvalidTid) return;  // everyone else finished
+    scv_.wait(lk);
+  }
+  if (poisoned_ && may_throw) throw EpisodePoisoned{};
+}
+
+void Scheduler::PickNextLocked() {
+  auto collect = [this] {
+    std::vector<uint64_t> c;
+    for (const auto& [tid, rec] : threads_) {
+      if (rec.state == State::kRunnable ||
+          rec.state == State::kTimedWaitingCv) {
+        c.push_back(tid);  // map order → deterministic candidate order
+      }
+    }
+    return c;
+  };
+  std::vector<uint64_t> candidates = collect();
+  if (candidates.empty()) {
+    bool any_live = false;
+    for (const auto& [tid, rec] : threads_) {
+      if (rec.state != State::kFinished) any_live = true;
+    }
+    if (!any_live) {
+      active_tid_ = kInvalidTid;
+      return;
+    }
+    if (!poisoned_) PoisonLocked(/*budget=*/false);
+    candidates = collect();
+    if (candidates.empty()) {
+      active_tid_ = kInvalidTid;
+      return;
+    }
+  }
+
+  const size_t n = candidates.size();
+  size_t idx = 0;
+  if (n > 1) {
+    if (forced_pos_ < opts_.forced_choices.size()) {
+      const int forced = opts_.forced_choices[forced_pos_++];
+      idx = forced <= 0 ? 0 : std::min(static_cast<size_t>(forced), n - 1);
+    } else {
+      switch (opts_.strategy) {
+        case Strategy::kRandom:
+          idx = static_cast<size_t>(NextRandLocked() % n);
+          break;
+        case Strategy::kPCT: {
+          // Occasionally demote a random candidate below everything that
+          // ever ran, then run the highest-priority candidate — the PCT
+          // recipe for hitting small-depth ordering bugs fast.
+          if ((NextRandLocked() & 15) == 0) {
+            const size_t victim = static_cast<size_t>(NextRandLocked() % n);
+            threads_.at(candidates[victim]).priority = low_priority_--;
+          }
+          for (size_t i = 1; i < n; ++i) {
+            if (threads_.at(candidates[i]).priority >
+                threads_.at(candidates[idx]).priority) {
+              idx = i;
+            }
+          }
+          break;
+        }
+        case Strategy::kExhaustive:
+          idx = 0;  // beyond the forced prefix: lexicographically first
+          break;
+      }
+    }
+    result_.choices.push_back(static_cast<int>(idx));
+    result_.branching.push_back(static_cast<int>(n));
+  }
+
+  ThreadRec& chosen = threads_.at(candidates[idx]);
+  if (chosen.state == State::kTimedWaitingCv) {
+    chosen.state = State::kRunnable;  // scheduled as a timeout
+    chosen.timed_out = true;
+  }
+  active_tid_ = chosen.tid;
+}
+
+void Scheduler::PoisonLocked(bool budget) {
+  poisoned_ = true;
+  if (budget) {
+    result_.budget_exhausted = true;
+    result_.detail = "step budget exhausted;" + DescribeThreadsLocked();
+  } else {
+    result_.deadlock = true;
+    result_.detail = "modeled deadlock: no runnable thread;" +
+                     DescribeThreadsLocked();
+  }
+  // Release everything blocked so threads can limp to a throwing sync
+  // point and unwind.
+  for (auto& [tid, rec] : threads_) {
+    switch (rec.state) {
+      case State::kBlockedMutex:
+      case State::kWaitingCv:
+      case State::kTimedWaitingCv:
+      case State::kBlockedJoin:
+        rec.state = State::kRunnable;
+        rec.timed_out = true;
+        break;
+      case State::kRunnable:
+      case State::kFinished:
+        break;
+    }
+  }
+}
+
+std::string Scheduler::DescribeThreadsLocked() const {
+  std::string out;
+  for (const auto& [tid, rec] : threads_) {
+    if (rec.state == State::kFinished) continue;
+    out += "\n  thread '" + rec.name + "' (tid " + std::to_string(tid) + ") ";
+    switch (rec.state) {
+      case State::kRunnable:
+        out += "runnable";
+        break;
+      case State::kBlockedMutex:
+        out += "blocked acquiring " +
+               LockGraph::Global().DescribeInstance(rec.wait_obj);
+        break;
+      case State::kWaitingCv:
+        out += "waiting on a condvar";
+        break;
+      case State::kTimedWaitingCv:
+        out += "in a timed condvar wait";
+        break;
+      case State::kBlockedJoin:
+        out += "joining tid " + std::to_string(static_cast<uint64_t>(
+                                    reinterpret_cast<uintptr_t>(rec.wait_obj)));
+        break;
+      case State::kFinished:
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace schedcheck
+}  // namespace pmkm

@@ -1,0 +1,196 @@
+// Deterministic schedule explorer (DESIGN.md §12).
+//
+// A cooperative test scheduler in the CHESS/PCT tradition: inside an
+// *episode*, registered threads are serialized — exactly one holds the run
+// token at a time — and the token only changes hands at sync points (mutex
+// acquire/release, condvar wait/notify, queue push/pop via
+// PMKM_SCHED_POINT, thread join). Which thread runs next at each decision
+// point is chosen by a seeded strategy, so a concurrency bug that needs a
+// specific interleaving reproduces from its seed on every run, on any
+// machine, without TSan luck.
+//
+// Synchronization inside an episode is *fully modeled*:
+//   - Mutexes: ownership lives in the scheduler's model. The real
+//     std::mutex is locked only when the model says it is free, which under
+//     token serialization means the real lock is always uncontended among
+//     registered threads — a registered thread never truly blocks.
+//   - Condvars: registered waiters never sleep on the real
+//     condition_variable; waiting/notifying is pure model state. Lost
+//     wakeups therefore become *visible* (a notify with no modeled waiter
+//     wakes nobody, and the resulting stuck state is reported as a
+//     deadlock) instead of being papered over by timing.
+//   - WaitFor timeouts are a scheduling choice: the explorer may wake a
+//     timed waiter as "timed out" at any decision point, so both the
+//     signal path and the timeout path get explored without real time
+//     passing.
+//
+// When no thread can run (modeled deadlock) or the step budget is
+// exhausted, the episode is *poisoned*: every blocked thread is released
+// and the next blocking sync point throws EpisodePoisoned, unwinding the
+// thread (schedcheck::Thread catches it; test bodies catch it in
+// SweepSchedules). Deadlock is a returnable result, not a process abort.
+//
+// Threads not registered with the scheduler pass through the hooks to the
+// real primitives untouched, so instrumented code keeps working when no
+// episode is active (ordinary production runs with PMKM_SCHEDCHECK=ON).
+
+#ifndef PMKM_COMMON_SCHEDCHECK_SCHEDULER_H_
+#define PMKM_COMMON_SCHEDCHECK_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace pmkm {
+namespace schedcheck {
+
+inline constexpr uint64_t kInvalidTid = ~uint64_t{0};
+
+struct ScheduleOptions {
+  enum class Strategy {
+    kRandom,      ///< uniform choice at every decision point
+    kPCT,         ///< priority fuzzing: run the highest-priority runnable
+                  ///  thread; occasionally demote it (PCT-style)
+    kExhaustive,  ///< replay forced_choices, then always pick candidate 0
+  };
+
+  uint64_t seed = 1;
+  Strategy strategy = Strategy::kRandom;
+  /// Decision-point budget. Exceeding it poisons the episode (reported in
+  /// ScheduleResult, not fatal); 4x the budget without draining aborts.
+  int max_steps = 50000;
+  /// Exhaustive mode: decision indices to force, in order, at the first
+  /// decision points of the episode (the odometer prefix).
+  std::vector<int> forced_choices;
+};
+
+struct ScheduleResult {
+  bool deadlock = false;          ///< no runnable thread while some lived
+  bool budget_exhausted = false;  ///< max_steps hit before completion
+  int steps = 0;
+  /// Per decision point (>1 candidate): the index chosen and the number of
+  /// candidates. Together these drive exhaustive enumeration.
+  std::vector<int> choices;
+  std::vector<int> branching;
+  std::string detail;             ///< human-readable blocked-thread dump
+};
+
+/// Thrown at sync points of a poisoned episode to unwind the thread.
+/// schedcheck::Thread's trampoline and SweepSchedules catch it.
+struct EpisodePoisoned {};
+
+class Scheduler {
+ public:
+  static Scheduler& Global();
+
+  // --- Episode lifecycle (called from the test main thread) -----------------
+
+  /// Starts an episode and registers the calling thread as its main thread
+  /// (tid 0, immediately active). One episode at a time per process.
+  void BeginEpisode(const ScheduleOptions& options);
+
+  /// Ends the episode (all spawned threads must have been joined) and
+  /// returns its result. Unregisters the calling thread.
+  ScheduleResult EndEpisode();
+
+  /// True iff the calling thread is registered in the active episode —
+  /// the gate every hook checks before routing an event here.
+  bool OnScheduledThread() const;
+
+  // --- Thread lifecycle (called by schedcheck::Thread) ----------------------
+
+  /// Registers the calling thread; returns its tid, or kInvalidTid when no
+  /// episode is active. Does not wait for the token.
+  uint64_t RegisterCurrentThread(const char* name);
+  /// Parks until the scheduler hands this thread the token.
+  void WaitForTurn();
+  /// Marks the calling thread finished, wakes joiners, passes the token on.
+  void UnregisterCurrentThread();
+  /// Modeled join: blocks (in the model) until `tid` finishes. Returns
+  /// false when not in an episode (caller should plain-join).
+  bool JoinThread(uint64_t tid);
+
+  // --- Sync points (called by hooks.cc / sync.h on registered threads) ------
+
+  void AcquireMutex(std::mutex* real, const void* id);
+  bool TryAcquireMutex(std::mutex* real, const void* id);
+  void ReleaseMutex(std::mutex* real, const void* id);
+  void CondWait(const void* cv_id, std::mutex* real_mu, const void* mu_id);
+  /// Returns true when the wait ended as a timeout (a scheduling choice).
+  bool CondWaitFor(const void* cv_id, std::mutex* real_mu, const void* mu_id);
+  void CondNotify(const void* cv_id, bool notify_all);
+  void SchedPoint(const char* label);
+  /// Bare interleaving point for test doubles (equivalent to SchedPoint).
+  void Yield();
+
+ private:
+  Scheduler() = default;
+
+  enum class State {
+    kRunnable,
+    kBlockedMutex,   // wait_obj = mutex id
+    kWaitingCv,      // wait_obj = cv id
+    kTimedWaitingCv, // wait_obj = cv id; schedulable as a timeout
+    kBlockedJoin,    // wait_obj = joined thread's tid (as pointer value)
+    kFinished,
+  };
+
+  struct ThreadRec {
+    uint64_t tid = kInvalidTid;
+    std::string name;
+    State state = State::kRunnable;
+    const void* wait_obj = nullptr;
+    bool timed_out = false;   // how a cv wait ended
+    int64_t priority = 0;     // PCT; demoted threads go negative
+  };
+
+  uint64_t TidOfCurrent() const;
+  uint64_t NextRandLocked();
+  /// Advances one step: picks the next active thread, wakes it, and blocks
+  /// the caller until it gets the token back (or returns immediately when
+  /// the caller is finished). Throws EpisodePoisoned when `may_throw` and
+  /// the episode got poisoned — callers in destructor context pass false.
+  void RescheduleLocked(std::unique_lock<std::mutex>& lk, uint64_t me,
+                        bool may_throw);
+  void PickNextLocked();
+  void PoisonLocked(bool budget);
+  std::string DescribeThreadsLocked() const;
+  void WakeBlockedOnMutexLocked(const void* id);
+  /// The modeled-mutex acquire loop shared by AcquireMutex and the
+  /// reacquire half of CondWait*. Never throws; sets poison_held_ when
+  /// granting during a poisoned drain.
+  void AcquireMutexLoopLocked(std::unique_lock<std::mutex>& lk, uint64_t me,
+                              std::mutex* real, const void* id);
+
+  mutable std::mutex smu_;
+  std::condition_variable scv_;
+
+  bool episode_active_ = false;
+  std::atomic<uint64_t> episode_gen_{0};
+  bool poisoned_ = false;
+  ScheduleOptions opts_;
+  ScheduleResult result_;
+  size_t forced_pos_ = 0;
+  uint64_t rng_ = 0;
+  uint64_t next_tid_ = 0;
+  uint64_t active_tid_ = kInvalidTid;
+  int64_t low_priority_ = -1;  // PCT demotion counter, strictly decreasing
+
+  std::map<uint64_t, ThreadRec> threads_;
+  std::map<const void*, uint64_t> mutex_owner_;
+  /// (tid, mutex) pairs granted during a poisoned drain without taking the
+  /// real lock; their release must skip the real unlock.
+  std::set<std::pair<uint64_t, const void*>> poison_held_;
+};
+
+}  // namespace schedcheck
+}  // namespace pmkm
+
+#endif  // PMKM_COMMON_SCHEDCHECK_SCHEDULER_H_

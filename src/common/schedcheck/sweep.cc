@@ -1,0 +1,170 @@
+#include "common/schedcheck/sweep.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace pmkm {
+namespace schedcheck {
+namespace {
+
+void WriteArtifact(const char* name, const std::string& contents) {
+  const char* dir = std::getenv("PMKM_SCHEDCHECK_ARTIFACTS");
+  if (dir == nullptr || dir[0] == '\0') return;
+  const std::string path = std::string(dir) + "/" + name + ".failure.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(  // pmkm-lint: allow(stdio)
+        stderr, "schedcheck: cannot write artifact %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(contents.data(), 1, contents.size(), f);
+  std::fclose(f);
+}
+
+const char* StrategyName(ScheduleOptions::Strategy strategy) {
+  switch (strategy) {
+    case ScheduleOptions::Strategy::kRandom:
+      return "random";
+    case ScheduleOptions::Strategy::kPCT:
+      return "pct";
+    case ScheduleOptions::Strategy::kExhaustive:
+      return "exhaustive";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int SeedsFromEnvOr(int fallback) {
+  const char* env = std::getenv("PMKM_SCHEDCHECK_SEEDS");
+  if (env == nullptr || env[0] == '\0') return fallback;
+  const long parsed = std::strtol(env, nullptr, 10);
+  return parsed > 0 ? static_cast<int>(parsed) : fallback;
+}
+
+SweepResult SweepSchedules(const SweepOptions& options,
+                           const std::function<bool()>& body) {
+  SweepResult result;
+  uint64_t first_seed = options.first_seed;
+  int num_seeds = options.num_seeds;
+  if (const char* replay = std::getenv("PMKM_SCHEDCHECK_SEED");
+      replay != nullptr && replay[0] != '\0') {
+    first_seed = std::strtoull(replay, nullptr, 10);
+    num_seeds = 1;
+  }
+
+  Scheduler& sched = Scheduler::Global();
+  for (int i = 0; i < num_seeds; ++i) {
+    const uint64_t seed = first_seed + static_cast<uint64_t>(i);
+    ScheduleOptions episode;
+    episode.seed = seed;
+    episode.strategy = options.strategy;
+    episode.max_steps = options.max_steps;
+
+    sched.BeginEpisode(episode);
+    bool bug = false;
+    try {
+      bug = body();
+    } catch (const EpisodePoisoned&) {
+      // The episode result below says whether this was deadlock or budget.
+    }
+    const ScheduleResult r = sched.EndEpisode();
+    ++result.seeds_run;
+
+    if (r.deadlock || r.budget_exhausted) {
+      bug = true;
+      result.deadlock = r.deadlock;
+      result.detail = r.detail;
+    }
+    if (bug) {
+      result.bug_found = true;
+      result.failing_seed = seed;
+      if (result.detail.empty()) {
+        result.detail = "test invariant violated by the interleaving";
+      }
+      const std::string report =
+          std::string("schedcheck sweep '") + options.name + "' found a bug\n" +
+          "  seed: " + std::to_string(seed) +
+          " (strategy " + StrategyName(options.strategy) +
+          ", schedule " + std::to_string(result.seeds_run) + " of " +
+          std::to_string(num_seeds) + ", " + std::to_string(r.steps) +
+          " steps)\n" +
+          "  detail: " + result.detail + "\n" +
+          "  replay: PMKM_SCHEDCHECK_SEED=" + std::to_string(seed) +
+          " <test binary> (same gtest filter)\n";
+      std::fprintf(  // pmkm-lint: allow(stdio)
+          stderr, "%s", report.c_str());
+      WriteArtifact(options.name, report);
+      return result;
+    }
+  }
+  return result;
+}
+
+ExhaustiveResult ExploreExhaustive(const ExhaustiveOptions& options,
+                                   const std::function<bool()>& body) {
+  ExhaustiveResult result;
+  Scheduler& sched = Scheduler::Global();
+  std::vector<int> prefix;
+  while (result.runs < options.max_runs) {
+    ScheduleOptions episode;
+    episode.seed = 1;
+    episode.strategy = ScheduleOptions::Strategy::kExhaustive;
+    episode.max_steps = options.max_steps;
+    episode.forced_choices = prefix;
+
+    sched.BeginEpisode(episode);
+    bool bug = false;
+    try {
+      bug = body();
+    } catch (const EpisodePoisoned&) {
+    }
+    const ScheduleResult r = sched.EndEpisode();
+    ++result.runs;
+
+    if (r.deadlock || r.budget_exhausted) {
+      bug = true;
+      result.detail = r.detail;
+    }
+    if (bug) {
+      result.bug_found = true;
+      result.failing_choices = r.choices;
+      if (result.detail.empty()) {
+        result.detail = "test invariant violated by the interleaving";
+      }
+      std::string choices;
+      for (int c : r.choices) {
+        if (!choices.empty()) choices += ",";
+        choices += std::to_string(c);
+      }
+      const std::string report =
+          std::string("schedcheck exhaustive '") + options.name +
+          "' found a bug\n  run " + std::to_string(result.runs) +
+          ", decision sequence: [" + choices + "]\n  detail: " +
+          result.detail + "\n";
+      std::fprintf(  // pmkm-lint: allow(stdio)
+          stderr, "%s", report.c_str());
+      WriteArtifact(options.name, report);
+      return result;
+    }
+
+    // Choice-prefix odometer: bump the deepest decision that still has an
+    // unexplored sibling; done when none does.
+    int i = static_cast<int>(r.choices.size()) - 1;
+    while (i >= 0 && r.choices[static_cast<size_t>(i)] + 1 >=
+                         r.branching[static_cast<size_t>(i)]) {
+      --i;
+    }
+    if (i < 0) {
+      result.exhausted_all = true;
+      return result;
+    }
+    prefix.assign(r.choices.begin(), r.choices.begin() + i);
+    prefix.push_back(r.choices[static_cast<size_t>(i)] + 1);
+  }
+  return result;
+}
+
+}  // namespace schedcheck
+}  // namespace pmkm

@@ -1,0 +1,82 @@
+// Schedule-sweep drivers for tests (DESIGN.md §12).
+//
+// SweepSchedules runs a test body under the deterministic scheduler once
+// per seed until the body reports a bug (returns true), the scheduler
+// reports a deadlock/budget overrun, or the seed budget is exhausted. On a
+// hit it prints the failing seed with replay instructions and (when
+// PMKM_SCHEDCHECK_ARTIFACTS names a directory) writes a failing-seed
+// artifact for CI to upload.
+//
+// Replay: rerun the same test with PMKM_SCHEDCHECK_SEED=<seed> — the sweep
+// then executes exactly that one schedule. PMKM_SCHEDCHECK_SEEDS=<n>
+// scales the seed budget (nightly CI raises it; SeedsFromEnvOr reads it).
+//
+// ExploreExhaustive enumerates schedules in lexicographic order of the
+// decision sequence (the choice-prefix odometer): each run records which
+// candidate was picked at every decision point and how many candidates
+// there were; the next run forces the deepest incrementable prefix. For
+// small bodies this visits every schedule the sync-point model can
+// distinguish.
+
+#ifndef PMKM_COMMON_SCHEDCHECK_SWEEP_H_
+#define PMKM_COMMON_SCHEDCHECK_SWEEP_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/schedcheck/scheduler.h"
+
+namespace pmkm {
+namespace schedcheck {
+
+struct SweepOptions {
+  /// Artifact/report tag; keep it test-unique and filename-safe.
+  const char* name = "sweep";
+  uint64_t first_seed = 1;
+  int num_seeds = 1000;
+  ScheduleOptions::Strategy strategy = ScheduleOptions::Strategy::kRandom;
+  int max_steps = 50000;
+};
+
+struct SweepResult {
+  bool bug_found = false;
+  uint64_t failing_seed = 0;
+  int seeds_run = 0;
+  bool deadlock = false;
+  std::string detail;
+};
+
+/// Runs `body` inside one episode per seed. `body` returns true when it
+/// observed a bug (violated invariant); scheduler-detected deadlock or
+/// budget exhaustion also counts as a bug. Stops at the first hit.
+SweepResult SweepSchedules(const SweepOptions& options,
+                           const std::function<bool()>& body);
+
+struct ExhaustiveOptions {
+  const char* name = "exhaustive";
+  int max_runs = 10000;
+  int max_steps = 20000;
+};
+
+struct ExhaustiveResult {
+  bool bug_found = false;
+  std::vector<int> failing_choices;  ///< decision sequence of the bad run
+  int runs = 0;
+  bool exhausted_all = false;  ///< every distinguishable schedule visited
+  std::string detail;
+};
+
+ExhaustiveResult ExploreExhaustive(const ExhaustiveOptions& options,
+                                   const std::function<bool()>& body);
+
+/// PMKM_SCHEDCHECK_SEEDS as an int when set and positive, else `fallback`.
+/// Tests size their sweeps with this so nightly CI can raise the budget
+/// without touching code.
+int SeedsFromEnvOr(int fallback);
+
+}  // namespace schedcheck
+}  // namespace pmkm
+
+#endif  // PMKM_COMMON_SCHEDCHECK_SWEEP_H_

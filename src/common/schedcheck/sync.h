@@ -1,0 +1,96 @@
+// Always-instrumented synchronization doubles for schedcheck test suites.
+//
+// Unlike pmkm::Mutex/CondVar (common/annotations.h), whose hook wiring is
+// compiled in only under PMKM_SCHEDCHECK, these types route through the
+// hooks in *every* build. Test code written against them — in particular
+// the seeded-bug doubles in tests/schedcheck/ — is therefore explorable by
+// the deterministic scheduler even in the default tier-1 configuration,
+// so the historical-race regressions never silently stop running.
+//
+// Outside an episode the hooks pass straight through to the real
+// primitives, so these behave like ordinary mutexes/condvars too.
+
+#ifndef PMKM_COMMON_SCHEDCHECK_SYNC_H_
+#define PMKM_COMMON_SCHEDCHECK_SYNC_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/schedcheck/hooks.h"
+
+namespace pmkm {
+namespace schedcheck {
+
+class CondVar;
+
+/// Instrumented mutex; same shape as pmkm::Mutex minus the thread-safety
+/// annotations (test-only code, not part of the annotated lock universe).
+class Mutex {
+ public:
+  explicit Mutex(SourceSite site = SourceSite::Current()) {
+    OnMutexCreate(this, site);
+  }
+  ~Mutex() { OnMutexDestroy(this); }
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock(SourceSite site = SourceSite::Current()) {
+    OnMutexLock(&mu_, this, site);
+  }
+  bool TryLock(SourceSite site = SourceSite::Current()) {
+    return OnMutexTryLock(&mu_, this, site);
+  }
+  void Unlock() { OnMutexUnlock(&mu_, this); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu, SourceSite site = SourceSite::Current())
+      : mu_(mu) {
+    mu_->Lock(site);
+  }
+  ~MutexLock() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Caller must hold `mu` (like std::condition_variable::wait).
+  void Wait(Mutex& mu) { OnCondWait(&cv_, this, &mu.mu_, &mu); }
+
+  template <typename Predicate>
+  void Wait(Mutex& mu, Predicate pred) {
+    while (!pred()) Wait(mu);
+  }
+
+  /// Returns true when the wait ended by timeout.
+  bool WaitFor(Mutex& mu, std::chrono::nanoseconds timeout) {
+    return OnCondWaitFor(&cv_, this, &mu.mu_, &mu, timeout);
+  }
+
+  void NotifyOne() { OnCondNotifyOne(&cv_, this); }
+  void NotifyAll() { OnCondNotifyAll(&cv_, this); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace schedcheck
+}  // namespace pmkm
+
+#endif  // PMKM_COMMON_SCHEDCHECK_SYNC_H_

@@ -1,0 +1,67 @@
+#include "common/schedcheck/thread.h"
+
+#include <future>
+
+namespace pmkm {
+namespace schedcheck {
+
+Thread::Thread(std::function<void()> body, const char* name) {
+  Scheduler& sched = Scheduler::Global();
+  if (!sched.OnScheduledThread()) {
+    // Spawner is not under the scheduler: plain preemptive thread.
+    thread_ = std::thread(std::move(body));
+    return;
+  }
+  // Spawn handshake: the parent (which holds the run token) blocks until
+  // the child has registered, so the child is visible as a scheduling
+  // candidate before the parent takes another step. The child then parks
+  // until the scheduler hands it the token.
+  std::promise<uint64_t> registered;
+  std::future<uint64_t> tid_future = registered.get_future();
+  thread_ = std::thread(
+      [body = std::move(body), name, reg = std::move(registered)]() mutable {
+        Scheduler& s = Scheduler::Global();
+        const uint64_t tid = s.RegisterCurrentThread(name);
+        reg.set_value(tid);
+        if (tid == kInvalidTid) {
+          // Raced an episode end; run unscheduled.
+          body();
+          return;
+        }
+        s.WaitForTurn();
+        try {
+          body();
+        } catch (const EpisodePoisoned&) {
+          // Deadlock/budget drain: the episode result already records why.
+        }
+        s.UnregisterCurrentThread();
+      });
+  tid_ = tid_future.get();
+}
+
+Thread::~Thread() {
+  if (thread_.joinable()) Join();
+}
+
+Thread& Thread::operator=(Thread&& other) noexcept {
+  if (this != &other) {
+    if (thread_.joinable()) Join();
+    thread_ = std::move(other.thread_);
+    tid_ = other.tid_;
+    other.tid_ = kInvalidTid;
+  }
+  return *this;
+}
+
+void Thread::Join() {
+  if (tid_ != kInvalidTid) {
+    // Modeled join: block in the scheduler until the child's trampoline
+    // finished; the real join below then completes promptly.
+    Scheduler::Global().JoinThread(tid_);
+    tid_ = kInvalidTid;
+  }
+  thread_.join();
+}
+
+}  // namespace schedcheck
+}  // namespace pmkm

@@ -1,0 +1,45 @@
+// Scheduler-aware thread wrapper.
+//
+// Drop-in for the std::thread subset pmkm uses (construct with a callable,
+// Join, move). When the *spawning* thread is registered in an active
+// scheduler episode, the new thread auto-registers with the scheduler and
+// parks until it is handed the run token, so every thread the engine
+// spawns during an episode is under deterministic control. Outside an
+// episode it degenerates to a plain std::thread — which is why the
+// Executor and ThreadPool use it unconditionally, in every build.
+
+#ifndef PMKM_COMMON_SCHEDCHECK_THREAD_H_
+#define PMKM_COMMON_SCHEDCHECK_THREAD_H_
+
+#include <functional>
+#include <thread>
+#include <utility>
+
+#include "common/schedcheck/scheduler.h"
+
+namespace pmkm {
+namespace schedcheck {
+
+class Thread {
+ public:
+  Thread() = default;
+  explicit Thread(std::function<void()> body, const char* name = "worker");
+  ~Thread();
+
+  Thread(Thread&& other) noexcept = default;
+  Thread& operator=(Thread&& other) noexcept;
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+
+  bool Joinable() const { return thread_.joinable(); }
+  void Join();
+
+ private:
+  std::thread thread_;
+  uint64_t tid_ = kInvalidTid;  // scheduler tid; kInvalidTid = unscheduled
+};
+
+}  // namespace schedcheck
+}  // namespace pmkm
+
+#endif  // PMKM_COMMON_SCHEDCHECK_THREAD_H_

@@ -8,7 +8,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this] { WorkerLoop(); }, "pool-worker");
   }
 }
 
@@ -50,7 +50,7 @@ void ThreadPool::Shutdown() {
   }
   cv_.NotifyAll();
   for (auto& w : workers_) {
-    if (w.joinable()) w.join();
+    if (w.Joinable()) w.Join();
   }
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/annotations.h"
+#include "common/schedcheck/thread.h"
 
 namespace pmkm {
 
@@ -64,8 +65,10 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_ PMKM_GUARDED_BY(mu_);
   // Written once in the constructor before any concurrent access; joined in
   // Shutdown. Not guarded: after construction the vector itself is
-  // immutable (only the threads it holds run).
-  std::vector<std::thread> workers_;
+  // immutable (only the threads it holds run). schedcheck::Thread is a
+  // plain std::thread outside a scheduler episode; inside one, workers
+  // come under deterministic schedule control.
+  std::vector<schedcheck::Thread> workers_;
   size_t active_ PMKM_GUARDED_BY(mu_) = 0;
   bool shutdown_ PMKM_GUARDED_BY(mu_) = false;
 };

@@ -6,6 +6,7 @@
 
 #include "common/annotations.h"
 #include "common/logging.h"
+#include "common/schedcheck/thread.h"
 #include "common/stopwatch.h"
 #include "obs/trace.h"
 
@@ -63,6 +64,7 @@ Status Executor::Run(const ExecutorOptions& options) {
   std::vector<std::atomic<bool>> done(ops_.size());
 
   auto on_error = [&](const Status& st) {
+    PMKM_SCHED_POINT("executor.on_error");
     bool expected = false;
     if (state.failed.compare_exchange_strong(expected, true)) {
       {
@@ -73,7 +75,9 @@ Status Executor::Run(const ExecutorOptions& options) {
     }
   };
 
-  std::vector<std::thread> threads;
+  // schedcheck::Thread: plain std::thread outside a scheduler episode;
+  // inside one, operator threads run under deterministic schedule control.
+  std::vector<schedcheck::Thread> threads;
   threads.reserve(ops_.size());
   for (size_t i = 0; i < ops_.size(); ++i) {
     threads.emplace_back([&, i] {
@@ -138,12 +142,12 @@ Status Executor::Run(const ExecutorOptions& options) {
         MutexLock lock(state.wake_mu);
         state.wake_cv.NotifyAll();
       }
-    });
+    }, "op-worker");
   }
 
-  std::thread watchdog;
+  schedcheck::Thread watchdog;
   if (options.op_timeout_ms > 0) {
-    watchdog = std::thread([&] {
+    watchdog = schedcheck::Thread([&] {
       using Clock = std::chrono::steady_clock;
       const auto poll = std::chrono::milliseconds(
           options.watchdog_poll_ms == 0 ? 10 : options.watchdog_poll_ms);
@@ -181,16 +185,16 @@ Status Executor::Run(const ExecutorOptions& options) {
             " ms; stalled operator(s): " + stalled));
         return;
       }
-    });
+    }, "watchdog");
   }
 
-  for (auto& t : threads) t.join();
-  if (watchdog.joinable()) {
+  for (auto& t : threads) t.Join();
+  if (watchdog.Joinable()) {
     {
       MutexLock lock(state.wake_mu);
       state.wake_cv.NotifyAll();
     }
-    watchdog.join();
+    watchdog.Join();
   }
 
   for (const OperatorOutcome& outcome : report_.operators) {

@@ -61,12 +61,14 @@ class BoundedBlockingQueue {
   /// producers and consumers are already running (instruments only start
   /// recording from the next operation).
   void AttachMetrics(const QueueMetrics& metrics) PMKM_EXCLUDES(mu_) {
+    PMKM_SCHED_POINT("queue.attach_metrics");
     MutexLock lock(mu_);
     metrics_ = metrics;
   }
 
   /// Blocks while full; returns false if the queue was cancelled.
   bool Push(T item) PMKM_EXCLUDES(mu_) {
+    PMKM_SCHED_POINT("queue.push");
     MutexLock lock(mu_);
     if (items_.size() >= capacity_ && !cancelled_) {
       // Capture the instrument before waiting: Wait releases mu_, so a
@@ -100,6 +102,7 @@ class BoundedBlockingQueue {
   /// Blocks while empty and producers remain; nullopt = end of stream (all
   /// producers closed and queue drained) or cancelled.
   std::optional<T> Pop() PMKM_EXCLUDES(mu_) {
+    PMKM_SCHED_POINT("queue.pop");
     MutexLock lock(mu_);
     if (items_.empty() && producers_ > 0 && !cancelled_) {
       // Same capture-before-wait rule as Push: metrics_ may be swapped by
@@ -130,6 +133,7 @@ class BoundedBlockingQueue {
   /// Aborts the stream: wakes everyone, Push/Pop fail from now on. Used to
   /// tear a pipeline down on operator error.
   void Cancel() PMKM_EXCLUDES(mu_) {
+    PMKM_SCHED_POINT("queue.cancel");
     MutexLock lock(mu_);
     cancelled_ = true;
     not_empty_.NotifyAll();

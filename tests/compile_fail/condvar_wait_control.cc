@@ -1,0 +1,23 @@
+// Positive control for condvar_wait_unheld.cc: the identical wait, with
+// the mutex correctly held through MutexLock, must compile cleanly under
+// -Werror=thread-safety — proving the negative test fails for the right
+// reason and not because of a broken include path.
+
+#include "common/annotations.h"
+
+namespace {
+
+pmkm::Mutex mu;
+pmkm::CondVar cv;
+
+void WaitHoldingTheMutex() {
+  pmkm::MutexLock lock(mu);
+  cv.Wait(mu);
+}
+
+}  // namespace
+
+int main() {
+  WaitHoldingTheMutex();
+  return 0;
+}

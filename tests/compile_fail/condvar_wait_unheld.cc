@@ -1,0 +1,22 @@
+// Negative compile test: CondVar::Wait is annotated PMKM_REQUIRES(mu), so
+// waiting without holding the paired mutex must fail thread-safety
+// analysis (-Werror=thread-safety). Positive control:
+// condvar_wait_control.cc.
+
+#include "common/annotations.h"
+
+namespace {
+
+pmkm::Mutex mu;
+pmkm::CondVar cv;
+
+void WaitWithoutHoldingTheMutex() {
+  cv.Wait(mu);  // error: calling Wait requires holding mutex 'mu'
+}
+
+}  // namespace
+
+int main() {
+  WaitWithoutHoldingTheMutex();
+  return 0;
+}

@@ -1,0 +1,198 @@
+// Runtime lock-order witness tests (DESIGN.md §12).
+//
+// Uses the always-instrumented schedcheck::Mutex doubles, so the witness
+// is exercised in every build configuration, including the default tier-1
+// build where pmkm::Mutex hooks are compiled out.
+
+#include "common/schedcheck/lock_graph.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/schedcheck/sync.h"
+
+namespace pmkm {
+namespace schedcheck {
+namespace {
+
+class LockGraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    LockGraph::Global().ResetForTest();
+    LockGraph::Global().SetCycleHandler(
+        [this](const CycleReport& report) { reports_.push_back(report); });
+  }
+  void TearDown() override {
+    LockGraph::Global().SetCycleHandler(nullptr);
+    LockGraph::Global().ResetForTest();
+  }
+
+  std::vector<CycleReport> reports_;
+};
+
+TEST_F(LockGraphTest, NestedAcquireRecordsEdgeWithoutFiring) {
+  Mutex outer;
+  Mutex inner;
+  outer.Lock();
+  inner.Lock();
+  inner.Unlock();
+  outer.Unlock();
+  EXPECT_EQ(LockGraph::Global().edge_count(), 1u);
+  EXPECT_TRUE(reports_.empty());
+}
+
+TEST_F(LockGraphTest, ConsistentOrderNeverFires) {
+  Mutex a;
+  Mutex b;
+  for (int i = 0; i < 10; ++i) {
+    a.Lock();
+    b.Lock();
+    b.Unlock();
+    a.Unlock();
+  }
+  EXPECT_TRUE(reports_.empty());
+}
+
+// The headline acceptance test: an A→B then B→A acquisition pattern must
+// fire the cycle handler on the *first* inversion, and the report must
+// carry the witness context (static acquisition sites + held chains) for
+// both directions.
+TEST_F(LockGraphTest, InversionFiresWithBothWitnessStacks) {
+  Mutex a;
+  Mutex b;
+  a.Lock();
+  b.Lock();  // records class(a) → class(b)
+  b.Unlock();
+  a.Unlock();
+  b.Lock();
+  a.Lock();  // records class(b) → class(a): closes the cycle
+  a.Unlock();
+  b.Unlock();
+
+  ASSERT_EQ(reports_.size(), 1u);
+  const CycleReport& report = reports_[0];
+  ASSERT_EQ(report.edges.size(), 2u);
+  for (const CycleReport::Edge& edge : report.edges) {
+    EXPECT_NE(edge.from_site.find("lock_graph_test.cc"), std::string::npos)
+        << edge.from_site;
+    EXPECT_NE(edge.to_site.find("lock_graph_test.cc"), std::string::npos)
+        << edge.to_site;
+    EXPECT_FALSE(edge.held_chain.empty());
+  }
+  // The two edges witness opposite directions of the same class pair.
+  EXPECT_EQ(report.edges[0].from_class, report.edges[1].to_class);
+  EXPECT_EQ(report.edges[0].to_class, report.edges[1].from_class);
+  const std::string text = report.ToString();
+  EXPECT_NE(text.find("lock_graph_test.cc"), std::string::npos) << text;
+}
+
+TEST_F(LockGraphTest, ThreeLockCycleFires) {
+  Mutex a;
+  Mutex b;
+  Mutex c;
+  a.Lock();
+  b.Lock();
+  b.Unlock();
+  a.Unlock();
+  b.Lock();
+  c.Lock();
+  c.Unlock();
+  b.Unlock();
+  EXPECT_TRUE(reports_.empty());
+  c.Lock();
+  a.Lock();  // closes a → b → c → a
+  a.Unlock();
+  c.Unlock();
+  ASSERT_EQ(reports_.size(), 1u);
+  EXPECT_EQ(reports_[0].edges.size(), 3u);
+}
+
+// TryLock cannot deadlock (it never blocks), so it joins the held chain
+// but must not record an ordering edge that could later complete a cycle.
+TEST_F(LockGraphTest, TryLockRecordsNoOrderingEdge) {
+  Mutex a;
+  Mutex b;
+  a.Lock();
+  ASSERT_TRUE(b.TryLock());
+  b.Unlock();
+  a.Unlock();
+  EXPECT_EQ(LockGraph::Global().edge_count(), 0u);
+  b.Lock();
+  a.Lock();  // would close a cycle if TryLock had recorded a→b
+  a.Unlock();
+  b.Unlock();
+  EXPECT_TRUE(reports_.empty());
+}
+
+// Two instances sharing one construction site (members of one struct, or
+// a container of locks) form a single class; nesting them in either order
+// is recorded as a same-class edge but is not fatal — instance-level
+// cycles are the schedule explorer's job.
+struct SharedSiteLocks {
+  Mutex m;
+};
+
+TEST_F(LockGraphTest, SameClassNestingRecordedButNotFatal) {
+  auto p1 = std::make_unique<SharedSiteLocks>();
+  auto p2 = std::make_unique<SharedSiteLocks>();
+  p1->m.Lock();
+  p2->m.Lock();
+  p2->m.Unlock();
+  p1->m.Unlock();
+  p2->m.Lock();
+  p1->m.Lock();  // instance-level inversion within one class
+  p1->m.Unlock();
+  p2->m.Unlock();
+  EXPECT_TRUE(reports_.empty());
+  EXPECT_EQ(LockGraph::Global().edge_count(), 1u);  // the self-edge
+}
+
+TEST_F(LockGraphTest, ExportsNameClassesAndEdges) {
+  Mutex a;
+  Mutex b;
+  a.Lock();
+  b.Lock();
+  b.Unlock();
+  a.Unlock();
+  const std::string json = LockGraph::Global().ToJson();
+  EXPECT_NE(json.find("\"classes\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"edges\""), std::string::npos) << json;
+  EXPECT_NE(json.find("lock_graph_test.cc"), std::string::npos) << json;
+  const std::string dot = LockGraph::Global().ToDot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos) << dot;
+  EXPECT_NE(dot.find("->"), std::string::npos) << dot;
+}
+
+TEST_F(LockGraphTest, DescribeInstanceNamesConstructionSite) {
+  Mutex m;
+  const std::string desc = LockGraph::Global().DescribeInstance(&m);
+  EXPECT_NE(desc.find("lock_graph_test.cc"), std::string::npos) << desc;
+  EXPECT_NE(
+      LockGraph::Global().DescribeInstance(nullptr).find("unregistered"),
+      std::string::npos);
+}
+
+TEST_F(LockGraphTest, ResetForTestDropsEdges) {
+  Mutex a;
+  Mutex b;
+  a.Lock();
+  b.Lock();
+  b.Unlock();
+  a.Unlock();
+  ASSERT_GE(LockGraph::Global().edge_count(), 1u);
+  LockGraph::Global().ResetForTest();
+  EXPECT_EQ(LockGraph::Global().edge_count(), 0u);
+  // After the reset, the former inversion direction is just a fresh edge.
+  b.Lock();
+  a.Lock();
+  a.Unlock();
+  b.Unlock();
+  EXPECT_TRUE(reports_.empty());
+}
+
+}  // namespace
+}  // namespace schedcheck
+}  // namespace pmkm

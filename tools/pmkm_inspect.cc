@@ -8,6 +8,14 @@
 //
 //   $ pmkm_inspect metrics run.metrics.json   # registry summary
 //   $ pmkm_inspect trace run.trace.json       # top slowest spans
+//
+// And for the concurrency-analysis layer (DESIGN.md §12):
+//
+//   $ pmkm_inspect lockgraph run.lockgraph.json         # class/edge summary
+//   $ pmkm_inspect lockgraph --dot run.lockgraph.json   # graphviz DOT
+//
+// The lock-graph JSON is written by a PMKM_SCHEDCHECK=ON binary at process
+// exit when PMKM_LOCKGRAPH_OUT=<path> is set.
 
 #include <algorithm>
 #include <cstdio>
@@ -192,30 +200,103 @@ int InspectTrace(const std::string& path) {
   return 0;
 }
 
+// `pmkm_inspect lockgraph run.lockgraph.json`: the lock-order graph dumped
+// by a PMKM_SCHEDCHECK build (PMKM_LOCKGRAPH_OUT). Summarizes lock classes
+// and ordering edges, flags same-class nestings, and with --dot re-emits
+// the graph as graphviz for visual inspection.
+int InspectLockGraph(const std::string& path, bool dot) {
+  auto doc = LoadJson(path);
+  if (!doc.ok()) {
+    std::cerr << path << ": " << doc.status() << "\n";
+    return 1;
+  }
+  const pmkm::JsonValue* classes = doc->Find("classes");
+  const pmkm::JsonValue* edges = doc->Find("edges");
+  if (classes == nullptr || !classes->is_array() || edges == nullptr ||
+      !edges->is_array()) {
+    std::cerr << path
+              << ": no classes/edges arrays (not a lock-graph dump?)\n";
+    return 1;
+  }
+
+  auto text = [](const pmkm::JsonValue& v, const char* key) {
+    const pmkm::JsonValue* f = v.Find(key);
+    return (f != nullptr && f->is_string()) ? f->AsString()
+                                            : std::string("?");
+  };
+
+  if (dot) {
+    std::cout << "digraph lockgraph {\n  rankdir=LR;\n  node [shape=box];\n";
+    for (const pmkm::JsonValue& c : classes->items()) {
+      std::cout << "  n" << NumberOr(c.Find("id")) << " [label=\""
+                << text(c, "site") << "\\n(" << NumberOr(c.Find("instances"))
+                << " live)\"];\n";
+    }
+    for (const pmkm::JsonValue& e : edges->items()) {
+      const bool same = e.Find("same_class") != nullptr &&
+                        e.Find("same_class")->is_bool() &&
+                        e.Find("same_class")->AsBool();
+      std::cout << "  n" << NumberOr(e.Find("from")) << " -> n"
+                << NumberOr(e.Find("to")) << " [label=\"x"
+                << NumberOr(e.Find("count")) << "\""
+                << (same ? ", style=dashed" : "") << "];\n";
+    }
+    std::cout << "}\n";
+    return 0;
+  }
+
+  std::cout << path << ": lock-order graph, " << classes->size()
+            << " class(es), " << edges->size() << " edge(s)\n";
+  std::cout << "  classes:\n";
+  for (const pmkm::JsonValue& c : classes->items()) {
+    std::printf("    #%-3.0f %-44s %.0f live instance(s)\n",
+                NumberOr(c.Find("id")), text(c, "site").c_str(),
+                NumberOr(c.Find("instances")));
+  }
+  std::cout << "  ordering edges (held -> acquired):\n";
+  for (const pmkm::JsonValue& e : edges->items()) {
+    const bool same = e.Find("same_class") != nullptr &&
+                      e.Find("same_class")->is_bool() &&
+                      e.Find("same_class")->AsBool();
+    std::printf("    #%-3.0f -> #%-3.0f x%-6.0f %s -> %s%s\n",
+                NumberOr(e.Find("from")), NumberOr(e.Find("to")),
+                NumberOr(e.Find("count")), text(e, "from_site").c_str(),
+                text(e, "to_site").c_str(),
+                same ? "   [same class: explorer territory]" : "");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   pmkm::FlagParser parser;
+  bool dot = false;
+  parser.AddBool("dot", &dot,
+                 "lockgraph: emit graphviz DOT instead of a summary");
   const pmkm::Status st = parser.Parse(argc, argv);
   if (st.IsCancelled()) return 0;
   if (!st.ok() || parser.positional().empty()) {
     std::cerr << "usage: " << argv[0]
               << " file.pmkb|file.pmkm ...\n"
               << "       " << argv[0] << " metrics run.metrics.json ...\n"
-              << "       " << argv[0] << " trace run.trace.json ...\n";
+              << "       " << argv[0] << " trace run.trace.json ...\n"
+              << "       " << argv[0]
+              << " lockgraph [--dot] run.lockgraph.json ...\n";
     return 1;
   }
   std::vector<std::string> paths = parser.positional();
   const std::string& sub = paths.front();
-  if (sub == "metrics" || sub == "trace") {
+  if (sub == "metrics" || sub == "trace" || sub == "lockgraph") {
     if (paths.size() < 2) {
       std::cerr << "usage: " << argv[0] << " " << sub << " file.json ...\n";
       return 1;
     }
     int rc = 0;
     for (size_t i = 1; i < paths.size(); ++i) {
-      rc |= sub == "metrics" ? InspectMetrics(paths[i])
-                             : InspectTrace(paths[i]);
+      rc |= sub == "metrics"     ? InspectMetrics(paths[i])
+            : sub == "lockgraph" ? InspectLockGraph(paths[i], dot)
+                                 : InspectTrace(paths[i]);
     }
     return rc;
   }

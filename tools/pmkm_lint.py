@@ -25,6 +25,15 @@ trustworthy at scale but that no compiler checks (DESIGN.md §11):
   fault-site    PMKM_FAULT_POINT sites are string literals named
                 `component.action` (lowercase dotted), so fault specs in
                 PMKM_FAULTS/--faults stay greppable and collision-free.
+  raw-sync      Library code (src/) synchronizes through the annotated
+                wrappers in common/annotations.h (Mutex, MutexLock,
+                CondVar), never raw std::mutex/std::condition_variable/
+                std::lock_guard &c. — the wrappers carry the thread-safety
+                annotations AND the schedcheck hooks, so a raw primitive
+                is invisible to both the compile-time analysis and the
+                deterministic schedule explorer. The wrappers' own
+                implementation (annotations.h, common/schedcheck/) is
+                exempt.
 
 Suppression: append `// pmkm-lint: allow(<rule>)` to the offending line
 (or the line above) together with a comment justifying the exception.
@@ -50,6 +59,7 @@ RULES = {
     "sleep": "sleep_for outside retry/fault code",
     "header-guard": "header guard missing or misnamed",
     "fault-site": "malformed PMKM_FAULT_POINT site name",
+    "raw-sync": "raw std sync primitive outside the annotated wrappers",
 }
 
 # Directories scanned when no explicit file list is given.
@@ -65,6 +75,10 @@ DELETE_RE = re.compile(r"(?<![\w.:])delete(?:\s*\[\s*\])?\s+[\w*(]")
 STDIO_RE = re.compile(r"std::c(?:out|err)\b|(?<![\w.:])f?printf\s*\(")
 SLEEP_RE = re.compile(
     r"std::this_thread::sleep_for|(?<![\w.:])(?:usleep|nanosleep)\s*\(")
+RAW_SYNC_RE = re.compile(
+    r"std::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|condition_variable(?:_any)?|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock)\b")
 FAULT_POINT_RE = re.compile(r"PMKM_FAULT_POINT\s*\(\s*([^)]*)\)")
 FAULT_SITE_RE = re.compile(r'^"[a-z0-9_]+(?:\.[a-z0-9_]+)+"$')
 
@@ -199,6 +213,11 @@ def lint_file(root, relpath):
             findings.append(Finding(relpath, lineno, rule, message))
 
     is_src = in_dir(relpath, "src")
+    # The annotated wrappers and the schedcheck layer *implement* the sync
+    # abstraction; everything else in src/ must go through them.
+    raw_sync_exempt = (
+        relpath == os.path.join("src", "common", "annotations.h")
+        or in_dir(relpath, os.path.join("src", "common", "schedcheck")))
     rng_exempt = relpath == os.path.join("src", "common", "rng.h")
     sleep_exempt = fname in ("retry.cc", "retry.h", "fault.cc", "fault.h")
     fault_def_file = relpath == os.path.join("src", "common", "fault.h")
@@ -221,6 +240,10 @@ def lint_file(root, relpath):
                 check(lineno, "sleep",
                       "sleep in library code; only retry/fault code may "
                       "sleep")
+            if not raw_sync_exempt and RAW_SYNC_RE.search(line):
+                check(lineno, "raw-sync",
+                      "raw std sync primitive; use the annotated Mutex/"
+                      "MutexLock/CondVar from common/annotations.h")
         if not fault_def_file:
             for m in FAULT_POINT_RE.finditer(line):
                 # Re-read the argument from the raw line: literals were
