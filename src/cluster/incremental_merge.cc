@@ -42,6 +42,27 @@ Status IncrementalMergeKMeans::Push(const WeightedDataset& centroids) {
   return Status::OK();
 }
 
+IncrementalMergeState IncrementalMergeKMeans::SaveState() const {
+  IncrementalMergeState state;
+  state.running = running_;
+  state.partitions_merged = partitions_merged_;
+  state.last_sse = last_sse_;
+  state.last_iterations = last_iterations_;
+  return state;
+}
+
+Status IncrementalMergeKMeans::RestoreState(IncrementalMergeState state) {
+  if (state.running.dim() != dim_) {
+    return Status::InvalidArgument(
+        "incremental-merge snapshot dimensionality mismatch");
+  }
+  running_ = std::move(state.running);
+  partitions_merged_ = state.partitions_merged;
+  last_sse_ = state.last_sse;
+  last_iterations_ = state.last_iterations;
+  return Status::OK();
+}
+
 Result<ClusteringModel> IncrementalMergeKMeans::Finish() const {
   if (running_.empty()) {
     return Status::FailedPrecondition("no partitions pushed");

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "data/io.h"
+#include "data/manifest.h"
 
 namespace pmkm {
 namespace {
@@ -58,14 +59,15 @@ Status SaveModel(const std::string& path, const ClusteringModel& model) {
   }
   const uint64_t hash =
       internal::Fnv1a64(buf.data(), buf.size(), internal::kFnvOffset);
+  const char* hp = reinterpret_cast<const char*>(&hash);
+  buf.insert(buf.end(), hp, hp + sizeof(hash));
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot open for writing: " + path);
-  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
-  out.write(reinterpret_cast<const char*>(&hash), sizeof(hash));
-  out.flush();
-  if (!out) return Status::IOError("short write: " + path);
-  return Status::OK();
+  // Durable atomic publish (stage + fsync + rename + dir fsync): a model
+  // file either exists completely or not at all, even across power loss —
+  // the kill-sweep harness compares these files bytewise across crashes.
+  return AtomicWriteFile(
+      path, std::span<const uint8_t>(
+                reinterpret_cast<const uint8_t*>(buf.data()), buf.size()));
 }
 
 Result<ClusteringModel> LoadModel(const std::string& path) {

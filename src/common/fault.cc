@@ -1,5 +1,6 @@
 #include "common/fault.h"
 
+#include <csignal>
 #include <cstdlib>
 
 #include "common/logging.h"
@@ -106,6 +107,8 @@ Status FaultRegistry::ArmFromString(const std::string& spec) {
           fault.max_failures = std::stoull(value);
         } else if (key == "stall_ms") {
           fault.stall_ms = std::stoull(value);
+        } else if (key == "crash") {
+          fault.crash = value != "0" && value != "false";
         } else if (key == "seed") {
           fault.seed = std::stoull(value);
         } else if (key == "code") {
@@ -155,6 +158,12 @@ Status FaultRegistry::Hit(const std::string& site) {
   ++armed.hits;
   if (armed.spec.stall_ms > 0) return Status::OK();  // handled by StallMs
   if (!Fires(&armed)) return Status::OK();
+  if (armed.spec.crash) {
+    // Sudden-death fault: die exactly here, as SIGKILL would. No cleanup,
+    // no flushing — the crash-recovery machinery must cope with whatever
+    // is (not) on disk at this instant.
+    (void)::raise(SIGKILL);
+  }
   return Status(armed.spec.code,
                 armed.spec.message.empty()
                     ? "injected fault at " + site

@@ -14,9 +14,12 @@
 //   site:key=value[,key=value...][;site:...]
 // keys: p (probability per hit), n (fail exactly the Nth hit, 1-based),
 //       perm (with n: fail every hit >= n), max (cap on injected failures),
-//       stall_ms (stall fault instead of an error), seed, code
-//       (io|internal|notfound|cancelled|deadline), msg.
+//       stall_ms (stall fault instead of an error), crash (kill the whole
+//       process with SIGKILL instead of returning an error — the
+//       crash-recovery sweeps die at exact, reproducible points), seed,
+//       code (io|internal|notfound|cancelled|deadline), msg.
 // Example: PMKM_FAULTS="io.read:p=0.05,seed=7;op.partial:n=3"
+//          PMKM_FAULTS="checkpoint.append:n=2,crash=1"
 
 #ifndef PMKM_COMMON_FAULT_H_
 #define PMKM_COMMON_FAULT_H_
@@ -47,6 +50,11 @@ struct FaultSpec {
   /// If > 0 this is a stall fault: StallMs() reports this duration on the
   /// hits selected above and Hit() never fails for this site.
   uint64_t stall_ms = 0;
+
+  /// Crash fault: when the site fires, the process raises SIGKILL instead
+  /// of returning an error — simulating sudden process death (power loss,
+  /// OOM-kill) at a deterministic point for crash-recovery testing.
+  bool crash = false;
 
   uint64_t seed = 1;
   StatusCode code = StatusCode::kIOError;

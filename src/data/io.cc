@@ -5,6 +5,7 @@
 #include <filesystem>
 
 #include "common/fault.h"
+#include "data/manifest.h"
 
 namespace pmkm {
 namespace internal {
@@ -44,17 +45,25 @@ static_assert(sizeof(Header) == 32, "header layout is part of the format");
 
 // Crash-safe publication: data is staged in a `<path>.tmp` sibling and
 // renamed into place only once complete, so a killed process never leaves
-// a half-written bucket at the destination path.
+// a half-written bucket at the destination path. Durability (not just
+// atomicity) needs the fsync pair around the rename: without fsyncing the
+// staged file first, the rename can publish a name whose *contents* are
+// still unflushed after power loss; without fsyncing the parent directory
+// after, the directory entry itself can vanish.
 std::string TmpPath(const std::string& path) { return path + ".tmp"; }
 
 Status CommitTmp(const std::string& path) {
+  PMKM_RETURN_NOT_OK(FsyncPath(TmpPath(path)));
+  PMKM_FAULT_POINT("io.rename");
   std::error_code ec;
   std::filesystem::rename(TmpPath(path), path, ec);
   if (ec) {
     return Status::IOError("cannot rename into place: " + path + " (" +
                            ec.message() + ")");
   }
-  return Status::OK();
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  return FsyncPath(parent.empty() ? std::string(".") : parent.string());
 }
 
 }  // namespace

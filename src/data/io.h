@@ -31,8 +31,10 @@ struct GridBucket {
 };
 
 /// Writes a complete bucket file crash-safely: the bytes are staged in a
-/// `<path>.tmp` sibling and renamed into place once complete, so a killed
-/// process never leaves a half-written bucket at `path`.
+/// `<path>.tmp` sibling, fsync'd, renamed into place, and the parent
+/// directory fsync'd (see data/manifest.h for the commit protocol), so a
+/// killed process never leaves a half-written bucket at `path` and a
+/// published bucket survives power loss.
 Status WriteGridBucket(const std::string& path, const GridBucket& bucket);
 
 /// Reads a complete bucket file, verifying magic, version and checksum.

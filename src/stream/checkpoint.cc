@@ -1,0 +1,450 @@
+#include "stream/checkpoint.h"
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+
+#include "common/fault.h"
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace pmkm {
+
+namespace {
+
+// ---- Little-endian payload codec ------------------------------------------
+//
+// Payloads reuse the journal's byte order (data/manifest.cc). Doubles are
+// stored as their IEEE-754 bit pattern so a resumed run restores exactly
+// the doubles the crashed run computed — bitwise identity is the whole
+// point of checkpointing a deterministic pipeline.
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v >> 16));
+  out->push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+void PutI32(std::vector<uint8_t>* out, int32_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+}
+
+void PutF64(std::vector<uint8_t>* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutF64Span(std::vector<uint8_t>* out, std::span<const double> values) {
+  PutU64(out, values.size());
+  for (double v : values) PutF64(out, v);
+}
+
+// Bounds-checked read cursor: every decode failure surfaces as a Status
+// instead of UB, because checkpoint payloads may be arbitrary corrupt
+// bytes that happened to pass CRC (e.g. hand-edited journals).
+class Cursor {
+ public:
+  explicit Cursor(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+  Status ReadU32(uint32_t* out) {
+    if (remaining() < 4) return Truncated("u32");
+    *out = static_cast<uint32_t>(bytes_[pos_]) |
+           static_cast<uint32_t>(bytes_[pos_ + 1]) << 8 |
+           static_cast<uint32_t>(bytes_[pos_ + 2]) << 16 |
+           static_cast<uint32_t>(bytes_[pos_ + 3]) << 24;
+    pos_ += 4;
+    return Status::OK();
+  }
+
+  Status ReadU64(uint64_t* out) {
+    uint32_t lo = 0, hi = 0;
+    PMKM_RETURN_NOT_OK(ReadU32(&lo));
+    PMKM_RETURN_NOT_OK(ReadU32(&hi));
+    *out = static_cast<uint64_t>(hi) << 32 | lo;
+    return Status::OK();
+  }
+
+  Status ReadI32(int32_t* out) {
+    uint32_t raw = 0;
+    PMKM_RETURN_NOT_OK(ReadU32(&raw));
+    *out = static_cast<int32_t>(raw);
+    return Status::OK();
+  }
+
+  Status ReadF64(double* out) {
+    uint64_t bits = 0;
+    PMKM_RETURN_NOT_OK(ReadU64(&bits));
+    std::memcpy(out, &bits, sizeof(*out));
+    return Status::OK();
+  }
+
+  Status ReadF64Vec(std::vector<double>* out) {
+    uint64_t count = 0;
+    PMKM_RETURN_NOT_OK(ReadU64(&count));
+    if (count > remaining() / 8) return Truncated("double array");
+    out->resize(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      PMKM_RETURN_NOT_OK(ReadF64(&(*out)[i]));
+    }
+    return Status::OK();
+  }
+
+ private:
+  static Status Truncated(const char* what) {
+    return Status::IOError(std::string("checkpoint payload truncated: ") +
+                            what);
+  }
+
+  std::span<const uint8_t> bytes_;
+  size_t pos_ = 0;
+};
+
+// Payload schema versions, bumped independently of the journal framing.
+constexpr uint32_t kCellPayloadVersion = 1;
+constexpr uint32_t kPartialPayloadVersion = 1;
+
+// Dimensionality/row-count sanity caps: a CRC-valid but nonsense payload
+// must not drive a multi-gigabyte allocation.
+constexpr uint64_t kMaxDim = 1u << 20;
+constexpr uint64_t kMaxRows = 1u << 28;
+
+Status DecodeDataset(Cursor* cur, Dataset* out) {
+  uint64_t dim = 0, rows = 0;
+  PMKM_RETURN_NOT_OK(cur->ReadU64(&dim));
+  PMKM_RETURN_NOT_OK(cur->ReadU64(&rows));
+  if (dim == 0 || dim > kMaxDim || rows > kMaxRows) {
+    return Status::IOError("checkpoint payload has implausible dataset "
+                            "shape");
+  }
+  if (rows * dim > cur->remaining() / 8) {
+    return Status::IOError("checkpoint payload truncated: dataset rows");
+  }
+  std::vector<double> flat(rows * dim);
+  for (auto& v : flat) PMKM_RETURN_NOT_OK(cur->ReadF64(&v));
+  PMKM_ASSIGN_OR_RETURN(*out, Dataset::FromFlat(dim, std::move(flat)));
+  return Status::OK();
+}
+
+void EncodeDataset(std::vector<uint8_t>* out, const Dataset& data) {
+  PutU64(out, data.dim());
+  PutU64(out, data.size());
+  for (double v : data.values()) PutF64(out, v);
+}
+
+}  // namespace
+
+std::string CheckpointJournalPath(const std::string& dir) {
+  return (std::filesystem::path(dir) / "journal.pmkj").string();
+}
+
+std::vector<uint8_t> EncodeCellComplete(const CellClustering& cell) {
+  std::vector<uint8_t> out;
+  PutU32(&out, kCellPayloadVersion);
+  PutI32(&out, cell.cell.lat_index);
+  PutI32(&out, cell.cell.lon_index);
+  PutU64(&out, cell.input_points);
+  PutU64(&out, cell.pooled_centroids);
+  PutF64(&out, cell.merge_seconds);
+  EncodeDataset(&out, cell.model.centroids);
+  PutF64Span(&out, cell.model.weights);
+  PutF64(&out, cell.model.sse);
+  PutF64(&out, cell.model.mse_per_point);
+  PutU64(&out, cell.model.iterations);
+  PutU32(&out, cell.model.converged ? 1 : 0);
+  return out;
+}
+
+Result<CellClustering> DecodeCellComplete(std::span<const uint8_t> payload) {
+  Cursor cur(payload);
+  uint32_t version = 0;
+  PMKM_RETURN_NOT_OK(cur.ReadU32(&version));
+  if (version != kCellPayloadVersion) {
+    return Status::IOError("unknown cell-complete payload version");
+  }
+  CellClustering cell;
+  PMKM_RETURN_NOT_OK(cur.ReadI32(&cell.cell.lat_index));
+  PMKM_RETURN_NOT_OK(cur.ReadI32(&cell.cell.lon_index));
+  uint64_t input_points = 0, pooled = 0;
+  PMKM_RETURN_NOT_OK(cur.ReadU64(&input_points));
+  PMKM_RETURN_NOT_OK(cur.ReadU64(&pooled));
+  cell.input_points = input_points;
+  cell.pooled_centroids = pooled;
+  PMKM_RETURN_NOT_OK(cur.ReadF64(&cell.merge_seconds));
+  PMKM_RETURN_NOT_OK(DecodeDataset(&cur, &cell.model.centroids));
+  PMKM_RETURN_NOT_OK(cur.ReadF64Vec(&cell.model.weights));
+  if (cell.model.weights.size() != cell.model.centroids.size()) {
+    return Status::IOError("cell-complete payload weight/centroid "
+                            "count mismatch");
+  }
+  PMKM_RETURN_NOT_OK(cur.ReadF64(&cell.model.sse));
+  PMKM_RETURN_NOT_OK(cur.ReadF64(&cell.model.mse_per_point));
+  uint64_t iterations = 0;
+  PMKM_RETURN_NOT_OK(cur.ReadU64(&iterations));
+  cell.model.iterations = iterations;
+  uint32_t converged = 0;
+  PMKM_RETURN_NOT_OK(cur.ReadU32(&converged));
+  cell.model.converged = converged != 0;
+  return cell;
+}
+
+std::vector<uint8_t> EncodePartialState(GridCellId cell,
+                                        const IncrementalMergeState& state) {
+  std::vector<uint8_t> out;
+  PutU32(&out, kPartialPayloadVersion);
+  PutI32(&out, cell.lat_index);
+  PutI32(&out, cell.lon_index);
+  PutU64(&out, state.partitions_merged);
+  PutF64(&out, state.last_sse);
+  PutU64(&out, state.last_iterations);
+  EncodeDataset(&out, state.running.points());
+  PutF64Span(&out, state.running.weights());
+  return out;
+}
+
+Result<std::pair<GridCellId, IncrementalMergeState>> DecodePartialState(
+    std::span<const uint8_t> payload) {
+  Cursor cur(payload);
+  uint32_t version = 0;
+  PMKM_RETURN_NOT_OK(cur.ReadU32(&version));
+  if (version != kPartialPayloadVersion) {
+    return Status::IOError("unknown partial-state payload version");
+  }
+  GridCellId cell;
+  PMKM_RETURN_NOT_OK(cur.ReadI32(&cell.lat_index));
+  PMKM_RETURN_NOT_OK(cur.ReadI32(&cell.lon_index));
+  IncrementalMergeState state;
+  uint64_t partitions = 0, iterations = 0;
+  PMKM_RETURN_NOT_OK(cur.ReadU64(&partitions));
+  PMKM_RETURN_NOT_OK(cur.ReadF64(&state.last_sse));
+  PMKM_RETURN_NOT_OK(cur.ReadU64(&iterations));
+  state.partitions_merged = partitions;
+  state.last_iterations = iterations;
+  Dataset points(1);
+  PMKM_RETURN_NOT_OK(DecodeDataset(&cur, &points));
+  std::vector<double> weights;
+  PMKM_RETURN_NOT_OK(cur.ReadF64Vec(&weights));
+  PMKM_ASSIGN_OR_RETURN(
+      state.running, WeightedDataset::Create(std::move(points),
+                                             std::move(weights)));
+  return std::make_pair(cell, std::move(state));
+}
+
+CheckpointState ReplayCheckpointJournal(const JournalRecovery& recovery) {
+  CheckpointState state;
+  state.journal_found = true;
+  state.epoch = recovery.epoch;
+  state.torn_tail = recovery.torn_tail;
+  state.tail_error = recovery.tail_error;
+  for (const JournalRecord& record : recovery.records) {
+    switch (static_cast<CheckpointRecordType>(record.type)) {
+      case CheckpointRecordType::kRunBegin: {
+        Cursor cur(record.payload);
+        uint64_t fp = 0;
+        if (cur.ReadU64(&fp).ok()) {
+          // A later kRunBegin (journal reused across runs) supersedes —
+          // everything before it belongs to an older run, so drop it.
+          state.completed.clear();
+          state.partials.clear();
+          state.config_fingerprint = fp;
+          state.fingerprint_known = true;
+          state.run_complete = false;
+        } else {
+          ++state.records_dropped;
+        }
+        break;
+      }
+      case CheckpointRecordType::kCellComplete: {
+        Result<CellClustering> cell = DecodeCellComplete(record.payload);
+        if (cell.ok()) {
+          const GridCellId id = cell.value().cell;
+          state.partials.erase(id);
+          state.completed.insert_or_assign(id, std::move(cell).value());
+        } else {
+          ++state.records_dropped;
+        }
+        break;
+      }
+      case CheckpointRecordType::kPartialState: {
+        auto partial = DecodePartialState(record.payload);
+        if (partial.ok()) {
+          auto [id, merge_state] = std::move(partial).value();
+          // A completed cell wins over any later partial snapshot.
+          if (state.completed.find(id) == state.completed.end()) {
+            state.partials.insert_or_assign(id, std::move(merge_state));
+          }
+        } else {
+          ++state.records_dropped;
+        }
+        break;
+      }
+      case CheckpointRecordType::kRunEnd:
+        state.run_complete = true;
+        break;
+      default:
+        // Unknown record type: forward-compat skip, count it.
+        ++state.records_dropped;
+        break;
+    }
+  }
+  return state;
+}
+
+Result<CheckpointState> LoadCheckpoint(const std::string& dir) {
+  const std::string path = CheckpointJournalPath(dir);
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) {
+    CheckpointState state;
+    state.journal_found = false;
+    return state;
+  }
+  PMKM_ASSIGN_OR_RETURN(JournalRecovery recovery, RecoverJournal(path));
+  return ReplayCheckpointJournal(recovery);
+}
+
+Result<CheckpointWriter> CheckpointWriter::Open(
+    const CheckpointOptions& options, uint64_t config_fingerprint,
+    const ObsContext& obs) {
+  if (!options.enabled()) {
+    return Status::InvalidArgument("checkpoint directory not set");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options.dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create checkpoint dir: " + options.dir +
+                           " (" + ec.message() + ")");
+  }
+
+  CheckpointWriter writer;
+  writer.options_ = options;
+  writer.obs_ = obs;
+
+  const std::string path = CheckpointJournalPath(options.dir);
+  bool start_fresh = !options.resume;
+  if (!start_fresh) {
+    PMKM_ASSIGN_OR_RETURN(CheckpointState loaded, LoadCheckpoint(options.dir));
+    if (loaded.journal_found && loaded.fingerprint_known &&
+        loaded.config_fingerprint != config_fingerprint) {
+      PMKM_LOG(Warning)
+          << "checkpoint " << path << " was written under a different "
+          << "configuration (fingerprint " << loaded.config_fingerprint
+          << " != " << config_fingerprint << "); starting fresh";
+      start_fresh = true;
+    } else if (loaded.journal_found && loaded.run_complete) {
+      // The previous run finished; its journal is stale for a new run.
+      start_fresh = true;
+    } else {
+      writer.recovered_ = std::move(loaded);
+    }
+  }
+
+  PMKM_ASSIGN_OR_RETURN(JournalWriter journal,
+                        JournalWriter::Open(path, /*truncate=*/start_fresh));
+  writer.journal_.emplace(std::move(journal));
+
+  if (writer.recovered_.torn_tail) {
+    PMKM_LOG(Warning) << "checkpoint " << path
+                      << " had a torn tail (truncated to epoch "
+                      << writer.recovered_.epoch
+                      << "): " << writer.recovered_.tail_error;
+  }
+  if (writer.recovered_.records_dropped > 0) {
+    PMKM_LOG(Warning) << "checkpoint " << path << " dropped "
+                      << writer.recovered_.records_dropped
+                      << " undecodable record(s)";
+  }
+
+  if (!writer.recovered_.fingerprint_known) {
+    std::vector<uint8_t> payload;
+    PutU64(&payload, config_fingerprint);
+    PMKM_RETURN_NOT_OK(writer.Append(CheckpointRecordType::kRunBegin,
+                                     payload));
+    PMKM_RETURN_NOT_OK(writer.SyncNow());
+  }
+  return writer;
+}
+
+Status CheckpointWriter::Append(CheckpointRecordType type,
+                                std::span<const uint8_t> payload) {
+  PMKM_CHECK(journal_.has_value());
+  PMKM_FAULT_POINT("checkpoint.append");
+  const auto start = std::chrono::steady_clock::now();
+  PMKM_RETURN_NOT_OK(
+      journal_->Append(static_cast<uint32_t>(type), payload));
+  if (obs_.metrics != nullptr) {
+    const double us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    obs_.metrics->counter("checkpoint.records").Increment(1);
+    obs_.metrics->counter("checkpoint.bytes")
+        .Increment(payload.size() + internal::kRecordFixedBytes);
+    obs_.metrics->histogram("checkpoint.append_us").Record(us);
+  }
+  ++unsynced_;
+  if (unsynced_ >= std::max<size_t>(1, options_.sync_interval)) {
+    return SyncNow();
+  }
+  return Status::OK();
+}
+
+Status CheckpointWriter::SyncNow() {
+  PMKM_CHECK(journal_.has_value());
+  if (unsynced_ == 0) return Status::OK();
+  const auto start = std::chrono::steady_clock::now();
+  PMKM_RETURN_NOT_OK(journal_->Sync());
+  if (obs_.metrics != nullptr) {
+    const double us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    obs_.metrics->histogram("checkpoint.fsync_us").Record(us);
+  }
+  unsynced_ = 0;
+  return Status::OK();
+}
+
+Status CheckpointWriter::AppendCellComplete(const CellClustering& cell) {
+  ScopedSpan span(obs_.trace, "checkpoint.cell", "checkpoint");
+  if (span.enabled()) span.AddArg("cell", JsonValue(cell.cell.ToString()));
+  PMKM_RETURN_NOT_OK(Append(CheckpointRecordType::kCellComplete,
+                            EncodeCellComplete(cell)));
+  ++cells_appended_;
+  return Status::OK();
+}
+
+Status CheckpointWriter::AppendPartialState(
+    GridCellId cell, const IncrementalMergeState& state) {
+  ScopedSpan span(obs_.trace, "checkpoint.partial", "checkpoint");
+  if (span.enabled()) span.AddArg("cell", JsonValue(cell.ToString()));
+  return Append(CheckpointRecordType::kPartialState,
+                EncodePartialState(cell, state));
+}
+
+Status CheckpointWriter::Finalize() {
+  PMKM_CHECK(journal_.has_value());
+  if (finalized_) return Status::OK();
+  PMKM_RETURN_NOT_OK(Append(CheckpointRecordType::kRunEnd, {}));
+  PMKM_RETURN_NOT_OK(SyncNow());
+  finalized_ = true;
+  return Status::OK();
+}
+
+uint64_t CheckpointWriter::epoch() const {
+  PMKM_CHECK(journal_.has_value());
+  return journal_->next_seq() - 1;
+}
+
+uint64_t CheckpointWriter::bytes_appended() const {
+  PMKM_CHECK(journal_.has_value());
+  return journal_->bytes_appended();
+}
+
+}  // namespace pmkm

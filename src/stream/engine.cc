@@ -1,9 +1,12 @@
 #include "stream/engine.h"
 
 #include <algorithm>
+#include <cstring>
 #include <memory>
+#include <optional>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
 #include "stream/explain.h"
@@ -47,14 +50,100 @@ void ApplyChunkOverride(const EngineOptions& options, size_t max_points,
       options.resources.memory_bytes_per_operator);
 }
 
+// Fingerprint over every configuration field that affects the numeric
+// result of a run, plus the planned partition size N'. A checkpoint
+// journal written under a different fingerprint must not be resumed:
+// mixing cells clustered under different configs (or chunkings) would
+// silently change the output, so the engine starts fresh instead. The
+// kernel is deliberately excluded (assignments are bit-identical across
+// kernels) and so is the clone count (the merge pools partitions in id
+// order, independent of arrival interleaving).
+uint64_t ConfigFingerprint(const EngineOptions& options,
+                           const PhysicalPlan& plan) {
+  uint64_t h = internal::kFnvOffset;
+  const auto mix = [&h](uint64_t v) {
+    h = internal::Fnv1a64(&v, sizeof(v), h);
+  };
+  const auto mix_f64 = [&mix](double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    mix(bits);
+  };
+  mix(options.partial.k);
+  mix(options.partial.restarts);
+  mix(static_cast<uint64_t>(options.partial.seeding));
+  mix(options.partial.seed);
+  mix(options.partial.accelerate ? 1 : 0);
+  mix_f64(options.partial.lloyd.epsilon);
+  mix(options.partial.lloyd.max_iterations);
+  mix(options.merge.k);
+  mix(options.merge.restarts);
+  mix(static_cast<uint64_t>(options.merge.seeding));
+  mix(options.merge.seed);
+  mix_f64(options.merge.lloyd.epsilon);
+  mix(options.merge.lloyd.max_iterations);
+  mix(plan.chunk_points);
+  return h;
+}
+
+// Splits the input into buckets still to cluster and cells restored from
+// the journal. Each path's header is probed for its cell id; unreadable
+// buckets stay in the todo list so the scan applies the real failure
+// policy (retry/quarantine) to them.
+struct ResumeSplit {
+  std::vector<std::string> todo;
+  std::map<GridCellId, CellClustering> restored;
+};
+
+ResumeSplit SplitResumablePaths(
+    const std::vector<std::string>& paths,
+    const std::map<GridCellId, CellClustering>& completed) {
+  ResumeSplit out;
+  for (const std::string& path : paths) {
+    auto probe = GridBucketReader::Open(path);
+    if (probe.ok()) {
+      auto it = completed.find(probe->cell());
+      if (it != completed.end()) {
+        out.restored.emplace(it->first, it->second);
+        continue;
+      }
+    }
+    out.todo.push_back(path);
+  }
+  return out;
+}
+
+// Copies checkpoint accounting into the run report and metrics.
+void FillCheckpointReport(const CheckpointWriter* checkpoint,
+                          size_t cells_resumed, bool degraded,
+                          const ObsContext& obs, RunReport* report) {
+  report->cells_resumed = cells_resumed;
+  report->checkpoint_degraded = degraded;
+  if (checkpoint != nullptr) {
+    report->checkpoint_cells = checkpoint->cells_appended();
+    report->checkpoint_epoch = checkpoint->epoch();
+    report->checkpoint_torn_tail = checkpoint->recovered().torn_tail;
+  }
+  if (obs.metrics != nullptr && cells_resumed > 0) {
+    obs.metrics->counter("checkpoint.cells_resumed")
+        .Increment(cells_resumed);
+  }
+}
+
 // Executes the compiled plan: wires queues and operators, runs the
 // executor, and assembles the StreamRunResult (including the resilience
-// report and per-operator stats).
+// report and per-operator stats). `checkpoint` (nullable) journals every
+// completed cell; `restored` cells are folded into the result as if the
+// merge had produced them.
 Result<StreamRunResult> RunPlan(std::unique_ptr<Operator> scan,
                                 ScanOperator* scan_raw,
                                 std::shared_ptr<PointChunkQueue> points,
                                 const EngineOptions& options,
-                                const PhysicalPlan& plan) {
+                                const PhysicalPlan& plan,
+                                CheckpointWriter* checkpoint = nullptr,
+                                std::map<GridCellId, CellClustering>
+                                    restored = {},
+                                bool checkpoint_degraded = false) {
   const StreamExecOptions& exec = options.exec;
   auto centroids =
       std::make_shared<CentroidQueue>(plan.queue_capacity);
@@ -93,6 +182,8 @@ Result<StreamRunResult> RunPlan(std::unique_ptr<Operator> scan,
   auto merge = std::make_unique<MergeKMeansOperator>(options.merge,
                                                      centroids, tolerant);
   merge->set_obs(exec.obs);
+  merge->set_failure_policy(exec.failure_policy);
+  merge->set_checkpoint(checkpoint);
   MergeKMeansOperator* merge_raw = merge.get();
   executor.Add(std::move(merge));
 
@@ -107,6 +198,11 @@ Result<StreamRunResult> RunPlan(std::unique_ptr<Operator> scan,
   out.plan = plan;
   out.wall_seconds = watch.ElapsedSeconds();
   out.cells = merge_raw->results();
+  // Resumed cells join the result as if the merge had just produced them
+  // (a freshly recomputed cell wins on the off chance both exist).
+  for (auto& [cell, clustering] : restored) {
+    out.cells.emplace(cell, std::move(clustering));
+  }
 
   RunReport& report = out.report;
   report.failure_policy = exec.failure_policy;
@@ -136,9 +232,26 @@ Result<StreamRunResult> RunPlan(std::unique_ptr<Operator> scan,
           QuarantinedCellReport{"", cell, true, reason});
     }
   }
-  report.degraded = !report.quarantined.empty() ||
-                    report.chunks_dropped > 0 ||
-                    executor.report().degraded;
+  // A clean, fully-clustered run is sealed with kRunEnd so the next run
+  // starts a fresh journal. A degraded run leaves the journal open: its
+  // healthy cells stay resumable, and a re-run retries only the
+  // quarantined/skipped ones.
+  const bool run_degraded = !report.quarantined.empty() ||
+                            report.chunks_dropped > 0 ||
+                            executor.report().degraded;
+  bool ckpt_degraded = checkpoint_degraded || merge_raw->checkpoint_failed();
+  if (checkpoint != nullptr && !merge_raw->checkpoint_failed() &&
+      !run_degraded) {
+    const Status st = checkpoint->Finalize();
+    if (!st.ok()) {
+      if (exec.failure_policy == FailurePolicy::kFailFast) return st;
+      PMKM_LOG(Warning) << "checkpoint finalize failed: " << st;
+      ckpt_degraded = true;
+    }
+  }
+  FillCheckpointReport(checkpoint, restored.size(), ckpt_degraded,
+                       exec.obs, &report);
+  report.degraded = run_degraded;
 
   for (const OperatorOutcome& outcome : executor.report().operators) {
     out.operator_stats.push_back(outcome.stats);
@@ -217,7 +330,14 @@ void EngineFlags::Register(FlagParser* parser) {
       .AddInt("op_timeout_ms", &op_timeout_ms,
               "stream: watchdog stall timeout (0 = off)")
       .AddString("kernel", &kernel,
-                 "distance kernel: scalar | avx2 | neon | auto");
+                 "distance kernel: scalar | avx2 | neon | auto")
+      .AddString("checkpoint_dir", &checkpoint_dir,
+                 "stream: durable checkpoint directory (empty = off)")
+      .AddInt("checkpoint_sync", &checkpoint_sync,
+              "stream: fsync the checkpoint every N cells")
+      .AddBool("resume", &resume,
+               "stream: resume from an existing checkpoint "
+               "(--no-resume starts fresh)");
 }
 
 Result<EngineOptions> EngineFlags::ToOptions() const {
@@ -242,6 +362,12 @@ Result<EngineOptions> EngineFlags::ToOptions() const {
         "--kernel=" + kernel + " is not available on this host (host is " +
         HostIsaDescription() + ")");
   }
+  if (checkpoint_sync <= 0) {
+    return Status::InvalidArgument("--checkpoint_sync must be >= 1");
+  }
+  options.checkpoint.dir = checkpoint_dir;
+  options.checkpoint.sync_interval = static_cast<size_t>(checkpoint_sync);
+  options.checkpoint.resume = resume;
   return options;
 }
 
@@ -249,20 +375,79 @@ Result<StreamRunResult> PipelineBuilder::Run(
     const std::vector<std::string>& bucket_paths) const {
   EngineOptions options = options_;
   PMKM_RETURN_NOT_OK(ResolveKernel(&options));
+  // The plan is always computed from the FULL input list, even when the
+  // checkpoint lets the scan skip buckets: the probed bucket (and with it
+  // the partition size N') must not depend on how far the previous run
+  // got, or a resumed run would chunk differently and lose bitwise
+  // identity with an uninterrupted one.
   PMKM_ASSIGN_OR_RETURN(ProbedPlan probed,
                         PlanForPaths(bucket_paths, options));
+
+  std::optional<CheckpointWriter> checkpoint;
+  bool checkpoint_degraded = false;
+  ResumeSplit split;
+  split.todo = bucket_paths;
+  if (options.checkpoint.enabled()) {
+    auto opened = CheckpointWriter::Open(
+        options.checkpoint, ConfigFingerprint(options, probed.plan),
+        options.exec.obs);
+    if (!opened.ok()) {
+      // Same stance as a corrupt bucket: an unusable checkpoint must not
+      // kill a tolerant run — it degrades to uncheckpointed.
+      if (options.exec.failure_policy !=
+          FailurePolicy::kSkipAndContinue) {
+        return opened.status();
+      }
+      PMKM_LOG(Warning) << "cannot open checkpoint in "
+                        << options.checkpoint.dir
+                        << "; continuing without checkpointing: "
+                        << opened.status();
+      checkpoint_degraded = true;
+    } else {
+      checkpoint.emplace(std::move(opened).value());
+      if (!checkpoint->recovered().completed.empty()) {
+        split = SplitResumablePaths(bucket_paths,
+                                    checkpoint->recovered().completed);
+      }
+    }
+  }
+
+  if (split.todo.empty()) {
+    // Every bucket was already clustered by the previous run: nothing to
+    // execute. Reconstruct the result from the journal alone.
+    StreamRunResult out;
+    out.plan = probed.plan;
+    out.cells = std::move(split.restored);
+    RunReport& report = out.report;
+    report.failure_policy = options.exec.failure_policy;
+    report.cells_clustered = out.cells.size();
+    if (checkpoint.has_value()) {
+      PMKM_RETURN_NOT_OK(checkpoint->Finalize());
+    }
+    FillCheckpointReport(
+        checkpoint.has_value() ? &*checkpoint : nullptr, out.cells.size(),
+        checkpoint_degraded, options.exec.obs, &report);
+    return out;
+  }
+
   auto points =
       std::make_shared<PointChunkQueue>(probed.plan.queue_capacity);
   auto scan = std::make_unique<ScanOperator>(
-      bucket_paths, probed.plan.chunk_points, points,
-      options.exec.io_retry);
+      split.todo, probed.plan.chunk_points, points, options.exec.io_retry);
   ScanOperator* scan_raw = scan.get();
-  return RunPlan(std::move(scan), scan_raw, points, options, probed.plan);
+  return RunPlan(std::move(scan), scan_raw, points, options, probed.plan,
+                 checkpoint.has_value() ? &*checkpoint : nullptr,
+                 std::move(split.restored), checkpoint_degraded);
 }
 
 Result<StreamRunResult> PipelineBuilder::RunInMemory(
     std::vector<GridBucket> cells) const {
   if (cells.empty()) return Status::InvalidArgument("no cells given");
+  if (options_.checkpoint.enabled()) {
+    return Status::InvalidArgument(
+        "checkpointing requires on-disk bucket runs (Run); in-memory cells "
+        "have no durable identity to resume against");
+  }
   EngineOptions options = options_;
   PMKM_RETURN_NOT_OK(ResolveKernel(&options));
   const size_t dim = cells[0].points.dim();

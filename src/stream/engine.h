@@ -32,6 +32,7 @@
 #include "cluster/kmeans.h"
 #include "cluster/merge.h"
 #include "common/flags.h"
+#include "stream/checkpoint.h"
 #include "stream/plan.h"
 
 namespace pmkm {
@@ -61,6 +62,11 @@ struct EngineOptions {
   /// experiments; the clone count and queue capacity are re-planned
   /// against the forced size.
   size_t chunk_points_override = 0;
+
+  /// Durable checkpoint/resume (stream/checkpoint.h, DESIGN.md §13).
+  /// Disabled unless checkpoint.dir is set. Only meaningful for on-disk
+  /// runs (Run); RunInMemory rejects it.
+  CheckpointOptions checkpoint;
 };
 
 /// The engine flag set shared by tools/pmkm_cluster and the stream
@@ -74,9 +80,13 @@ struct EngineFlags {
   int64_t max_retries = 2;
   int64_t op_timeout_ms = 0;
   std::string kernel = "auto";
+  std::string checkpoint_dir;
+  int64_t checkpoint_sync = 1;
+  bool resume = true;
 
   /// Registers --k, --restarts, --memory-kib, --cores, --failure_policy,
-  /// --max_retries, --op_timeout_ms and --kernel on `parser`.
+  /// --max_retries, --op_timeout_ms, --kernel, --checkpoint_dir,
+  /// --checkpoint_sync and --resume/--no-resume on `parser`.
   void Register(FlagParser* parser);
 
   /// Validates and converts the parsed values. Fails on an unknown
@@ -131,6 +141,24 @@ class PipelineBuilder {
   }
   PipelineBuilder& WithChunkPoints(size_t chunk_points) {
     options_.chunk_points_override = chunk_points;
+    return *this;
+  }
+  /// Enables durable checkpointing into `dir`: completed cells are
+  /// journaled as the run progresses, and a re-run over the same inputs
+  /// and configuration resumes from the journal instead of restarting
+  /// (skipping already-clustered buckets; final results are
+  /// bitwise-identical to an uninterrupted run). `sync_interval` batches
+  /// journal fsyncs (1 = fsync every cell).
+  PipelineBuilder& WithCheckpoint(std::string dir,
+                                  size_t sync_interval = 1) {
+    options_.checkpoint.dir = std::move(dir);
+    options_.checkpoint.sync_interval = sync_interval;
+    return *this;
+  }
+  /// With resume=false an existing journal is discarded and the run
+  /// starts fresh (still checkpointing as it goes).
+  PipelineBuilder& WithResume(bool resume) {
+    options_.checkpoint.resume = resume;
     return *this;
   }
 

@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "obs/trace.h"
+#include "stream/checkpoint.h"
 
 namespace pmkm {
 
@@ -393,6 +394,20 @@ Status MergeKMeansOperator::MergeCell(GridCellId cell) {
   result.input_points = pc.input_points;
   result.merge_seconds = watch.ElapsedSeconds();
   result.model = std::move(model);
+  // Journal before publishing: a cell is either durable in the checkpoint
+  // or will be recomputed on resume — never silently half-remembered.
+  if (checkpoint_ != nullptr && !checkpoint_failed_) {
+    const Status st = checkpoint_->AppendCellComplete(result);
+    if (!st.ok()) {
+      if (failure_policy() == FailurePolicy::kFailFast) return st;
+      // Tolerant policies: the run is more valuable than its journal.
+      // Keep clustering, but stop pretending progress is durable.
+      PMKM_LOG(Warning) << "checkpoint append failed for "
+                        << cell.ToString()
+                        << "; disabling checkpointing for this run: " << st;
+      checkpoint_failed_ = true;
+    }
+  }
   results_[cell] = std::move(result);
   pending_.erase(cell);
   return Status::OK();

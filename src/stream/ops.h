@@ -27,6 +27,8 @@
 
 namespace pmkm {
 
+class CheckpointWriter;  // stream/checkpoint.h
+
 using PointChunkQueue = BoundedBlockingQueue<PointChunk>;
 using CentroidQueue = BoundedBlockingQueue<CentroidMessage>;
 
@@ -187,12 +189,25 @@ class MergeKMeansOperator : public Operator {
     return skipped_;
   }
 
+  /// Attaches a checkpoint writer: every completed cell is journaled
+  /// before it is published into results(). Null (the default) disables
+  /// checkpointing. Must be set before the executor starts.
+  void set_checkpoint(CheckpointWriter* checkpoint) {
+    checkpoint_ = checkpoint;
+  }
+
+  /// True if a checkpoint append failed mid-run and checkpointing was
+  /// disabled for the rest of the run (non-failfast policies only).
+  bool checkpoint_failed() const { return checkpoint_failed_; }
+
  private:
   Status MergeCell(GridCellId cell);
 
   MergeKMeans merger_;
   std::shared_ptr<CentroidQueue> in_;
   bool allow_incomplete_;
+  CheckpointWriter* checkpoint_ = nullptr;
+  bool checkpoint_failed_ = false;
 
   // Arrived centroid sets are buffered per partition id and pooled in
   // ascending id order at merge time, so the result is independent of the

@@ -65,6 +65,13 @@ std::string RunReport::Summary() const {
   out += ", io_retries=" + std::to_string(io_retries);
   out += ", chunks_dropped=" + std::to_string(chunks_dropped);
   out += ", operator_restarts=" + std::to_string(operator_restarts);
+  if (cells_resumed > 0 || checkpoint_cells > 0 || checkpoint_degraded) {
+    out += ", cells_resumed=" + std::to_string(cells_resumed);
+    out += ", checkpointed=" + std::to_string(checkpoint_cells);
+    out += " (epoch " + std::to_string(checkpoint_epoch) + ")";
+    if (checkpoint_torn_tail) out += ", torn_tail_truncated";
+    if (checkpoint_degraded) out += ", CHECKPOINT-DEGRADED";
+  }
   out += degraded ? ", DEGRADED" : ", complete";
   if (!stalled_operators.empty()) {
     out += ", stalled=[" + stalled_operators + "]";

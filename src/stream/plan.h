@@ -97,6 +97,16 @@ struct RunReport {
   size_t chunks_dropped = 0;     // partial chunks discarded
   size_t operator_restarts = 0;  // executor-level operator restarts
   std::string stalled_operators; // non-empty if the watchdog fired
+
+  // Checkpoint/resume accounting (all zero/false for uncheckpointed runs).
+  size_t cells_resumed = 0;      // cells restored from the journal
+  size_t checkpoint_cells = 0;   // cell records journaled by this run
+  uint64_t checkpoint_epoch = 0; // journal epoch after the run
+  /// Recovery discarded a torn/corrupt journal tail before resuming.
+  bool checkpoint_torn_tail = false;
+  /// Checkpointing failed to open or died mid-run; the run finished but
+  /// its progress is not (fully) durable.
+  bool checkpoint_degraded = false;
   /// True when the run finished but lost data (quarantined cells or
   /// dropped chunks): results cover only the healthy subset.
   bool degraded = false;

@@ -173,6 +173,13 @@ int main(int argc, char** argv) {
               << run->plan.partial_clones << " partial clone(s), chunk="
               << run->plan.chunk_points << " pts, "
               << run->wall_seconds << " s total\n";
+    if (run->report.cells_resumed > 0) {
+      std::cout << run->report.cells_resumed
+                << " cell(s) restored from the checkpoint (epoch "
+                << run->report.checkpoint_epoch << "), "
+                << (run->cells.size() - run->report.cells_resumed)
+                << " recomputed\n";
+    }
     std::cout << run->report.Summary() << "\n";
     if (run->report.degraded) {
       std::cerr << "warning: run is DEGRADED — results cover only the "

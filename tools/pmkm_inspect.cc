@@ -9,6 +9,12 @@
 //   $ pmkm_inspect metrics run.metrics.json   # registry summary
 //   $ pmkm_inspect trace run.trace.json       # top slowest spans
 //
+// For checkpoint directories written by `pmkm_cluster --checkpoint_dir`
+// (DESIGN.md §13) — dumps the journal as JSON: every record, the recovered
+// epoch, checksum/torn-tail status and the resumable position:
+//
+//   $ pmkm_inspect checkpoint ckpt/           # or ckpt/journal.pmkj
+//
 // And for the concurrency-analysis layer (DESIGN.md §12):
 //
 //   $ pmkm_inspect lockgraph run.lockgraph.json         # class/edge summary
@@ -25,12 +31,16 @@
 #include <numeric>
 #include <sstream>
 
+#include <filesystem>
+
 #include "cluster/serialize.h"
 #include "common/flags.h"
 #include "data/io.h"
+#include "data/manifest.h"
 #include "data/stats.h"
 #include "obs/json.h"
 #include "obs/stats.h"
+#include "stream/checkpoint.h"
 
 namespace {
 
@@ -267,6 +277,91 @@ int InspectLockGraph(const std::string& path, bool dot) {
   return 0;
 }
 
+// `pmkm_inspect checkpoint <dir|journal.pmkj>`: dumps a run journal as
+// JSON — per-record listing, recovered epoch, checksum/torn-tail status,
+// and the position a resumed run would continue from.
+int InspectCheckpoint(const std::string& arg) {
+  std::error_code ec;
+  const std::string path = std::filesystem::is_directory(arg, ec)
+                               ? pmkm::CheckpointJournalPath(arg)
+                               : arg;
+  pmkm::JsonValue doc = pmkm::JsonValue::Object();
+  doc.Set("journal", path);
+  if (!std::filesystem::exists(path, ec)) {
+    doc.Set("found", false);
+    std::cout << doc.Dump(2) << "\n";
+    return 0;
+  }
+  auto recovery = pmkm::RecoverJournal(path);
+  if (!recovery.ok()) {
+    std::cerr << path << ": " << recovery.status() << "\n";
+    return 1;
+  }
+  const pmkm::CheckpointState state =
+      pmkm::ReplayCheckpointJournal(*recovery);
+
+  doc.Set("found", true);
+  doc.Set("epoch", recovery->epoch);
+  doc.Set("valid_bytes", recovery->valid_bytes);
+  doc.Set("torn_tail", recovery->torn_tail);
+  if (recovery->torn_tail) doc.Set("tail_error", recovery->tail_error);
+  doc.Set("run_complete", state.run_complete);
+  if (state.fingerprint_known) {
+    doc.Set("config_fingerprint",
+            std::to_string(state.config_fingerprint));
+  }
+  doc.Set("records_dropped", state.records_dropped);
+
+  pmkm::JsonValue records = pmkm::JsonValue::Array();
+  for (const pmkm::JournalRecord& r : recovery->records) {
+    pmkm::JsonValue rec = pmkm::JsonValue::Object();
+    rec.Set("seq", r.seq);
+    const char* type_name = "unknown";
+    switch (static_cast<pmkm::CheckpointRecordType>(r.type)) {
+      case pmkm::CheckpointRecordType::kRunBegin:
+        type_name = "run_begin";
+        break;
+      case pmkm::CheckpointRecordType::kCellComplete:
+        type_name = "cell_complete";
+        break;
+      case pmkm::CheckpointRecordType::kPartialState:
+        type_name = "partial_state";
+        break;
+      case pmkm::CheckpointRecordType::kRunEnd:
+        type_name = "run_end";
+        break;
+    }
+    rec.Set("type", type_name);
+    rec.Set("payload_bytes", r.payload.size());
+    if (auto cell = pmkm::DecodeCellComplete(r.payload);
+        r.type ==
+            static_cast<uint32_t>(
+                pmkm::CheckpointRecordType::kCellComplete) &&
+        cell.ok()) {
+      rec.Set("cell", cell->cell.ToString());
+      rec.Set("k", cell->model.k());
+      rec.Set("input_points", cell->input_points);
+      rec.Set("sse", cell->model.sse);
+    }
+    records.Append(std::move(rec));
+  }
+  doc.Set("records", std::move(records));
+
+  pmkm::JsonValue completed = pmkm::JsonValue::Array();
+  for (const auto& [cell, clustering] : state.completed) {
+    completed.Append(cell.ToString());
+  }
+  pmkm::JsonValue resume = pmkm::JsonValue::Object();
+  resume.Set("completed_cells", std::move(completed));
+  resume.Set("partial_cells", state.partials.size());
+  resume.Set("next_seq", recovery->epoch + 1);
+  resume.Set("resumable", !state.run_complete);
+  doc.Set("resume", std::move(resume));
+
+  std::cout << doc.Dump(2) << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -282,21 +377,25 @@ int main(int argc, char** argv) {
               << "       " << argv[0] << " metrics run.metrics.json ...\n"
               << "       " << argv[0] << " trace run.trace.json ...\n"
               << "       " << argv[0]
-              << " lockgraph [--dot] run.lockgraph.json ...\n";
+              << " lockgraph [--dot] run.lockgraph.json ...\n"
+              << "       " << argv[0]
+              << " checkpoint ckpt_dir|journal.pmkj ...\n";
     return 1;
   }
   std::vector<std::string> paths = parser.positional();
   const std::string& sub = paths.front();
-  if (sub == "metrics" || sub == "trace" || sub == "lockgraph") {
+  if (sub == "metrics" || sub == "trace" || sub == "lockgraph" ||
+      sub == "checkpoint") {
     if (paths.size() < 2) {
-      std::cerr << "usage: " << argv[0] << " " << sub << " file.json ...\n";
+      std::cerr << "usage: " << argv[0] << " " << sub << " file ...\n";
       return 1;
     }
     int rc = 0;
     for (size_t i = 1; i < paths.size(); ++i) {
-      rc |= sub == "metrics"     ? InspectMetrics(paths[i])
-            : sub == "lockgraph" ? InspectLockGraph(paths[i], dot)
-                                 : InspectTrace(paths[i]);
+      rc |= sub == "metrics"      ? InspectMetrics(paths[i])
+            : sub == "lockgraph"  ? InspectLockGraph(paths[i], dot)
+            : sub == "checkpoint" ? InspectCheckpoint(paths[i])
+                                  : InspectTrace(paths[i]);
     }
     return rc;
   }

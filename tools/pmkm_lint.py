@@ -34,6 +34,14 @@ trustworthy at scale but that no compiler checks (DESIGN.md §11):
                 deterministic schedule explorer. The wrappers' own
                 implementation (annotations.h, common/schedcheck/) is
                 exempt.
+  persist       Library code (src/) persists binary state only through the
+                sanctioned crash-safe paths (data/io.{h,cc} bucket commit,
+                data/manifest.{h,cc} AtomicWriteFile/JournalWriter).
+                Direct `std::filesystem::rename`/`::rename` or a binary
+                `std::ofstream` anywhere else can tear under power loss —
+                exactly the corruption the checkpoint layer exists to
+                survive. Text/report writers (CSV, traces, JSON exports)
+                open without std::ios::binary and are not flagged.
 
 Suppression: append `// pmkm-lint: allow(<rule>)` to the offending line
 (or the line above) together with a comment justifying the exception.
@@ -60,6 +68,7 @@ RULES = {
     "header-guard": "header guard missing or misnamed",
     "fault-site": "malformed PMKM_FAULT_POINT site name",
     "raw-sync": "raw std sync primitive outside the annotated wrappers",
+    "persist": "binary persistence outside the crash-safe commit paths",
 }
 
 # Directories scanned when no explicit file list is given.
@@ -81,6 +90,11 @@ RAW_SYNC_RE = re.compile(
     r"lock_guard|unique_lock|scoped_lock|shared_lock)\b")
 FAULT_POINT_RE = re.compile(r"PMKM_FAULT_POINT\s*\(\s*([^)]*)\)")
 FAULT_SITE_RE = re.compile(r'^"[a-z0-9_]+(?:\.[a-z0-9_]+)+"$')
+RENAME_RE = re.compile(
+    r"std::filesystem::rename\b|(?<![\w.:])::rename\s*\(|"
+    r"(?<![\w.:])std::rename\s*\(")
+BINARY_OFSTREAM_RE = re.compile(
+    r"std::ofstream\b[^;\n]*std::ios(?:_base)?::binary")
 
 
 def strip_comments_and_strings(text):
@@ -221,6 +235,12 @@ def lint_file(root, relpath):
     rng_exempt = relpath == os.path.join("src", "common", "rng.h")
     sleep_exempt = fname in ("retry.cc", "retry.h", "fault.cc", "fault.h")
     fault_def_file = relpath == os.path.join("src", "common", "fault.h")
+    # The two modules that *implement* the crash-safe commit protocol.
+    persist_exempt = relpath in (
+        os.path.join("src", "data", "io.h"),
+        os.path.join("src", "data", "io.cc"),
+        os.path.join("src", "data", "manifest.h"),
+        os.path.join("src", "data", "manifest.cc"))
 
     for lineno, line in enumerate(code_lines, start=1):
         if not rng_exempt and RNG_RE.search(line):
@@ -244,6 +264,15 @@ def lint_file(root, relpath):
                 check(lineno, "raw-sync",
                       "raw std sync primitive; use the annotated Mutex/"
                       "MutexLock/CondVar from common/annotations.h")
+            if not persist_exempt:
+                if RENAME_RE.search(line):
+                    check(lineno, "persist",
+                          "direct rename; publish through data/manifest.h "
+                          "AtomicWriteFile or the bucket commit path")
+                if BINARY_OFSTREAM_RE.search(line):
+                    check(lineno, "persist",
+                          "binary ofstream outside the crash-safe commit "
+                          "paths; use AtomicWriteFile/JournalWriter")
         if not fault_def_file:
             for m in FAULT_POINT_RE.finditer(line):
                 # Re-read the argument from the raw line: literals were
