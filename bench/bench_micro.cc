@@ -13,8 +13,11 @@
 #include "cluster/merge.h"
 #include "cluster/parallel_lloyd.h"
 #include "cluster/partial.h"
+#include "common/logging.h"
 #include "data/generator.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/rolling.h"
 #include "obs/trace.h"
 #include "stream/queue.h"
 
@@ -289,6 +292,51 @@ void BM_ObsSpanEnabled(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ObsSpanEnabled);
+
+void BM_ObsRollingHistogram(benchmark::State& state) {
+  // The windowed variant's record cost: one CAS-claimed slot plus the
+  // cumulative histogram — what scan.bucket_us pays per work unit.
+  MetricsRegistry registry;
+  RollingHistogram& h = registry.rolling_histogram("bench.rolling_us");
+  double v = 1.0;
+  for (auto _ : state) {
+    h.Record(v);
+    v = v < 1e6 ? v * 1.5 : 1.0;
+  }
+  benchmark::DoNotOptimize(h.total().count());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsRollingHistogram);
+
+void BM_LogRateLimitedSuppressed(benchmark::State& state) {
+  // A dropped rate-limited log line must cost one atomic CAS, not a
+  // render: this is the hot-path budget for PMKM_LOG_RATELIMITED.
+  internal::LogTokenBucket bucket(1e-3);  // effectively always dry
+  bucket.AcquireAt(1);                    // drain the burst
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    sink += bucket.AcquireAt(2);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LogRateLimitedSuppressed);
+
+void BM_ProfilerOff(benchmark::State& state) {
+  // A stopped profiler adds zero instructions to compute code; this
+  // pins the "no perf regression with the profiler off" acceptance bar
+  // by timing a compute kernel while the global profiler exists unused.
+  volatile double acc = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obs::CpuProfiler::Global().running());
+    for (int i = 0; i < 64; ++i) {
+      acc = acc + static_cast<double>(i);
+    }
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfilerOff);
 
 }  // namespace
 }  // namespace pmkm

@@ -45,6 +45,13 @@ inline __m256d Distance4(const double* x, const double* ct, size_t kp,
   return acc;
 }
 
+}  // namespace
+
+// External linkage on purpose: these member functions are the
+// assignment hot path, and the sampling profiler's dladdr
+// symbolization only resolves dynamic-table symbols — an
+// anonymous-namespace kernel shows up as hex addresses in
+// /pprofz and folded-stack output.
 class Avx2DistanceKernel final : public DistanceKernel {
  public:
   const char* name() const override { return "avx2"; }
@@ -172,7 +179,6 @@ class Avx2DistanceKernel final : public DistanceKernel {
   }
 };
 
-}  // namespace
 
 const DistanceKernel* Avx2Kernel() {
   static const Avx2DistanceKernel kernel;

@@ -32,6 +32,13 @@ inline float64x2_t Distance2(const double* x, const double* ct, size_t kp,
   return acc;
 }
 
+}  // namespace
+
+// External linkage on purpose: these member functions are the
+// assignment hot path, and the sampling profiler's dladdr
+// symbolization only resolves dynamic-table symbols — an
+// anonymous-namespace kernel shows up as hex addresses in
+// /pprofz and folded-stack output.
 class NeonDistanceKernel final : public DistanceKernel {
  public:
   const char* name() const override { return "neon"; }
@@ -143,7 +150,6 @@ class NeonDistanceKernel final : public DistanceKernel {
   }
 };
 
-}  // namespace
 
 const DistanceKernel* NeonKernel() {
   static const NeonDistanceKernel kernel;

@@ -22,6 +22,13 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+}  // namespace
+
+// External linkage on purpose: these member functions are the
+// assignment hot path, and the sampling profiler's dladdr
+// symbolization only resolves dynamic-table symbols — an
+// anonymous-namespace kernel shows up as hex addresses in
+// /pprofz and folded-stack output.
 class ScalarDistanceKernel final : public DistanceKernel {
  public:
   const char* name() const override { return "scalar"; }
@@ -108,7 +115,6 @@ class ScalarDistanceKernel final : public DistanceKernel {
   }
 };
 
-}  // namespace
 
 const DistanceKernel* ScalarKernel() {
   static const ScalarDistanceKernel kernel;

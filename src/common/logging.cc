@@ -1,7 +1,11 @@
 #include "common/logging.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <iostream>
 
 #include "common/annotations.h"
@@ -10,6 +14,7 @@ namespace pmkm {
 namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<int> g_format{static_cast<int>(LogFormat::kText)};
 
 // Serializes whole lines so concurrent operator threads do not interleave.
 // An annotated Mutex (not a raw std::mutex) so the schedcheck hooks see
@@ -17,6 +22,13 @@ std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
 Mutex& LogMutex() {
   static Mutex m;
   return m;
+}
+
+// The run id is read on every emitted line (sink already serialized), so
+// it shares the sink mutex instead of adding a second lock.
+std::string& RunIdStorage() {
+  static std::string id;
+  return id;
 }
 
 const char* LevelName(LogLevel level) {
@@ -35,6 +47,48 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+// Minimal JSON string escaping (common/ cannot depend on obs/json.h —
+// the obs library links against this one).
+std::string JsonEscapeMinimal(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c) & 0xff);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+int64_t NowUnixMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -45,26 +99,135 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
 
+void SetLogFormat(LogFormat format) {
+  g_format.store(static_cast<int>(format), std::memory_order_relaxed);
+}
+
+LogFormat GetLogFormat() {
+  return static_cast<LogFormat>(g_format.load(std::memory_order_relaxed));
+}
+
+bool ParseLogFormat(const std::string& name, LogFormat* out) {
+  if (name == "text") {
+    *out = LogFormat::kText;
+    return true;
+  }
+  if (name == "json") {
+    *out = LogFormat::kJson;
+    return true;
+  }
+  return false;
+}
+
+void SetLogRunId(const std::string& run_id) {
+  MutexLock lock(LogMutex());
+  RunIdStorage() = run_id;
+}
+
+std::string GetLogRunId() {
+  MutexLock lock(LogMutex());
+  return RunIdStorage();
+}
+
 namespace internal {
+
+std::string FormatLogTimestamp(int64_t unix_millis) {
+  const time_t secs = static_cast<time_t>(unix_millis / 1000);
+  const int millis = static_cast<int>(unix_millis % 1000);
+  std::tm tm_utc{};
+  gmtime_r(&secs, &tm_utc);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec, millis);
+  return buf;
+}
+
+std::string RenderLogLine(LogLevel level, const char* file_base, int line,
+                          const std::string& msg, LogFormat format,
+                          const std::string& run_id, int64_t unix_millis) {
+  const std::string ts = FormatLogTimestamp(unix_millis);
+  const std::string src =
+      std::string(file_base) + ":" + std::to_string(line);
+  if (format == LogFormat::kJson) {
+    std::string out = "{\"ts\":\"" + ts + "\",\"level\":\"" +
+                      LevelName(level) + "\",\"src\":\"" +
+                      JsonEscapeMinimal(src) + "\"";
+    if (!run_id.empty()) {
+      out += ",\"run_id\":\"" + JsonEscapeMinimal(run_id) + "\"";
+    }
+    out += ",\"msg\":\"" + JsonEscapeMinimal(msg) + "\"}";
+    return out;
+  }
+  std::string out = "[" + std::string(LevelName(level)) + " " + ts + " " +
+                    src;
+  if (!run_id.empty()) out += " run=" + run_id;
+  out += "] " + msg;
+  return out;
+}
+
+LogTokenBucket::LogTokenBucket(double per_second, double burst) {
+  per_second = std::max(per_second, 1e-6);
+  cost_micros_ = static_cast<int64_t>(1e6 / per_second);
+  cost_micros_ = std::max<int64_t>(1, cost_micros_);
+  burst_micros_ =
+      static_cast<int64_t>(std::max(1.0, burst) *
+                           static_cast<double>(cost_micros_));
+}
+
+uint64_t LogTokenBucket::Acquire() {
+  const int64_t now = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now().time_since_epoch())
+                          .count();
+  return AcquireAt(now);
+}
+
+uint64_t LogTokenBucket::AcquireAt(int64_t now_micros) {
+  int64_t avail = available_at_.load(std::memory_order_relaxed);
+  while (true) {
+    // The bucket may hold at most `burst` unused tokens: the effective
+    // next-token time never lags more than burst_micros_ behind now.
+    const int64_t base = std::max(avail, now_micros - burst_micros_);
+    if (base > now_micros) {
+      suppressed_.fetch_add(1, std::memory_order_relaxed);
+      return kDenied;
+    }
+    if (available_at_.compare_exchange_weak(avail, base + cost_micros_,
+                                            std::memory_order_relaxed)) {
+      return suppressed_.exchange(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::string SuppressedTag(uint64_t suppressed) {
+  if (suppressed == 0) return "";
+  return "(suppressed " + std::to_string(suppressed) +
+         " similar lines) ";
+}
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level),
       enabled_(static_cast<int>(level) >=
-               g_min_level.load(std::memory_order_relaxed)) {
+               g_min_level.load(std::memory_order_relaxed)),
+      file_base_(file),
+      line_(line) {
   if (enabled_) {
-    const char* base = file;
     for (const char* p = file; *p; ++p) {
-      if (*p == '/') base = p + 1;
+      if (*p == '/') file_base_ = p + 1;
     }
-    stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
   }
 }
 
 LogMessage::~LogMessage() {
   if (enabled_) {
+    const int64_t now_ms = NowUnixMillis();
+    const LogFormat format = GetLogFormat();
     MutexLock lock(LogMutex());
+    const std::string rendered = RenderLogLine(
+        level_, file_base_, line_, stream_.str(), format, RunIdStorage(),
+        now_ms);
     // The logging sink itself: the one sanctioned stderr writer.
-    std::cerr << stream_.str() << std::endl;  // pmkm-lint: allow(stdio)
+    std::cerr << rendered << std::endl;
   }
   if (level_ == LogLevel::kFatal) std::abort();
 }

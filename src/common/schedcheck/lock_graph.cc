@@ -96,7 +96,7 @@ LockGraph& LockGraph::Global() {
         // (pmkm_common links pmkm_schedcheck, not the other way around).
         std::FILE* f = std::fopen(path.c_str(), "w");
         if (f == nullptr) {
-          std::fprintf(  // pmkm-lint: allow(stdio)
+          std::fprintf(
               stderr, "schedcheck: cannot write lock graph to %s\n",
               path.c_str());
           return;
@@ -195,7 +195,7 @@ void LockGraph::OnAcquire(const void* id, SourceSite site) {
       handler(report);
     } else {
       const std::string text = report.ToString();
-      std::fprintf(  // pmkm-lint: allow(stdio)
+      std::fprintf(
           stderr, "schedcheck FATAL: %s\n", text.c_str());
       std::abort();
     }

@@ -49,7 +49,7 @@ uint64_t Scheduler::NextRandLocked() {
 void Scheduler::BeginEpisode(const ScheduleOptions& options) {
   std::unique_lock<std::mutex> lk(smu_);
   if (episode_active_) {
-    std::fprintf(  // pmkm-lint: allow(stdio)
+    std::fprintf(
         stderr, "schedcheck FATAL: BeginEpisode while an episode is active\n");
     std::abort();
   }
@@ -219,7 +219,7 @@ void Scheduler::CondWait(const void* cv_id, std::mutex* real_mu,
   const uint64_t me = TidOfCurrent();
   if (me == kInvalidTid) {
     lk.unlock();
-    std::fprintf(  // pmkm-lint: allow(stdio)
+    std::fprintf(
         stderr, "schedcheck FATAL: CondWait on an unscheduled thread\n");
     std::abort();
   }
@@ -251,7 +251,7 @@ bool Scheduler::CondWaitFor(const void* cv_id, std::mutex* real_mu,
   const uint64_t me = TidOfCurrent();
   if (me == kInvalidTid) {
     lk.unlock();
-    std::fprintf(  // pmkm-lint: allow(stdio)
+    std::fprintf(
         stderr, "schedcheck FATAL: CondWaitFor on an unscheduled thread\n");
     std::abort();
   }
@@ -349,7 +349,7 @@ void Scheduler::RescheduleLocked(std::unique_lock<std::mutex>& lk,
     PoisonLocked(/*budget=*/true);
   }
   if (poisoned_ && result_.steps > 4 * opts_.max_steps + 4000) {
-    std::fprintf(  // pmkm-lint: allow(stdio)
+    std::fprintf(
         stderr,
         "schedcheck FATAL: poisoned episode failed to drain "
         "(%d steps; threads:%s)\n",

@@ -14,7 +14,7 @@ void WriteArtifact(const char* name, const std::string& contents) {
   const std::string path = std::string(dir) + "/" + name + ".failure.txt";
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
-    std::fprintf(  // pmkm-lint: allow(stdio)
+    std::fprintf(
         stderr, "schedcheck: cannot write artifact %s\n", path.c_str());
     return;
   }
@@ -93,7 +93,7 @@ SweepResult SweepSchedules(const SweepOptions& options,
           "  detail: " + result.detail + "\n" +
           "  replay: PMKM_SCHEDCHECK_SEED=" + std::to_string(seed) +
           " <test binary> (same gtest filter)\n";
-      std::fprintf(  // pmkm-lint: allow(stdio)
+      std::fprintf(
           stderr, "%s", report.c_str());
       WriteArtifact(options.name, report);
       return result;
@@ -143,7 +143,7 @@ ExhaustiveResult ExploreExhaustive(const ExhaustiveOptions& options,
           "' found a bug\n  run " + std::to_string(result.runs) +
           ", decision sequence: [" + choices + "]\n  detail: " +
           result.detail + "\n";
-      std::fprintf(  // pmkm-lint: allow(stdio)
+      std::fprintf(
           stderr, "%s", report.c_str());
       WriteArtifact(options.name, report);
       return result;

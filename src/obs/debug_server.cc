@@ -1,0 +1,388 @@
+#include "obs/debug_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+
+#if defined(__linux__) || defined(__APPLE__)
+#define PMKM_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/rolling.h"
+#include "obs/trace.h"
+
+namespace pmkm {
+namespace obs {
+
+namespace {
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+const char* StatusLine(int http_status) {
+  switch (http_status) {
+    case 200:
+      return "200 OK";
+    case 404:
+      return "404 Not Found";
+    case 405:
+      return "405 Method Not Allowed";
+    case 431:
+      return "431 Request Header Fields Too Large";
+    default:
+      return "500 Internal Server Error";
+  }
+}
+
+std::string BuildResponse(int http_status, const std::string& content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.1 ";
+  out += StatusLine(http_status);
+  out += "\r\nContent-Type: " + content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+DebugServer::DebugServer(MetricsRegistry* metrics, TraceRecorder* trace)
+    : metrics_(metrics), trace_(trace), started_micros_(NowMicros()) {}
+
+DebugServer::~DebugServer() { Stop(); }
+
+bool DebugServer::running() const {
+  MutexLock lock(mu_);
+  return running_;
+}
+
+#if defined(PMKM_HAVE_SOCKETS)
+
+Status DebugServer::Start(const Options& options) {
+  {
+    MutexLock lock(mu_);
+    if (running_) {
+      return Status::FailedPrecondition("debug server already running");
+    }
+  }
+  options_ = options;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("debug server: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (::inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(fd);
+    return Status::InvalidArgument("debug server: bad bind address '" +
+                                   options.bind_address + "'");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::Internal("debug server: cannot bind " +
+                            options.bind_address + ":" +
+                            std::to_string(options.port));
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    return Status::Internal("debug server: listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return Status::Internal("debug server: getsockname() failed");
+  }
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+
+  pool_ = std::make_unique<ThreadPool>(
+      std::max<size_t>(1, options.num_threads));
+  {
+    MutexLock lock(mu_);
+    PMKM_SCHED_POINT("debug_server.start");
+    listen_fd_ = fd;
+    running_ = true;
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void DebugServer::Stop() {
+  int fd = -1;
+  {
+    MutexLock lock(mu_);
+    PMKM_SCHED_POINT("debug_server.stop");
+    if (!running_) return;
+    running_ = false;
+    fd = listen_fd_;
+    listen_fd_ = -1;
+  }
+  // Unblock accept(): shutdown() makes a blocked accept return, close()
+  // releases the port.
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (pool_ != nullptr) {
+    pool_->Shutdown();  // drains in-flight handlers
+    pool_.reset();
+  }
+}
+
+void DebugServer::AcceptLoop() {
+  while (true) {
+    int listen_fd;
+    {
+      MutexLock lock(mu_);
+      if (!running_) return;
+      listen_fd = listen_fd_;
+    }
+    if (listen_fd < 0) return;
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) {
+      MutexLock lock(mu_);
+      if (!running_) return;  // Stop() closed the listener under us
+      continue;               // transient (EINTR, aborted connection)
+    }
+    // Bound every socket op on the connection: a slow-loris client times
+    // out instead of pinning a handler thread.
+    timeval timeout;
+    timeout.tv_sec = options_.io_timeout_ms / 1000;
+    timeout.tv_usec = (options_.io_timeout_ms % 1000) * 1000;
+    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+    auto future = pool_->Submit([this, conn] { HandleConnection(conn); });
+    if (!future.valid()) {
+      ::close(conn);  // pool already shut down
+      return;
+    }
+  }
+}
+
+void DebugServer::HandleConnection(int fd) const {
+  // Read until the end of the request headers, a timeout, or the cap.
+  std::string request;
+  char buf[2048];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.find("\n\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {  // timeout, reset, or clean close before a full request
+      ::close(fd);
+      return;
+    }
+    request.append(buf, static_cast<size_t>(n));
+    if (request.size() > options_.max_request_bytes) {
+      const std::string response = BuildResponse(
+          431, "text/plain; charset=utf-8", "request too large\n");
+      (void)::send(fd, response.data(), response.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      return;
+    }
+  }
+  // Request line: METHOD SP target SP version.
+  std::string response;
+  const size_t line_end = request.find_first_of("\r\n");
+  std::istringstream line(request.substr(0, line_end));
+  std::string method;
+  std::string target;
+  line >> method >> target;
+  if (method != "GET" && method != "HEAD") {
+    response = BuildResponse(405, "text/plain; charset=utf-8",
+                             "only GET is supported\n");
+  } else {
+    response = RenderResponse(target);
+    if (method == "HEAD") {
+      const size_t header_end = response.find("\r\n\r\n");
+      if (header_end != std::string::npos) {
+        response.resize(header_end + 4);
+      }
+    }
+  }
+  size_t sent = 0;
+  while (sent < response.size()) {
+    const ssize_t n = ::send(fd, response.data() + sent,
+                             response.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;  // timeout or client went away
+    sent += static_cast<size_t>(n);
+  }
+  ::close(fd);
+}
+
+#else  // !PMKM_HAVE_SOCKETS
+
+Status DebugServer::Start(const Options&) {
+  return Status::NotImplemented(
+      "the debug server requires POSIX sockets");
+}
+
+void DebugServer::Stop() {}
+void DebugServer::AcceptLoop() {}
+void DebugServer::HandleConnection(int) const {}
+
+#endif  // PMKM_HAVE_SOCKETS
+
+std::string DebugServer::RenderResponse(const std::string& target) const {
+  // Strip the query string; no endpoint takes parameters yet.
+  std::string path = target.substr(0, target.find('?'));
+  if (path.empty()) path = "/";
+  std::string content_type = "text/plain; charset=utf-8";
+  int http_status = 200;
+  const std::string body = RenderBody(path, &content_type, &http_status);
+  return BuildResponse(http_status, content_type, body);
+}
+
+std::string DebugServer::RenderBody(const std::string& path,
+                                    std::string* content_type,
+                                    int* http_status) const {
+  if (path == "/" || path == "/index" || path == "/index.html") {
+    return RenderIndex();
+  }
+  if (path == "/healthz") {
+    return "ok\n";
+  }
+  if (path == "/metrics") {
+    if (metrics_ == nullptr) return "# metrics not collected\n";
+    return metrics_->ToPrometheusText();
+  }
+  if (path == "/statusz") {
+    return RenderStatusz();
+  }
+  if (path == "/runz") {
+    *content_type = "application/json";
+    return board_.ToJson().Dump(2) + "\n";
+  }
+  if (path == "/tracez") {
+    *content_type = "application/json";
+    return RenderTracez();
+  }
+  if (path == "/pprofz") {
+    const CpuProfiler& profiler = CpuProfiler::Global();
+    std::string folded = profiler.FoldedStacks();
+    if (folded.empty()) {
+      return "# no profile samples; start the process with --profile_out "
+             "(or CpuProfiler::Start) to sample\n";
+    }
+    return folded;
+  }
+  *http_status = 404;
+  return "not found: " + path + "\n";
+}
+
+std::string DebugServer::RenderIndex() const {
+  return
+      "pmkm debug server\n"
+      "\n"
+      "  /metrics   Prometheus exposition (rolling window quantiles "
+      "included)\n"
+      "  /statusz   build info, uptime, live per-operator stats\n"
+      "  /runz      current/most recent run as JSON\n"
+      "  /tracez    recent trace spans as JSON\n"
+      "  /pprofz    folded-stack CPU profile (flamegraph input)\n"
+      "  /healthz   liveness probe\n";
+}
+
+std::string DebugServer::RenderStatusz() const {
+  const RunBoard::StatusSnapshot status = board_.TakeStatus();
+  std::ostringstream out;
+  out << "pmkm debug server\n";
+  out << "build: " << __VERSION__ << "\n";
+  out << "uptime_seconds: "
+      << FormatDouble(
+             static_cast<double>(NowMicros() - started_micros_) / 1e6)
+      << "\n";
+  out << "\n";
+  if (status.runs_started == 0) {
+    out << "no run published yet\n";
+  } else {
+    out << "run: " << (status.run_id.empty() ? "-" : status.run_id)
+        << (status.active ? " ACTIVE" : " finished");
+    if (status.active) {
+      out << " (" << FormatDouble(status.run_elapsed_seconds) << "s)";
+    }
+    out << "\n";
+    if (!status.plan_summary.empty()) {
+      out << "plan: " << status.plan_summary << "\n";
+    }
+    out << "runs: " << status.runs_started << " started, "
+        << status.runs_completed << " completed\n";
+    if (!status.last_status.empty()) {
+      out << "last_run: " << status.last_status << "\n";
+    }
+    out << "\noperators:\n";
+    for (const OperatorStats& stats : status.operators) {
+      out << "  " << stats.ToString() << "\n";
+    }
+  }
+  if (metrics_ != nullptr) {
+    const JsonValue all = metrics_->ToJson();
+    const JsonValue* rolling = all.Find("rolling");
+    if (rolling != nullptr && !rolling->members().empty()) {
+      out << "\nrolling windows:\n";
+      for (const auto& [name, entry] : rolling->members()) {
+        const JsonValue* p50 = entry.Find("p50");
+        const JsonValue* p99 = entry.Find("p99");
+        const JsonValue* count = entry.Find("count");
+        const JsonValue* window = entry.Find("window_seconds");
+        out << "  " << name << ": ";
+        if (count != nullptr) out << "n=" << count->Dump() << " ";
+        if (p50 != nullptr) out << "p50=" << p50->Dump() << " ";
+        if (p99 != nullptr) out << "p99=" << p99->Dump() << " ";
+        if (window != nullptr) {
+          out << "(last " << window->Dump() << "s)";
+        }
+        out << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string DebugServer::RenderTracez() const {
+  JsonValue root = JsonValue::Object();
+  if (trace_ == nullptr) {
+    root.Set("events", JsonValue::Array());
+    root.Set("note", "tracing not enabled");
+    return root.Dump(2) + "\n";
+  }
+  JsonValue events = JsonValue::Array();
+  for (const TraceEvent& e : trace_->Recent(options_.tracez_events)) {
+    JsonValue j = JsonValue::Object();
+    j.Set("name", e.name);
+    j.Set("cat", e.category);
+    j.Set("ts_us", e.start_us);
+    j.Set("dur_us", e.dur_us);
+    j.Set("tid", e.tid);
+    events.Append(std::move(j));
+  }
+  root.Set("events", std::move(events));
+  root.Set("dropped", trace_->dropped());
+  return root.Dump(2) + "\n";
+}
+
+}  // namespace obs
+}  // namespace pmkm

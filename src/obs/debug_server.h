@@ -1,0 +1,128 @@
+// DebugServer: an embedded, dependency-free HTTP/1.1 introspection server
+// for live observability (DESIGN.md §14). While a pipeline runs you can:
+//
+//   curl localhost:PORT/metrics   Prometheus exposition (incl. rolling
+//                                 last-minute quantiles)
+//   curl localhost:PORT/statusz   build info, uptime, active run and the
+//                                 live per-operator stats table
+//   curl localhost:PORT/runz      JSON of the current/most recent run
+//                                 (StreamRunResult + checkpoint state)
+//   curl localhost:PORT/tracez    recent span samples from the trace ring
+//   curl localhost:PORT/pprofz    folded-stack CPU profile (flamegraph
+//                                 input) when the profiler is running
+//   curl localhost:PORT/healthz   liveness probe
+//
+// Threat/robustness model: this binds to loopback by default and is a
+// diagnostics port, not a public API. Still, it must not let a stuck
+// client wedge the process: the accept loop hands connections to a
+// bounded ThreadPool, every socket read/write carries a timeout
+// (slow-loris bound), request size is capped, and responses close the
+// connection. Stop() (or destruction) shuts the listener down and joins
+// everything.
+//
+// Request handling is split from socket I/O: RenderResponse(target)
+// produces the full HTTP response for a GET target, so tests (and the
+// schedcheck sweep) can drive every endpoint against live pipeline state
+// without opening sockets.
+
+#ifndef PMKM_OBS_DEBUG_SERVER_H_
+#define PMKM_OBS_DEBUG_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/annotations.h"
+#include "common/status.h"
+#include "obs/runboard.h"
+
+namespace pmkm {
+
+class MetricsRegistry;
+class TraceRecorder;
+class ThreadPool;
+
+namespace obs {
+
+class CpuProfiler;
+
+class DebugServer {
+ public:
+  struct Options {
+    /// TCP port; 0 asks the kernel for an ephemeral one (read it back
+    /// with port() after Start).
+    int port = 0;
+    /// Loopback by default: a diagnostics port, not a public service.
+    std::string bind_address = "127.0.0.1";
+    /// Connection-handler pool size (bounds concurrent scrapes).
+    size_t num_threads = 2;
+    /// Socket read/write timeout — a slow-loris client is cut off after
+    /// this long, freeing its handler thread.
+    int io_timeout_ms = 2000;
+    /// Request size cap; longer requests get 431 and a closed socket.
+    size_t max_request_bytes = 8192;
+    /// Spans served by /tracez (most recent first in the ring).
+    size_t tracez_events = 256;
+  };
+
+  /// Either sink may be null; the matching endpoints then report
+  /// "not collected". The server does not own the sinks and must be
+  /// stopped before they are destroyed.
+  DebugServer(MetricsRegistry* metrics, TraceRecorder* trace);
+  ~DebugServer();
+
+  DebugServer(const DebugServer&) = delete;
+  DebugServer& operator=(const DebugServer&) = delete;
+
+  /// Binds, listens and spawns the accept thread + handler pool.
+  Status Start(const Options& options);
+  Status Start() { return Start(Options()); }
+
+  /// Stops accepting, drains in-flight handlers and joins all threads.
+  /// Idempotent; also called by the destructor.
+  void Stop();
+
+  /// The bound port (valid after a successful Start).
+  int port() const { return port_; }
+  bool running() const PMKM_EXCLUDES(mu_);
+
+  /// The live run state the engine publishes into
+  /// (PipelineBuilder::WithDebugServer wires this up).
+  RunBoard* board() { return &board_; }
+
+  /// Renders the complete HTTP response for `GET <target>` (path plus
+  /// optional query string). Thread-safe; used by the socket layer and
+  /// directly by tests.
+  std::string RenderResponse(const std::string& target) const;
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd) const;
+
+  // Endpoint bodies (path → content); also sets `content_type`.
+  std::string RenderBody(const std::string& path,
+                         std::string* content_type, int* http_status) const;
+  std::string RenderIndex() const;
+  std::string RenderStatusz() const;
+  std::string RenderTracez() const;
+
+  MetricsRegistry* const metrics_;
+  TraceRecorder* const trace_;
+  RunBoard board_;
+  Options options_;
+  int port_ = -1;
+
+  mutable Mutex mu_;
+  bool running_ PMKM_GUARDED_BY(mu_) = false;
+  int listen_fd_ PMKM_GUARDED_BY(mu_) = -1;
+
+  std::thread accept_thread_;
+  std::unique_ptr<ThreadPool> pool_;
+  uint64_t started_micros_ = 0;
+};
+
+}  // namespace obs
+}  // namespace pmkm
+
+#endif  // PMKM_OBS_DEBUG_SERVER_H_

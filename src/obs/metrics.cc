@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/rolling.h"
+
 namespace pmkm {
 
 // ---------------------------------------------------------------------------
@@ -60,30 +62,38 @@ double Histogram::mean() const {
   return n == 0 ? 0.0 : sum() / static_cast<double>(n);
 }
 
-double Histogram::Percentile(double p) const {
-  const uint64_t n = count();
-  if (n == 0) return 0.0;
+double Histogram::PercentileFromBuckets(
+    const std::array<uint64_t, kBuckets>& buckets, uint64_t count,
+    double p, double observed_min, double observed_max) {
+  if (count == 0) return 0.0;
   p = std::clamp(p, 0.0, 100.0);
-  const double rank = p / 100.0 * static_cast<double>(n);
+  const double rank = p / 100.0 * static_cast<double>(count);
   uint64_t seen = 0;
   for (size_t b = 0; b < kBuckets; ++b) {
-    const uint64_t in_bucket = buckets_[b].load(std::memory_order_relaxed);
+    const uint64_t in_bucket = buckets[b];
     if (in_bucket == 0) continue;
     if (static_cast<double>(seen + in_bucket) >= rank) {
       // Interpolate inside the bucket, clamped to the observed extremes
       // so p0/p100 are exact.
-      const double lo = std::max(BucketLowerBound(b), min());
-      const double hi = std::min(BucketUpperBound(b), max());
-      const double frac =
-          in_bucket == 0
-              ? 0.0
-              : (rank - static_cast<double>(seen)) /
-                    static_cast<double>(in_bucket);
+      const double lo = std::max(BucketLowerBound(b), observed_min);
+      const double hi = std::min(BucketUpperBound(b), observed_max);
+      const double frac = (rank - static_cast<double>(seen)) /
+                          static_cast<double>(in_bucket);
       return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
     }
     seen += in_bucket;
   }
-  return max();
+  return observed_max;
+}
+
+double Histogram::Percentile(double p) const {
+  std::array<uint64_t, kBuckets> copy;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    copy[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  uint64_t n = 0;
+  for (const uint64_t c : copy) n += c;
+  return PercentileFromBuckets(copy, n, p, min(), max());
 }
 
 Histogram::Snapshot Histogram::TakeSnapshot() const {
@@ -95,11 +105,15 @@ Histogram::Snapshot Histogram::TakeSnapshot() const {
   s.p50 = Percentile(50);
   s.p95 = Percentile(95);
   s.p99 = Percentile(99);
+  s.p999 = Percentile(99.9);
   return s;
 }
 
 // ---------------------------------------------------------------------------
 // MetricsRegistry
+
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
 
 Counter& MetricsRegistry::counter(const std::string& name) {
   MutexLock lock(mu_);
@@ -122,9 +136,46 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
   return *slot;
 }
 
+RollingHistogram& MetricsRegistry::rolling_histogram(
+    const std::string& name, uint64_t window_seconds) {
+  MutexLock lock(mu_);
+  auto& slot = rolling_histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<RollingHistogram>(window_seconds);
+  }
+  return *slot;
+}
+
+RollingCounter& MetricsRegistry::rolling_counter(const std::string& name,
+                                                 uint64_t window_seconds) {
+  MutexLock lock(mu_);
+  auto& slot = rolling_counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<RollingCounter>(window_seconds);
+  }
+  return *slot;
+}
+
+void MetricsRegistry::SetHelp(const std::string& name,
+                              const std::string& help) {
+  MutexLock lock(mu_);
+  help_[name] = help;
+}
+
+void MetricsRegistry::SetRunId(const std::string& run_id) {
+  MutexLock lock(mu_);
+  run_id_ = run_id;
+}
+
+std::string MetricsRegistry::run_id() const {
+  MutexLock lock(mu_);
+  return run_id_;
+}
+
 JsonValue MetricsRegistry::ToJson() const {
   MutexLock lock(mu_);
   JsonValue root = JsonValue::Object();
+  if (!run_id_.empty()) root.Set("run_id", run_id_);
   JsonValue counters = JsonValue::Object();
   for (const auto& [name, c] : counters_) {
     counters.Set(name, c->value());
@@ -149,9 +200,36 @@ JsonValue MetricsRegistry::ToJson() const {
     entry.Set("p50", s.p50);
     entry.Set("p95", s.p95);
     entry.Set("p99", s.p99);
+    entry.Set("p999", s.p999);
     histograms.Set(name, std::move(entry));
   }
   root.Set("histograms", std::move(histograms));
+  JsonValue rolling = JsonValue::Object();
+  for (const auto& [name, rh] : rolling_histograms_) {
+    const RollingHistogram::Snapshot s = rh->TakeSnapshot();
+    JsonValue entry = JsonValue::Object();
+    entry.Set("window_seconds", s.window_seconds);
+    entry.Set("count", s.count);
+    entry.Set("sum", s.sum);
+    entry.Set("min", s.min);
+    entry.Set("max", s.max);
+    entry.Set("p50", s.p50);
+    entry.Set("p95", s.p95);
+    entry.Set("p99", s.p99);
+    entry.Set("p999", s.p999);
+    entry.Set("total_count", rh->total().count());
+    rolling.Set(name, std::move(entry));
+  }
+  for (const auto& [name, rc] : rolling_counters_) {
+    const RollingCounter::Snapshot s = rc->TakeSnapshot();
+    JsonValue entry = JsonValue::Object();
+    entry.Set("window_seconds", s.window_seconds);
+    entry.Set("window_count", s.window_count);
+    entry.Set("rate_per_second", s.rate_per_second);
+    entry.Set("total", s.total);
+    rolling.Set(name, std::move(entry));
+  }
+  root.Set("rolling", std::move(rolling));
   return root;
 }
 
@@ -172,33 +250,125 @@ std::string PromNumber(double v) {
   return j.Dump();
 }
 
+// HELP text: registered help wins; otherwise a generated description.
+// Prometheus HELP escaping: backslash and newline only (quotes are legal).
+std::string PromEscapeHelp(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 }  // namespace
+
+std::string PromEscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
 
 std::string MetricsRegistry::ToPrometheusText(
     const std::string& prefix) const {
   MutexLock lock(mu_);
+  const auto help_for = [this](const std::string& name,
+                               const std::string& fallback)
+                            PMKM_REQUIRES(mu_) -> std::string {
+    const auto it = help_.find(name);
+    return PromEscapeHelp(it != help_.end() ? it->second : fallback);
+  };
   std::string out;
+  if (!run_id_.empty()) {
+    const std::string p = PromName(prefix, "run_info");
+    out += "# HELP " + p + " Active run identity (run_id label).\n";
+    out += "# TYPE " + p + " gauge\n";
+    out += p + "{run_id=\"" + PromEscapeLabelValue(run_id_) + "\"} 1\n";
+  }
   for (const auto& [name, c] : counters_) {
     const std::string p = PromName(prefix, name);
+    out += "# HELP " + p + " " +
+           help_for(name, "Cumulative count of " + p + ".") + "\n";
     out += "# TYPE " + p + " counter\n";
     out += p + " " + std::to_string(c->value()) + "\n";
   }
   for (const auto& [name, g] : gauges_) {
     const std::string p = PromName(prefix, name);
+    out += "# HELP " + p + " " +
+           help_for(name, "Last observed value of " + p + ".") + "\n";
     out += "# TYPE " + p + " gauge\n";
     out += p + " " + std::to_string(g->value()) + "\n";
+    out += "# HELP " + p + "_max High-water mark of " + p + ".\n";
     out += "# TYPE " + p + "_max gauge\n";
     out += p + "_max " + std::to_string(g->max()) + "\n";
   }
   for (const auto& [name, h] : histograms_) {
     const std::string p = PromName(prefix, name);
     const Histogram::Snapshot s = h->TakeSnapshot();
+    out += "# HELP " + p + " " +
+           help_for(name, "Distribution of " + p + ".") + "\n";
     out += "# TYPE " + p + " summary\n";
     out += p + "{quantile=\"0.5\"} " + PromNumber(s.p50) + "\n";
     out += p + "{quantile=\"0.95\"} " + PromNumber(s.p95) + "\n";
     out += p + "{quantile=\"0.99\"} " + PromNumber(s.p99) + "\n";
+    out += p + "{quantile=\"0.999\"} " + PromNumber(s.p999) + "\n";
     out += p + "_sum " + PromNumber(s.sum) + "\n";
     out += p + "_count " + std::to_string(s.count) + "\n";
+  }
+  for (const auto& [name, rh] : rolling_histograms_) {
+    const std::string p = PromName(prefix, name);
+    const RollingHistogram::Snapshot s = rh->TakeSnapshot();
+    const std::string window =
+        "window=\"" + std::to_string(s.window_seconds) + "s\"";
+    const Histogram::Snapshot t = rh->total().TakeSnapshot();
+    out += "# HELP " + p + " " +
+           help_for(name, "Distribution of " + p +
+                              " (quantiles over the trailing window; "
+                              "_sum/_count cumulative).") +
+           "\n";
+    out += "# TYPE " + p + " summary\n";
+    out += p + "{" + window + ",quantile=\"0.5\"} " + PromNumber(s.p50) +
+           "\n";
+    out += p + "{" + window + ",quantile=\"0.95\"} " + PromNumber(s.p95) +
+           "\n";
+    out += p + "{" + window + ",quantile=\"0.99\"} " + PromNumber(s.p99) +
+           "\n";
+    out += p + "{" + window + ",quantile=\"0.999\"} " +
+           PromNumber(s.p999) + "\n";
+    // Cumulative (never-reset) sum/count keep scrapes monotonic.
+    out += p + "_sum " + PromNumber(t.sum) + "\n";
+    out += p + "_count " + std::to_string(t.count) + "\n";
+  }
+  for (const auto& [name, rc] : rolling_counters_) {
+    const std::string p = PromName(prefix, name);
+    const RollingCounter::Snapshot s = rc->TakeSnapshot();
+    out += "# HELP " + p + " " +
+           help_for(name, "Cumulative count of " + p +
+                              " (_rate over the trailing window).") +
+           "\n";
+    out += "# TYPE " + p + " counter\n";
+    out += p + " " + std::to_string(s.total) + "\n";
+    out += "# HELP " + p + "_rate Events per second over the trailing " +
+           std::to_string(s.window_seconds) + "s window.\n";
+    out += "# TYPE " + p + "_rate gauge\n";
+    out += p + "_rate " + PromNumber(s.rate_per_second) + "\n";
   }
   return out;
 }

@@ -5,13 +5,20 @@
 // instrument is a stable pointer; recording is relaxed atomics only):
 //   Counter   — monotonically increasing uint64 (rows scanned, retries).
 //   Gauge     — last-set int64 plus its high-water mark (queue depth).
-//   Histogram — log₂-bucketed distribution with approximate p50/p95/p99
-//               (queue block times, span durations). Bucket b covers
-//               [2^(b-1), 2^b); values are unit-agnostic doubles, by
-//               convention microseconds for "_us"-suffixed metrics.
+//   Histogram — log₂-bucketed distribution with approximate
+//               p50/p95/p99/p99.9 and exact min/max (queue block times,
+//               span durations). Bucket b covers [2^(b-1), 2^b); values
+//               are unit-agnostic doubles, by convention microseconds for
+//               "_us"-suffixed metrics.
+//
+// Time-windowed variants (RollingHistogram / RollingCounter, obs/rolling.h)
+// layer a ring of per-second slots over the same log₂ buckets so /metrics
+// and /statusz can report last-minute percentiles; the registry owns them
+// alongside the cumulative instruments.
 //
 // Exports: JSON (machine-readable run stats, parsed back by
-// `pmkm_inspect metrics`) and Prometheus text exposition format.
+// `pmkm_inspect metrics`) and Prometheus text exposition format
+// (`# HELP`/`# TYPE` lines, escaped label values).
 //
 // Overhead budget (DESIGN.md §9): instruments are only consulted through
 // pointers that are null when observability is off, so a disabled pipeline
@@ -91,19 +98,29 @@ class Histogram {
   struct Snapshot {
     uint64_t count = 0;
     double sum = 0.0;
-    double min = 0.0;
-    double max = 0.0;
+    double min = 0.0;   // exact (CAS-tracked, not bucket-derived)
+    double max = 0.0;   // exact
     double p50 = 0.0;
     double p95 = 0.0;
     double p99 = 0.0;
+    double p999 = 0.0;  // p99.9, the SLO tail quantile
   };
   Snapshot TakeSnapshot() const;
 
- private:
+  // Bucket geometry, shared with RollingHistogram (obs/rolling.h) so the
+  // windowed variant merges slots in the exact same bucket space.
   static size_t BucketIndex(double v);
   static double BucketLowerBound(size_t b);
   static double BucketUpperBound(size_t b);
 
+  /// Percentile over an externally merged bucket array (same geometry),
+  /// clamped to the observed [min, max] so p0/p100 are exact. `count`
+  /// must equal the sum of `buckets`.
+  static double PercentileFromBuckets(
+      const std::array<uint64_t, kBuckets>& buckets, uint64_t count,
+      double p, double observed_min, double observed_max);
+
+ private:
   std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
   std::atomic<uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
@@ -112,23 +129,55 @@ class Histogram {
   std::atomic<double> max_{0.0};
 };
 
+class RollingHistogram;
+class RollingCounter;
+
+/// Escapes a Prometheus label value: backslash, double-quote and newline
+/// get backslash-escaped per the text exposition format.
+std::string PromEscapeLabelValue(const std::string& value);
+
 /// Thread-safe name → instrument registry. Instruments live as long as the
 /// registry and their addresses are stable, so hot paths resolve a name
 /// once and record through the pointer ever after.
 class MetricsRegistry {
  public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+
   Counter& counter(const std::string& name) PMKM_EXCLUDES(mu_);
   Gauge& gauge(const std::string& name) PMKM_EXCLUDES(mu_);
   Histogram& histogram(const std::string& name) PMKM_EXCLUDES(mu_);
 
-  /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  /// Windowed instruments (obs/rolling.h). `window_seconds` applies only
+  /// on first registration of the name.
+  RollingHistogram& rolling_histogram(const std::string& name,
+                                      uint64_t window_seconds = 60)
+      PMKM_EXCLUDES(mu_);
+  RollingCounter& rolling_counter(const std::string& name,
+                                  uint64_t window_seconds = 60)
+      PMKM_EXCLUDES(mu_);
+
+  /// Optional `# HELP` text attached to an instrument name; instruments
+  /// without one export a generated description.
+  void SetHelp(const std::string& name, const std::string& help)
+      PMKM_EXCLUDES(mu_);
+
+  /// Tags every export with the run id: JSON gains a "run_id" field and
+  /// the Prometheus text gains `pmkm_run_info{run_id="..."} 1`.
+  void SetRunId(const std::string& run_id) PMKM_EXCLUDES(mu_);
+  std::string run_id() const PMKM_EXCLUDES(mu_);
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...},
+  ///  "rolling": {...}} plus "run_id" when set.
   JsonValue ToJson() const PMKM_EXCLUDES(mu_);
   std::string ToJsonString(int indent = 2) const {
     return ToJson().Dump(indent);
   }
 
   /// Prometheus text exposition format; metric names are prefixed and
-  /// sanitized ([a-zA-Z0-9_] only). Histograms export as summaries.
+  /// sanitized ([a-zA-Z0-9_] only). Histograms export as summaries;
+  /// rolling histograms export windowed quantiles (window="60s" label)
+  /// with cumulative _count/_sum so scrapes stay monotonic.
   std::string ToPrometheusText(const std::string& prefix = "pmkm") const
       PMKM_EXCLUDES(mu_);
 
@@ -143,6 +192,12 @@ class MetricsRegistry {
       PMKM_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Histogram>> histograms_
       PMKM_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<RollingHistogram>>
+      rolling_histograms_ PMKM_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<RollingCounter>> rolling_counters_
+      PMKM_GUARDED_BY(mu_);
+  std::map<std::string, std::string> help_ PMKM_GUARDED_BY(mu_);
+  std::string run_id_ PMKM_GUARDED_BY(mu_);
 };
 
 }  // namespace pmkm

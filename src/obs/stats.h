@@ -18,19 +18,33 @@ namespace pmkm {
 class MetricsRegistry;
 class TraceRecorder;
 
-/// Optional observability sinks threaded through a pipeline run. Both
+namespace obs {
+class RunBoard;
+}  // namespace obs
+
+/// Optional observability sinks threaded through a pipeline run. All
 /// pointers may be null (the default): a disabled pipeline pays one
 /// pointer test per potential record and nothing else.
 ///
 /// Deprecated as a user-facing API: prefer
-/// PipelineBuilder::WithMetrics()/WithTrace() (stream/engine.h), which own
-/// the sink wiring. Populating StreamExecOptions::obs directly keeps
-/// working for existing callers.
+/// PipelineBuilder::WithMetrics()/WithTrace()/WithDebugServer()
+/// (stream/engine.h), which own the sink wiring. Populating
+/// StreamExecOptions::obs directly keeps working for existing callers.
 struct ObsContext {
   MetricsRegistry* metrics = nullptr;
   TraceRecorder* trace = nullptr;
+  /// Live run state served by the debug server's /statusz and /runz
+  /// (obs/runboard.h); operators publish their stats into it per work
+  /// unit. Null unless a debug server is attached.
+  obs::RunBoard* board = nullptr;
+  /// Identity tag for this run. Empty = the engine generates one; it ends
+  /// up in log lines, the metrics export, the trace file and the
+  /// checkpoint journal so artifacts of one run correlate.
+  std::string run_id;
 
-  bool enabled() const { return metrics != nullptr || trace != nullptr; }
+  bool enabled() const {
+    return metrics != nullptr || trace != nullptr || board != nullptr;
+  }
 };
 
 /// What one operator instance did during a run. Rows are the operator's

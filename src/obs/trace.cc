@@ -1,5 +1,6 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <fstream>
 
 namespace pmkm {
@@ -14,14 +15,70 @@ uint32_t TraceRecorder::TidLocked(std::thread::id id) {
 void TraceRecorder::Add(TraceEvent event) {
   MutexLock lock(mu_);
   event.tid = TidLocked(std::this_thread::get_id());
-  events_.push_back(std::move(event));
+  ++total_;
+  if (capacity_ == 0 || events_.size() < capacity_) {
+    events_.push_back(std::move(event));
+    return;
+  }
+  // Ring is full: overwrite the oldest slot.
+  events_[(total_ - 1) % capacity_] = std::move(event);
+  ++dropped_;
+}
+
+void TraceRecorder::SetCapacity(size_t max_events) {
+  MutexLock lock(mu_);
+  if (max_events != 0 && events_.size() > max_events) {
+    std::vector<TraceEvent> kept = OrderedLocked(max_events);
+    dropped_ += events_.size() - kept.size();
+    events_ = std::move(kept);
+    total_ = events_.size();
+  } else if (capacity_ != 0 && events_.size() == capacity_) {
+    // Un-rotate so future appends (to a larger/unbounded store) keep
+    // chronological order.
+    events_ = OrderedLocked(events_.size());
+    total_ = events_.size();
+  }
+  capacity_ = max_events;
+}
+
+std::vector<TraceEvent> TraceRecorder::OrderedLocked(size_t n) const {
+  std::vector<TraceEvent> out;
+  const size_t have = events_.size();
+  n = std::min(n, have);
+  out.reserve(n);
+  // Once the ring wrapped, the oldest retained event sits at the next
+  // write slot; before that events_ is already chronological.
+  const size_t start =
+      (capacity_ != 0 && have == capacity_ && total_ > capacity_)
+          ? total_ % capacity_
+          : 0;
+  for (size_t i = have - n; i < have; ++i) {
+    out.push_back(events_[(start + i) % have]);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  MutexLock lock(mu_);
+  return OrderedLocked(events_.size());
+}
+
+std::vector<TraceEvent> TraceRecorder::Recent(size_t n) const {
+  MutexLock lock(mu_);
+  return OrderedLocked(n);
+}
+
+void TraceRecorder::SetRunId(const std::string& run_id) {
+  MutexLock lock(mu_);
+  run_id_ = run_id;
 }
 
 JsonValue TraceRecorder::ToJson() const {
   MutexLock lock(mu_);
   JsonValue root = JsonValue::Object();
+  if (!run_id_.empty()) root.Set("run_id", run_id_);
   JsonValue events = JsonValue::Array();
-  for (const TraceEvent& e : events_) {
+  for (const TraceEvent& e : OrderedLocked(events_.size())) {
     JsonValue j = JsonValue::Object();
     j.Set("name", e.name);
     j.Set("cat", e.category);

@@ -15,6 +15,11 @@
 // read the clock — which is how the pipeline stays zero-cost with tracing
 // off. Events append under a mutex; spans are per-bucket/chunk/cell
 // (hundreds to thousands per run), far off any hot path.
+//
+// Long-running processes cap the recorder with SetCapacity(n): the event
+// store becomes a ring that keeps the most recent n spans (dropped() counts
+// the overwritten ones). The debug server's /tracez serves Recent(n) from
+// that ring.
 
 #ifndef PMKM_OBS_TRACE_H_
 #define PMKM_OBS_TRACE_H_
@@ -58,17 +63,33 @@ class TraceRecorder {
 
   void Add(TraceEvent event) PMKM_EXCLUDES(mu_);
 
+  /// Bounds the event store to a ring of the most recent `max_events`
+  /// spans (0 = unbounded, the default). Shrinking an over-full store
+  /// keeps the newest events.
+  void SetCapacity(size_t max_events) PMKM_EXCLUDES(mu_);
+
+  /// Events overwritten because the ring was full.
+  uint64_t dropped() const PMKM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return dropped_;
+  }
+
   size_t size() const PMKM_EXCLUDES(mu_) {
     MutexLock lock(mu_);
     return events_.size();
   }
 
-  std::vector<TraceEvent> Events() const PMKM_EXCLUDES(mu_) {
-    MutexLock lock(mu_);
-    return events_;
-  }
+  /// All retained events, oldest first.
+  std::vector<TraceEvent> Events() const PMKM_EXCLUDES(mu_);
 
-  /// {"traceEvents": [...], "displayTimeUnit": "ms"}.
+  /// The most recent `n` events, oldest first.
+  std::vector<TraceEvent> Recent(size_t n) const PMKM_EXCLUDES(mu_);
+
+  /// Tags ToJson with a top-level "run_id" (empty = untagged).
+  void SetRunId(const std::string& run_id) PMKM_EXCLUDES(mu_);
+
+  /// {"traceEvents": [...], "displayTimeUnit": "ms"} plus "run_id" when
+  /// set.
   JsonValue ToJson() const PMKM_EXCLUDES(mu_);
 
   Status WriteJson(const std::string& path) const PMKM_EXCLUDES(mu_);
@@ -77,8 +98,17 @@ class TraceRecorder {
   // Small dense id per thread; Chrome renders one row per tid.
   uint32_t TidLocked(std::thread::id id) PMKM_REQUIRES(mu_);
 
+  // Retained events, oldest first (materializes the ring order).
+  std::vector<TraceEvent> OrderedLocked(size_t n) const PMKM_REQUIRES(mu_);
+
   mutable Mutex mu_;
+  // Unbounded: plain append. Bounded: a ring where slot (total_ %
+  // capacity_) is the next write position once full.
   std::vector<TraceEvent> events_ PMKM_GUARDED_BY(mu_);
+  size_t capacity_ PMKM_GUARDED_BY(mu_) = 0;
+  uint64_t total_ PMKM_GUARDED_BY(mu_) = 0;
+  uint64_t dropped_ PMKM_GUARDED_BY(mu_) = 0;
+  std::string run_id_ PMKM_GUARDED_BY(mu_);
   std::map<std::thread::id, uint32_t> tids_ PMKM_GUARDED_BY(mu_);
   std::chrono::steady_clock::time_point origin_;
 };

@@ -258,6 +258,10 @@ CheckpointState ReplayCheckpointJournal(const JournalRecovery& recovery) {
           state.config_fingerprint = fp;
           state.fingerprint_known = true;
           state.run_complete = false;
+          // The writing run's id trails the fingerprint (absent in old
+          // journals, which is fine).
+          state.run_id.assign(record.payload.begin() + 8,
+                              record.payload.end());
         } else {
           ++state.records_dropped;
         }
@@ -366,6 +370,9 @@ Result<CheckpointWriter> CheckpointWriter::Open(
   if (!writer.recovered_.fingerprint_known) {
     std::vector<uint8_t> payload;
     PutU64(&payload, config_fingerprint);
+    // The run id rides after the fingerprint; old decoders ignore
+    // trailing payload bytes, so this stays resume-compatible.
+    payload.insert(payload.end(), obs.run_id.begin(), obs.run_id.end());
     PMKM_RETURN_NOT_OK(writer.Append(CheckpointRecordType::kRunBegin,
                                      payload));
     PMKM_RETURN_NOT_OK(writer.SyncNow());

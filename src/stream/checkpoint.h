@@ -80,6 +80,11 @@ struct CheckpointState {
   uint64_t config_fingerprint = 0;
   bool fingerprint_known = false;
 
+  /// Run id of the run that wrote the journal (trailing bytes of the
+  /// kRunBegin payload; empty for journals from before run ids existed —
+  /// decoders ignore trailing bytes, so the formats interoperate).
+  std::string run_id;
+
   /// Sequence number of the last valid record — the epoch recovery landed
   /// on. 0 for an empty/missing journal.
   uint64_t epoch = 0;

@@ -1,6 +1,9 @@
 #include "stream/engine.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <memory>
 #include <optional>
@@ -8,12 +11,58 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "obs/debug_server.h"
 #include "obs/metrics.h"
+#include "obs/runboard.h"
+#include "obs/trace.h"
 #include "stream/explain.h"
 
 namespace pmkm {
 
 namespace {
+
+// A fresh run id: 16 hex chars hashed from the wall clock, this process's
+// address space and a per-process counter — unique enough to correlate
+// the artifacts of one run without any coordination.
+std::string GenerateRunId() {
+  static std::atomic<uint64_t> counter{0};
+  const uint64_t now = static_cast<uint64_t>(
+      std::chrono::system_clock::now().time_since_epoch().count());
+  const uint64_t seq = counter.fetch_add(1, std::memory_order_relaxed);
+  const auto self = reinterpret_cast<uintptr_t>(&counter);  // ASLR entropy
+  uint64_t h = internal::Fnv1a64(&now, sizeof(now), internal::kFnvOffset);
+  h = internal::Fnv1a64(&seq, sizeof(seq), h);
+  h = internal::Fnv1a64(&self, sizeof(self), h);
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+// Stamps the run id onto every attached artifact sink: log lines, the
+// metrics export (pmkm_run_info) and the trace file.
+void ApplyRunIdTags(const ObsContext& obs) {
+  SetLogRunId(obs.run_id);
+  if (obs.metrics != nullptr) obs.metrics->SetRunId(obs.run_id);
+  if (obs.trace != nullptr) obs.trace->SetRunId(obs.run_id);
+}
+
+std::string PlanSummary(const PhysicalPlan& plan) {
+  return "chunk=" + std::to_string(plan.chunk_points) + " clones=" +
+         std::to_string(plan.partial_clones) + " queue=" +
+         std::to_string(plan.queue_capacity);
+}
+
+// Publishes a failed run to the board (no-op without one) and forwards
+// the status, so error returns stay one-liners.
+Status FailRun(const ObsContext& obs, Status status) {
+  if (obs.board != nullptr) {
+    JsonValue error = JsonValue::Object();
+    error.Set("error", status.ToString());
+    obs.board->EndRun(false, status.ToString(), std::move(error));
+  }
+  return status;
+}
 
 // Resolves options.kernel and points both Lloyd configs at it (explicitly
 // set lloyd.kernel pointers win). Fails if the host cannot run it.
@@ -168,6 +217,8 @@ Result<StreamRunResult> RunPlan(std::unique_ptr<Operator> scan,
   Executor executor;
   scan->set_failure_policy(exec.failure_policy);
   scan->set_obs(exec.obs);
+  scan->set_live_slot(0);
+  std::vector<std::string> operator_names{scan->name()};
   executor.Add(std::move(scan));
   std::vector<PartialKMeansOperator*> partial_raw;
   for (size_t c = 0; c < plan.partial_clones; ++c) {
@@ -176,6 +227,8 @@ Result<StreamRunResult> RunPlan(std::unique_ptr<Operator> scan,
         "partial-kmeans#" + std::to_string(c), exec.io_retry);
     partial->set_failure_policy(exec.failure_policy);
     partial->set_obs(exec.obs);
+    partial->set_live_slot(operator_names.size());
+    operator_names.push_back(partial->name());
     partial_raw.push_back(partial.get());
     executor.Add(std::move(partial));
   }
@@ -184,18 +237,28 @@ Result<StreamRunResult> RunPlan(std::unique_ptr<Operator> scan,
   merge->set_obs(exec.obs);
   merge->set_failure_policy(exec.failure_policy);
   merge->set_checkpoint(checkpoint);
+  merge->set_live_slot(operator_names.size());
+  operator_names.push_back(merge->name());
   MergeKMeansOperator* merge_raw = merge.get();
   executor.Add(std::move(merge));
+
+  if (exec.obs.board != nullptr) {
+    exec.obs.board->BeginRun(exec.obs.run_id, PlanSummary(plan),
+                             operator_names);
+  }
 
   ExecutorOptions executor_options;
   executor_options.max_retries = exec.max_retries;
   executor_options.op_timeout_ms = exec.op_timeout_ms;
 
   const Stopwatch watch;
-  PMKM_RETURN_NOT_OK(executor.Run(executor_options));
+  if (Status st = executor.Run(executor_options); !st.ok()) {
+    return FailRun(exec.obs, std::move(st));
+  }
 
   StreamRunResult out;
   out.plan = plan;
+  out.run_id = exec.obs.run_id;
   out.wall_seconds = watch.ElapsedSeconds();
   out.cells = merge_raw->results();
   // Resumed cells join the result as if the merge had just produced them
@@ -244,7 +307,9 @@ Result<StreamRunResult> RunPlan(std::unique_ptr<Operator> scan,
       !run_degraded) {
     const Status st = checkpoint->Finalize();
     if (!st.ok()) {
-      if (exec.failure_policy == FailurePolicy::kFailFast) return st;
+      if (exec.failure_policy == FailurePolicy::kFailFast) {
+        return FailRun(exec.obs, st);
+      }
       PMKM_LOG(Warning) << "checkpoint finalize failed: " << st;
       ckpt_degraded = true;
     }
@@ -272,6 +337,19 @@ Result<StreamRunResult> RunPlan(std::unique_ptr<Operator> scan,
       exec.obs.metrics->counter("queue." + q.name + ".pushed")
           .Increment(q.total_pushed);
     }
+  }
+  if (exec.obs.board != nullptr) {
+    if (checkpoint != nullptr) {
+      JsonValue ckpt = JsonValue::Object();
+      ckpt.Set("cells_journaled", checkpoint->cells_appended());
+      ckpt.Set("epoch", checkpoint->epoch());
+      ckpt.Set("cells_resumed", out.report.cells_resumed);
+      ckpt.Set("degraded", out.report.checkpoint_degraded);
+      exec.obs.board->PublishCheckpoint(std::move(ckpt));
+    }
+    exec.obs.board->EndRun(
+        true, out.report.degraded ? "ok (degraded)" : "ok",
+        StreamRunResultToJson(out));
   }
   return out;
 }
@@ -371,10 +449,19 @@ Result<EngineOptions> EngineFlags::ToOptions() const {
   return options;
 }
 
+PipelineBuilder& PipelineBuilder::WithDebugServer(obs::DebugServer* server) {
+  options_.exec.obs.board = server == nullptr ? nullptr : server->board();
+  return *this;
+}
+
 Result<StreamRunResult> PipelineBuilder::Run(
     const std::vector<std::string>& bucket_paths) const {
   EngineOptions options = options_;
   PMKM_RETURN_NOT_OK(ResolveKernel(&options));
+  if (options.exec.obs.run_id.empty()) {
+    options.exec.obs.run_id = GenerateRunId();
+  }
+  ApplyRunIdTags(options.exec.obs);
   // The plan is always computed from the FULL input list, even when the
   // checkpoint lets the scan skip buckets: the probed bucket (and with it
   // the partition size N') must not depend on how far the previous run
@@ -417,16 +504,27 @@ Result<StreamRunResult> PipelineBuilder::Run(
     // execute. Reconstruct the result from the journal alone.
     StreamRunResult out;
     out.plan = probed.plan;
+    out.run_id = options.exec.obs.run_id;
     out.cells = std::move(split.restored);
     RunReport& report = out.report;
     report.failure_policy = options.exec.failure_policy;
     report.cells_clustered = out.cells.size();
+    if (options.exec.obs.board != nullptr) {
+      options.exec.obs.board->BeginRun(out.run_id, PlanSummary(out.plan),
+                                       {});
+    }
     if (checkpoint.has_value()) {
-      PMKM_RETURN_NOT_OK(checkpoint->Finalize());
+      if (Status st = checkpoint->Finalize(); !st.ok()) {
+        return FailRun(options.exec.obs, std::move(st));
+      }
     }
     FillCheckpointReport(
         checkpoint.has_value() ? &*checkpoint : nullptr, out.cells.size(),
         checkpoint_degraded, options.exec.obs, &report);
+    if (options.exec.obs.board != nullptr) {
+      options.exec.obs.board->EndRun(true, "ok (resumed from checkpoint)",
+                                     StreamRunResultToJson(out));
+    }
     return out;
   }
 
@@ -450,6 +548,10 @@ Result<StreamRunResult> PipelineBuilder::RunInMemory(
   }
   EngineOptions options = options_;
   PMKM_RETURN_NOT_OK(ResolveKernel(&options));
+  if (options.exec.obs.run_id.empty()) {
+    options.exec.obs.run_id = GenerateRunId();
+  }
+  ApplyRunIdTags(options.exec.obs);
   const size_t dim = cells[0].points.dim();
   size_t max_points = 0;
   for (const GridBucket& c : cells) {

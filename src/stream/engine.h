@@ -37,6 +37,10 @@
 
 namespace pmkm {
 
+namespace obs {
+class DebugServer;
+}  // namespace obs
+
 /// Everything one streamed partial/merge run needs.
 struct EngineOptions {
   /// Per-chunk clustering run by each partial clone.
@@ -137,6 +141,18 @@ class PipelineBuilder {
   /// Wires a Chrome-trace recorder into the run.
   PipelineBuilder& WithTrace(TraceRecorder* trace) {
     options_.exec.obs.trace = trace;
+    return *this;
+  }
+  /// Attaches a live debug server (obs/debug_server.h): the run publishes
+  /// its identity, live per-operator stats and the final result into the
+  /// server's RunBoard, served at /statusz and /runz while the pipeline
+  /// executes. Null detaches.
+  PipelineBuilder& WithDebugServer(obs::DebugServer* server);
+  /// Tags the run with an explicit id. By default the engine generates
+  /// one; the id appears in log lines, the metrics export, the trace file
+  /// and the checkpoint journal so one run's artifacts correlate.
+  PipelineBuilder& WithRunId(std::string run_id) {
+    options_.exec.obs.run_id = std::move(run_id);
     return *this;
   }
   PipelineBuilder& WithChunkPoints(size_t chunk_points) {

@@ -102,4 +102,80 @@ std::string ExplainAnalyzePartialMerge(const KMeansConfig& partial,
   return os.str();
 }
 
+JsonValue RunReportToJson(const RunReport& report) {
+  JsonValue out = JsonValue::Object();
+  out.Set("failure_policy", FailurePolicyToString(report.failure_policy));
+  out.Set("cells_clustered", report.cells_clustered);
+  out.Set("io_retries", report.io_retries);
+  out.Set("chunks_dropped", report.chunks_dropped);
+  out.Set("operator_restarts", report.operator_restarts);
+  out.Set("degraded", report.degraded);
+  if (!report.stalled_operators.empty()) {
+    out.Set("stalled_operators", report.stalled_operators);
+  }
+  JsonValue quarantined = JsonValue::Array();
+  for (const QuarantinedCellReport& q : report.quarantined) {
+    JsonValue j = JsonValue::Object();
+    if (!q.path.empty()) j.Set("path", q.path);
+    if (q.cell_known) j.Set("cell", q.cell.ToString());
+    j.Set("reason", q.reason);
+    quarantined.Append(std::move(j));
+  }
+  out.Set("quarantined", std::move(quarantined));
+  if (report.cells_resumed > 0 || report.checkpoint_cells > 0 ||
+      report.checkpoint_degraded) {
+    JsonValue ckpt = JsonValue::Object();
+    ckpt.Set("cells_resumed", report.cells_resumed);
+    ckpt.Set("cells_journaled", report.checkpoint_cells);
+    ckpt.Set("epoch", report.checkpoint_epoch);
+    ckpt.Set("torn_tail", report.checkpoint_torn_tail);
+    ckpt.Set("degraded", report.checkpoint_degraded);
+    out.Set("checkpoint", std::move(ckpt));
+  }
+  return out;
+}
+
+JsonValue StreamRunResultToJson(const StreamRunResult& result) {
+  JsonValue out = JsonValue::Object();
+  if (!result.run_id.empty()) out.Set("run_id", result.run_id);
+  out.Set("wall_seconds", result.wall_seconds);
+  JsonValue plan = JsonValue::Object();
+  plan.Set("chunk_points", result.plan.chunk_points);
+  plan.Set("partial_clones", result.plan.partial_clones);
+  plan.Set("queue_capacity", result.plan.queue_capacity);
+  out.Set("plan", std::move(plan));
+  out.Set("report", RunReportToJson(result.report));
+  JsonValue operators = JsonValue::Array();
+  for (const OperatorStats& stats : result.operator_stats) {
+    operators.Append(stats.ToJson());
+  }
+  out.Set("operators", std::move(operators));
+  JsonValue queues = JsonValue::Array();
+  for (const QueueStatsSnapshot& q : result.queues) {
+    JsonValue j = JsonValue::Object();
+    j.Set("name", q.name);
+    j.Set("capacity", q.capacity);
+    j.Set("high_water_mark", q.high_water_mark);
+    j.Set("total_pushed", q.total_pushed);
+    queues.Append(std::move(j));
+  }
+  out.Set("queues", std::move(queues));
+  // Per-cell summary only: the centroid payload belongs in the model
+  // files, not a diagnostics endpoint.
+  JsonValue cells = JsonValue::Array();
+  for (const auto& [cell, clustering] : result.cells) {
+    JsonValue j = JsonValue::Object();
+    j.Set("cell", cell.ToString());
+    j.Set("k", clustering.model.centroids.size());
+    j.Set("input_points", clustering.input_points);
+    j.Set("pooled_centroids", clustering.pooled_centroids);
+    j.Set("sse", clustering.model.sse);
+    j.Set("iterations", clustering.model.iterations);
+    j.Set("merge_seconds", clustering.merge_seconds);
+    cells.Append(std::move(j));
+  }
+  out.Set("cells", std::move(cells));
+  return out;
+}
+
 }  // namespace pmkm

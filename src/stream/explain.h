@@ -38,6 +38,15 @@ std::string ExplainAnalyzePartialMerge(const KMeansConfig& partial,
                                        const MergeKMeansConfig& merge,
                                        const StreamRunResult& result);
 
+/// The resilience report as JSON (a sub-object of the run result JSON).
+JsonValue RunReportToJson(const RunReport& report);
+
+/// The full run outcome as JSON: plan knobs, wall time, run id, the
+/// report, per-operator stats and queue snapshots, plus a per-cell
+/// summary (cells carry counts and SSE, not the centroid payload). This
+/// is what the engine publishes to the debug server's /runz.
+JsonValue StreamRunResultToJson(const StreamRunResult& result);
+
 }  // namespace pmkm
 
 #endif  // PMKM_STREAM_EXPLAIN_H_

@@ -8,9 +8,16 @@
 #include "common/logging.h"
 #include "common/schedcheck/thread.h"
 #include "common/stopwatch.h"
+#include "obs/runboard.h"
 #include "obs/trace.h"
 
 namespace pmkm {
+
+void Operator::PublishLive() {
+  if (obs_.board != nullptr) {
+    obs_.board->PublishOperator(live_slot_, stats_);
+  }
+}
 
 const char* FailurePolicyToString(FailurePolicy policy) {
   switch (policy) {

@@ -90,6 +90,12 @@ class Operator {
   const ObsContext& obs() const { return obs_; }
   void set_obs(const ObsContext& obs) { obs_ = obs; }
 
+  /// Slot of this instance in the RunBoard layout declared by
+  /// RunBoard::BeginRun (set by the engine together with set_obs when a
+  /// debug server is attached).
+  void set_live_slot(size_t slot) { live_slot_ = slot; }
+  size_t live_slot() const { return live_slot_; }
+
   /// Execution accounting for this instance. Written by the operator's own
   /// executor thread during Run() and by the executor around it; read it
   /// only after the pipeline joined (the ExecutorReport carries a copy).
@@ -106,10 +112,16 @@ class Operator {
  protected:
   void TickProgress() { progress_.fetch_add(1, std::memory_order_relaxed); }
 
+  /// Copies the current stats into the attached RunBoard slot so the
+  /// debug server's /statusz shows live per-operator progress. Call after
+  /// each completed work unit (chunk/bucket/cell); no-op without a board.
+  void PublishLive();
+
  private:
   std::string name_;
   FailurePolicy failure_policy_ = FailurePolicy::kFailFast;
   std::atomic<uint64_t> progress_{0};
+  size_t live_slot_ = 0;
   OperatorStats stats_;
   ObsContext obs_;
 };

@@ -8,6 +8,8 @@
 #include "common/fault.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/rolling.h"
 #include "obs/trace.h"
 #include "stream/checkpoint.h"
 
@@ -28,6 +30,16 @@ size_t PointBytes(size_t rows, size_t dim) {
 }
 size_t WeightedBytes(size_t rows, size_t dim) {
   return rows * (dim + 1) * sizeof(double);
+}
+
+// Records one work-unit latency into the named rolling histogram (last-
+// minute percentiles on /metrics and /statusz); no-op without a registry.
+void RecordRollingUs(MetricsRegistry* metrics, const char* name,
+                     double seconds) {
+  if (metrics != nullptr) {
+    metrics->rolling_histogram(name).Record(
+        static_cast<uint64_t>(seconds * 1e6));
+  }
 }
 
 }  // namespace
@@ -59,6 +71,7 @@ void ScanOperator::CloseOutputOnce() {
 void ScanOperator::Finish() { CloseOutputOnce(); }
 
 Status ScanOperator::EmitBucketOnce(const std::string& path) {
+  const Stopwatch bucket_watch;
   ScopedSpan span(obs().trace, "scan.bucket", "io");
   if (span.enabled()) span.AddArg("path", path);
   PMKM_ASSIGN_OR_RETURN(GridBucketReader reader,
@@ -101,7 +114,10 @@ Status ScanOperator::EmitBucketOnce(const std::string& path) {
     ++partitions_emitted_;
     ++chunks_emitted_;
     TickProgress();
+    PublishLive();
   }
+  RecordRollingUs(obs().metrics, "scan.bucket_us",
+                  bucket_watch.ElapsedSeconds());
   return Status::OK();
 }
 
@@ -213,6 +229,7 @@ Status MemoryScanOperator::Run() {
       mutable_stats().rows_out += rows;
       mutable_stats().bytes_out += bytes;
       TickProgress();
+      PublishLive();
     }
   }
   return Status::OK();
@@ -297,6 +314,7 @@ Status PartialKMeansOperator::Run() {
       span.AddArg("partition", static_cast<int64_t>(chunk->partition_id));
       span.AddArg("points", chunk->points.size());
     }
+    const Stopwatch chunk_watch;
     auto compute = [&]() -> Result<PartialResult> {
       PMKM_FAULT_POINT("op.partial");
       return partial_.Cluster(chunk->points, tag);
@@ -329,6 +347,8 @@ Status PartialKMeansOperator::Run() {
     }
     mutable_stats().kmeans_iterations += result->iterations;
     mutable_stats().kmeans_restarts += partial_.config().restarts;
+    RecordRollingUs(obs().metrics, "partial.chunk_us",
+                    chunk_watch.ElapsedSeconds());
     CentroidMessage msg;
     msg.cell = chunk->cell;
     msg.partition_id = chunk->partition_id;
@@ -349,6 +369,7 @@ Status PartialKMeansOperator::Run() {
     mutable_stats().bytes_out += out_bytes;
     ++chunks_processed_;
     TickProgress();
+    PublishLive();
   }
 }
 
@@ -383,6 +404,7 @@ Status MergeKMeansOperator::MergeCell(GridCellId cell) {
   }
   const Stopwatch watch;
   PMKM_ASSIGN_OR_RETURN(ClusteringModel model, merger_.Merge(pooled));
+  RecordRollingUs(obs().metrics, "merge.cell_us", watch.ElapsedSeconds());
   mutable_stats().kmeans_iterations += model.iterations;
   mutable_stats().kmeans_restarts += merger_.config().restarts;
   mutable_stats().rows_out += model.centroids.size();
@@ -461,6 +483,7 @@ Status MergeKMeansOperator::Run() {
     pc.input_points += msg->input_points;
     if (pc.parts.size() == pc.expected) {
       PMKM_RETURN_NOT_OK(MergeCell(msg->cell));
+      PublishLive();
     }
   }
   if (!pending_.empty()) {

@@ -120,6 +120,9 @@ struct StreamRunResult {
   std::map<GridCellId, CellClustering> cells;
   PhysicalPlan plan;
   double wall_seconds = 0.0;
+  /// Identity of this run: every artifact the run produced (log lines,
+  /// metrics export, trace file, checkpoint journal) carries the same id.
+  std::string run_id;
   RunReport report;
   /// Per-operator execution accounting (one entry per operator instance,
   /// partial clones separate), in executor order: scan, partials, merge.

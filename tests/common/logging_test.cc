@@ -1,0 +1,136 @@
+// Structured logging (common/logging.h): wire-format rendering for both
+// text and JSON, run-id tagging, format parsing, and the token-bucket
+// rate limiter. RenderLogLine and AcquireAt are pure/clock-free, so every
+// test here is deterministic.
+
+#include "common/logging.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+
+namespace pmkm {
+namespace {
+
+using internal::FormatLogTimestamp;
+using internal::LogTokenBucket;
+using internal::RenderLogLine;
+using internal::SuppressedTag;
+
+TEST(LogTimestampTest, FormatsUtcMilliseconds) {
+  // 2026-08-08T12:00:01.234Z
+  EXPECT_EQ(FormatLogTimestamp(1786190401234), "2026-08-08T12:00:01.234Z");
+  EXPECT_EQ(FormatLogTimestamp(0), "1970-01-01T00:00:00.000Z");
+}
+
+TEST(RenderLogLineTest, TextFormat) {
+  const std::string line =
+      RenderLogLine(LogLevel::kWarning, "ops.cc", 217, "queue stalled",
+                    LogFormat::kText, "1f2e3d4c", 1786190401234);
+  EXPECT_EQ(line,
+            "[WARN 2026-08-08T12:00:01.234Z ops.cc:217 run=1f2e3d4c] "
+            "queue stalled");
+}
+
+TEST(RenderLogLineTest, TextFormatWithoutRunId) {
+  const std::string line =
+      RenderLogLine(LogLevel::kInfo, "engine.cc", 10, "hello",
+                    LogFormat::kText, "", 0);
+  EXPECT_EQ(line,
+            "[INFO 1970-01-01T00:00:00.000Z engine.cc:10] hello");
+}
+
+TEST(RenderLogLineTest, JsonFormatParsesAndCarriesFields) {
+  const std::string line =
+      RenderLogLine(LogLevel::kError, "scan.cc", 42, "bad \"bucket\"\n",
+                    LogFormat::kJson, "abcd", 1786190401234);
+  auto doc = JsonValue::Parse(line);
+  ASSERT_TRUE(doc.ok()) << line;
+  EXPECT_EQ(doc->Find("level")->AsString(), "ERROR");
+  EXPECT_EQ(doc->Find("ts")->AsString(), "2026-08-08T12:00:01.234Z");
+  EXPECT_EQ(doc->Find("src")->AsString(), "scan.cc:42");
+  EXPECT_EQ(doc->Find("run_id")->AsString(), "abcd");
+  // The message survives JSON escaping round-trip exactly.
+  EXPECT_EQ(doc->Find("msg")->AsString(), "bad \"bucket\"\n");
+}
+
+TEST(RenderLogLineTest, JsonFormatOmitsEmptyRunId) {
+  const std::string line = RenderLogLine(
+      LogLevel::kInfo, "a.cc", 1, "m", LogFormat::kJson, "", 0);
+  auto doc = JsonValue::Parse(line);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Find("run_id"), nullptr);
+}
+
+TEST(ParseLogFormatTest, ValidAndInvalidNames) {
+  LogFormat format = LogFormat::kText;
+  EXPECT_TRUE(ParseLogFormat("json", &format));
+  EXPECT_EQ(format, LogFormat::kJson);
+  EXPECT_TRUE(ParseLogFormat("text", &format));
+  EXPECT_EQ(format, LogFormat::kText);
+  EXPECT_FALSE(ParseLogFormat("xml", &format));
+  EXPECT_FALSE(ParseLogFormat("", &format));
+  EXPECT_EQ(format, LogFormat::kText);  // unchanged on failure
+}
+
+TEST(LogRunIdTest, GlobalRoundTrip) {
+  SetLogRunId("feedface");
+  EXPECT_EQ(GetLogRunId(), "feedface");
+  SetLogRunId("");
+  EXPECT_EQ(GetLogRunId(), "");
+}
+
+TEST(LogFormatTest, GlobalRoundTrip) {
+  SetLogFormat(LogFormat::kJson);
+  EXPECT_EQ(GetLogFormat(), LogFormat::kJson);
+  SetLogFormat(LogFormat::kText);
+  EXPECT_EQ(GetLogFormat(), LogFormat::kText);
+}
+
+TEST(LogTokenBucketTest, AllowsBurstThenDenies) {
+  // 1 line/sec with the default burst of 5 tokens.
+  LogTokenBucket bucket(1.0);
+  int64_t now = 10'000'000;  // 10s in, bucket full
+  int allowed = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (bucket.AcquireAt(now) != LogTokenBucket::kDenied) ++allowed;
+  }
+  // The 5 banked burst tokens plus the one accruing at `now` itself;
+  // everything after is dropped.
+  EXPECT_EQ(allowed, 6);
+}
+
+TEST(LogTokenBucketTest, RefillsAtConfiguredRate) {
+  LogTokenBucket bucket(2.0, /*burst=*/1.0);  // one token every 500ms
+  int64_t now = 5'000'000;
+  EXPECT_EQ(bucket.AcquireAt(now), 0u);  // banked burst token
+  EXPECT_EQ(bucket.AcquireAt(now), 0u);  // the token accruing at `now`
+  EXPECT_EQ(bucket.AcquireAt(now), LogTokenBucket::kDenied);
+  // 499ms later: still dry. 500ms later: one token back, and the
+  // emitted line reports how many were dropped during the gap.
+  EXPECT_EQ(bucket.AcquireAt(now + 499'000), LogTokenBucket::kDenied);
+  EXPECT_EQ(bucket.AcquireAt(now + 500'000), 2u);
+}
+
+TEST(LogTokenBucketTest, SuppressionCountResetsAfterReport) {
+  LogTokenBucket bucket(1.0, /*burst=*/1.0);
+  int64_t now = 60'000'000;
+  EXPECT_EQ(bucket.AcquireAt(now), 0u);
+  EXPECT_EQ(bucket.AcquireAt(now), 0u);
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_EQ(bucket.AcquireAt(now), LogTokenBucket::kDenied);
+  }
+  EXPECT_EQ(bucket.AcquireAt(now + 1'000'000), 7u);
+  // Next successful acquire reports only drops since this one.
+  EXPECT_EQ(bucket.AcquireAt(now + 2'000'000), 0u);
+}
+
+TEST(SuppressedTagTest, Rendering) {
+  EXPECT_EQ(SuppressedTag(0), "");
+  EXPECT_EQ(SuppressedTag(3), "(suppressed 3 similar lines) ");
+}
+
+}  // namespace
+}  // namespace pmkm

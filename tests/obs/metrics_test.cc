@@ -64,6 +64,74 @@ TEST(HistogramTest, SingleValuePercentilesAreExact) {
   EXPECT_DOUBLE_EQ(h.Percentile(99), 77.0);
 }
 
+TEST(HistogramTest, MinMaxAreExactNotBucketRounded) {
+  // min/max are CAS-tracked exactly; only the quantiles in between are
+  // approximated by the log2 buckets.
+  Histogram h;
+  h.Record(3.7);
+  h.Record(1234567.89);
+  h.Record(100.0);
+  EXPECT_DOUBLE_EQ(h.min(), 3.7);
+  EXPECT_DOUBLE_EQ(h.max(), 1234567.89);
+  const auto s = h.TakeSnapshot();
+  EXPECT_DOUBLE_EQ(s.min, 3.7);
+  EXPECT_DOUBLE_EQ(s.max, 1234567.89);
+}
+
+TEST(HistogramTest, P999IsolatesTheTail) {
+  // 9990 fast samples and 10 slow outliers: p99 sits in the fast
+  // population, p99.9 must reach into the outliers.
+  Histogram h;
+  for (int i = 0; i < 9990; ++i) h.Record(100.0);
+  for (int i = 0; i < 10; ++i) h.Record(50000.0);
+  const auto s = h.TakeSnapshot();
+  EXPECT_LT(s.p99, 1000.0);
+  EXPECT_GE(s.p999, 32768.0);  // inside the outliers' bucket [2^15, 2^16)
+  EXPECT_LE(s.p999, s.max);
+}
+
+TEST(HistogramTest, SnapshotQuantilesAreOrdered) {
+  Histogram h;
+  for (int i = 1; i <= 10000; ++i) h.Record(static_cast<double>(i));
+  const auto s = h.TakeSnapshot();
+  EXPECT_LE(s.min, s.p50);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_LE(s.p99, s.p999);
+  EXPECT_LE(s.p999, s.max);
+}
+
+TEST(HistogramTest, QuantileErrorBoundedByBucketGeometry) {
+  // Bucket b covers [2^(b-1), 2^b), so any quantile estimate is within a
+  // factor of 2 of the true order statistic. Check every exported
+  // quantile against its exact value on a uniform distribution.
+  Histogram h;
+  constexpr int kN = 4096;
+  for (int i = 1; i <= kN; ++i) h.Record(static_cast<double>(i));
+  const struct {
+    double p;
+    double exact;
+  } cases[] = {{50.0, kN * 0.50}, {95.0, kN * 0.95},
+               {99.0, kN * 0.99}, {99.9, kN * 0.999}};
+  for (const auto& c : cases) {
+    const double estimate = h.Percentile(c.p);
+    EXPECT_GE(estimate, c.exact / 2.0) << "p" << c.p;
+    EXPECT_LE(estimate, c.exact * 2.0) << "p" << c.p;
+  }
+}
+
+TEST(HistogramTest, SubUnitValuesLandInTheBottomBucket) {
+  // Values below 1 (including 0 and negatives) share bucket 0; min/max
+  // still report them exactly.
+  Histogram h;
+  h.Record(0.0);
+  h.Record(0.25);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.25);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_LE(h.Percentile(99), 1.0);
+}
+
 TEST(MetricsRegistryTest, InstrumentsAreStableAndNamed) {
   MetricsRegistry registry;
   Counter& a = registry.counter("rows");

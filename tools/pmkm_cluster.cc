@@ -10,19 +10,24 @@
 // --op_timeout_ms, --kernel) come from EngineFlags and are shared with
 // the stream benches; the stream path runs through PipelineBuilder.
 
+#include <chrono>
 #include <filesystem>
-#include <iostream>
-
 #include <fstream>
+#include <iostream>
+#include <thread>
 
 #include "cluster/metrics.h"
 #include "cluster/partial_merge.h"
 #include "cluster/serialize.h"
 #include "common/fault.h"
 #include "common/flags.h"
+#include "common/logging.h"
 #include "common/stopwatch.h"
 #include "data/csv.h"
+#include "obs/debug_server.h"
+#include "obs/flusher.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "stream/engine.h"
 #include "stream/explain.h"
@@ -58,6 +63,12 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   std::string prom_out;
   std::string trace_out;
+  std::string log_format = "text";
+  std::string run_id;
+  std::string profile_out;
+  int64_t debug_port = -1;
+  int64_t debug_linger_ms = 0;
+  int64_t flush_interval_ms = 1000;
   pmkm::EngineFlags engine_flags;
   pmkm::FlagParser parser;
   parser.AddString("algo", &algo, "pm | serial | stream")
@@ -80,11 +91,38 @@ int main(int argc, char** argv) {
       .AddString("trace_out", &trace_out,
                  "stream: write a Chrome trace_event JSON here (open in "
                  "chrome://tracing or Perfetto)")
+      .AddString("log_format", &log_format,
+                 "log line format: text | json (structured lines)")
+      .AddString("run_id", &run_id,
+                 "stream: explicit run id tagging all artifacts "
+                 "(default: generated)")
+      .AddString("profile_out", &profile_out,
+                 "write a folded-stack CPU profile of the run here "
+                 "(flamegraph/speedscope input; see pmkm_inspect profile)")
+      .AddInt("debug_port", &debug_port,
+              "serve live introspection (/metrics /statusz /runz /tracez "
+              "/pprofz /healthz) on 127.0.0.1:PORT; 0 = ephemeral port, "
+              "-1 = off")
+      .AddInt("debug_linger_ms", &debug_linger_ms,
+              "keep the debug server up this long after the run finishes "
+              "(lets scrapers read the final state)")
+      .AddInt("flush_interval_ms", &flush_interval_ms,
+              "stream: periodically flush --metrics_out/--prom_out/"
+              "--trace_out snapshots while running, so a killed run still "
+              "leaves recent artifacts (0 = end-of-run only)")
       .AddBool("quiet", &quiet, "suppress the per-cell report");
   engine_flags.Register(&parser);
   const pmkm::Status st = parser.Parse(argc, argv);
   if (st.IsCancelled()) return 0;
   if (!st.ok()) return Fail(st);
+  {
+    pmkm::LogFormat format;
+    if (!pmkm::ParseLogFormat(log_format, &format)) {
+      return Fail(pmkm::Status::InvalidArgument(
+          "--log_format=" + log_format + " (use text|json)"));
+    }
+    pmkm::SetLogFormat(format);
+  }
   if (!faults.empty()) {
     const pmkm::Status fs =
         pmkm::FaultRegistry::Global().ArmFromString(faults);
@@ -128,39 +166,102 @@ int main(int argc, char** argv) {
 
   if (algo == "stream") {
     pmkm::PipelineBuilder builder(*options);
-    // Observability is on only when some output asks for it; otherwise
-    // the pipeline runs with null sinks (zero instrumentation cost).
+    // Observability is on only when some output (or the debug server)
+    // asks for it; otherwise the pipeline runs with null sinks (zero
+    // instrumentation cost).
     pmkm::MetricsRegistry registry;
     pmkm::TraceRecorder tracer;
-    if (stats || !metrics_out.empty() || !prom_out.empty()) {
+    pmkm::obs::DebugServer server(&registry, &tracer);
+    const bool serve = debug_port >= 0;
+    if (serve || stats || !metrics_out.empty() || !prom_out.empty()) {
       builder.WithMetrics(&registry);
     }
-    if (!trace_out.empty()) builder.WithTrace(&tracer);
+    if (serve || !trace_out.empty()) builder.WithTrace(&tracer);
+    if (serve) {
+      // Serving without a trace file: bound the recorder so a long run
+      // keeps a ring of recent spans instead of growing forever.
+      if (trace_out.empty()) tracer.SetCapacity(4096);
+      pmkm::obs::DebugServer::Options srv;
+      srv.port = static_cast<int>(debug_port);
+      const pmkm::Status ss = server.Start(srv);
+      if (!ss.ok()) return Fail(ss);
+      // std::endl: scripts watch a redirected (fully buffered) stdout for
+      // this line to learn the ephemeral port, so it must flush now.
+      std::cout << "debug server listening on http://127.0.0.1:"
+                << server.port() << "/" << std::endl;
+      builder.WithDebugServer(&server);
+    }
+    if (!run_id.empty()) builder.WithRunId(run_id);
+    if (!profile_out.empty()) {
+      const pmkm::Status ps = pmkm::obs::CpuProfiler::Global().Start();
+      if (!ps.ok()) return Fail(ps);
+    }
+    // Periodic snapshot flushing: a run killed mid-flight (OOM, SIGKILL)
+    // still leaves recent artifacts on disk.
+    pmkm::obs::SnapshotFlusher flusher(&registry, &tracer);
+    if (flush_interval_ms > 0 &&
+        !(metrics_out.empty() && prom_out.empty() && trace_out.empty())) {
+      pmkm::obs::SnapshotFlusher::Options fopt;
+      fopt.interval_ms = static_cast<int>(flush_interval_ms);
+      fopt.metrics_json_path = metrics_out;
+      fopt.metrics_prom_path = prom_out;
+      fopt.trace_json_path = trace_out;
+      const pmkm::Status fs = flusher.Start(fopt);
+      if (!fs.ok()) return Fail(fs);
+    }
+    // Final-state artifact writes, shared by the success and failure
+    // paths: a failed run exports everything collected up to the error.
+    auto write_artifacts = [&]() -> pmkm::Status {
+      pmkm::Status first;
+      auto keep = [&first](pmkm::Status s) {
+        if (first.ok() && !s.ok()) first = std::move(s);
+      };
+      if (!metrics_out.empty()) {
+        keep(WriteTextFile(metrics_out, registry.ToJsonString() + "\n"));
+      }
+      if (!prom_out.empty()) {
+        keep(WriteTextFile(prom_out, registry.ToPrometheusText()));
+      }
+      if (!trace_out.empty()) keep(tracer.WriteJson(trace_out));
+      return first;
+    };
+    auto stop_profiler = [&]() {
+      if (profile_out.empty()) return;
+      (void)pmkm::obs::CpuProfiler::Global().Stop();  // stopping is final
+      const pmkm::Status ws =
+          pmkm::obs::CpuProfiler::Global().WriteFolded(profile_out);
+      if (!ws.ok()) std::cerr << "warning: " << ws << "\n";
+    };
+    auto linger = [&]() {
+      if (!serve || debug_linger_ms <= 0) return;
+      // Explicit grace period for scrapers, requested via flag.
+      std::this_thread::sleep_for(  // pmkm-lint: allow(sleep)
+          std::chrono::milliseconds(debug_linger_ms));
+    };
     if (explain) {
       auto text = builder.Explain(parser.positional());
       if (!text.ok()) return Fail(text.status());
       std::cout << *text;
     }
     auto run = builder.Run(parser.positional());
-    if (!run.ok()) return Fail(run.status());
+    if (!run.ok()) {
+      flusher.Stop();
+      // Export what the failed run collected; its error dominates any
+      // artifact-write error.
+      (void)write_artifacts();
+      stop_profiler();
+      linger();
+      return Fail(run.status());
+    }
+    flusher.Stop();
+    stop_profiler();
     if (stats) {
       std::cout << "\nEXPLAIN ANALYZE\n"
                 << pmkm::ExplainAnalyzePartialMerge(options->partial,
                                                     options->merge, *run);
     }
-    if (!metrics_out.empty()) {
-      const pmkm::Status ws =
-          WriteTextFile(metrics_out, registry.ToJsonString() + "\n");
-      if (!ws.ok()) return Fail(ws);
-    }
-    if (!prom_out.empty()) {
-      const pmkm::Status ws =
-          WriteTextFile(prom_out, registry.ToPrometheusText());
-      if (!ws.ok()) return Fail(ws);
-    }
-    if (!trace_out.empty()) {
-      const pmkm::Status ws = tracer.WriteJson(trace_out);
-      if (!ws.ok()) return Fail(ws);
+    if (const pmkm::Status ws = write_artifacts(); !ws.ok()) {
+      return Fail(ws);
     }
     for (const auto& [id, cell] : run->cells) {
       const pmkm::Status ss = save(id, cell.model);
@@ -185,6 +286,7 @@ int main(int argc, char** argv) {
       std::cerr << "warning: run is DEGRADED — results cover only the "
                    "healthy subset of cells\n";
     }
+    linger();
     return 0;
   }
 

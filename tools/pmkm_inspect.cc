@@ -8,6 +8,7 @@
 //
 //   $ pmkm_inspect metrics run.metrics.json   # registry summary
 //   $ pmkm_inspect trace run.trace.json       # top slowest spans
+//   $ pmkm_inspect profile run.folded         # top frames by CPU samples
 //
 // For checkpoint directories written by `pmkm_cluster --checkpoint_dir`
 // (DESIGN.md §13) — dumps the journal as JSON: every record, the recovered
@@ -39,6 +40,7 @@
 #include "data/manifest.h"
 #include "data/stats.h"
 #include "obs/json.h"
+#include "obs/profiler.h"
 #include "obs/stats.h"
 #include "stream/checkpoint.h"
 
@@ -210,6 +212,42 @@ int InspectTrace(const std::string& path) {
   return 0;
 }
 
+// `pmkm_inspect profile run.folded`: folded-stack CPU profile written by
+// `pmkm_cluster --profile_out` (or /pprofz). Top frames by self samples,
+// with self/total percentages — a terminal flamegraph substitute.
+int InspectProfile(const std::string& path, int64_t top_n) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << path << ": cannot open\n";
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  uint64_t total = 0;
+  const std::vector<pmkm::obs::ProfileFrameTotals> rows =
+      pmkm::obs::AggregateFolded(buf.str(), &total);
+  std::cout << path << ": folded-stack profile, " << total
+            << " sample(s), " << rows.size() << " distinct frame(s)\n";
+  if (total == 0) return 0;
+  const size_t top = std::min<size_t>(
+      top_n > 0 ? static_cast<size_t>(top_n) : rows.size(), rows.size());
+  std::printf("  %-52s %8s %6s %8s %6s\n", "frame", "self", "self%",
+              "total", "tot%");
+  for (size_t i = 0; i < top; ++i) {
+    const pmkm::obs::ProfileFrameTotals& r = rows[i];
+    std::string frame = r.frame;
+    if (frame.size() > 52) frame = frame.substr(0, 49) + "...";
+    std::printf("  %-52s %8llu %5.1f%% %8llu %5.1f%%\n", frame.c_str(),
+                static_cast<unsigned long long>(r.self),
+                100.0 * static_cast<double>(r.self) /
+                    static_cast<double>(total),
+                static_cast<unsigned long long>(r.total),
+                100.0 * static_cast<double>(r.total) /
+                    static_cast<double>(total));
+  }
+  return 0;
+}
+
 // `pmkm_inspect lockgraph run.lockgraph.json`: the lock-order graph dumped
 // by a PMKM_SCHEDCHECK build (PMKM_LOCKGRAPH_OUT). Summarizes lock classes
 // and ordering edges, flags same-class nestings, and with --dot re-emits
@@ -367,8 +405,11 @@ int InspectCheckpoint(const std::string& arg) {
 int main(int argc, char** argv) {
   pmkm::FlagParser parser;
   bool dot = false;
+  int64_t top_n = 20;
   parser.AddBool("dot", &dot,
                  "lockgraph: emit graphviz DOT instead of a summary");
+  parser.AddInt("top", &top_n,
+                "profile: number of frames to print (0 = all)");
   const pmkm::Status st = parser.Parse(argc, argv);
   if (st.IsCancelled()) return 0;
   if (!st.ok() || parser.positional().empty()) {
@@ -376,6 +417,7 @@ int main(int argc, char** argv) {
               << " file.pmkb|file.pmkm ...\n"
               << "       " << argv[0] << " metrics run.metrics.json ...\n"
               << "       " << argv[0] << " trace run.trace.json ...\n"
+              << "       " << argv[0] << " profile [--top=N] run.folded ...\n"
               << "       " << argv[0]
               << " lockgraph [--dot] run.lockgraph.json ...\n"
               << "       " << argv[0]
@@ -385,7 +427,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> paths = parser.positional();
   const std::string& sub = paths.front();
   if (sub == "metrics" || sub == "trace" || sub == "lockgraph" ||
-      sub == "checkpoint") {
+      sub == "checkpoint" || sub == "profile") {
     if (paths.size() < 2) {
       std::cerr << "usage: " << argv[0] << " " << sub << " file ...\n";
       return 1;
@@ -395,6 +437,7 @@ int main(int argc, char** argv) {
       rc |= sub == "metrics"      ? InspectMetrics(paths[i])
             : sub == "lockgraph"  ? InspectLockGraph(paths[i], dot)
             : sub == "checkpoint" ? InspectCheckpoint(paths[i])
+            : sub == "profile"    ? InspectProfile(paths[i], top_n)
                                   : InspectTrace(paths[i]);
     }
     return rc;
