@@ -54,6 +54,8 @@ int main(int argc, char** argv) {
   pmkm::MergeKMeansConfig merge_config;
   merge_config.k = static_cast<size_t>(k);
 
+  // This example exists to show the raw operator wiring beneath the
+  // engine. pmkm-lint: allow(direct-run)
   pmkm::Executor executor;
   executor.Add(std::make_unique<pmkm::MemoryScanOperator>(
       std::move(buckets), static_cast<size_t>(chunk), points));

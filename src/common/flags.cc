@@ -3,8 +3,21 @@
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
+#include <utility>
+
+#include "common/logging.h"
 
 namespace pmkm {
+
+FlagParser& FlagParser::SetDescription(std::string description) {
+  description_ = std::move(description);
+  return *this;
+}
+
+FlagParser& FlagParser::SetPositionalUsage(std::string usage) {
+  positional_usage_ = std::move(usage);
+  return *this;
+}
 
 FlagParser& FlagParser::AddInt(const std::string& name, int64_t* target,
                                const std::string& help) {
@@ -132,7 +145,14 @@ Status FlagParser::Parse(int argc, char** argv) {
 
 std::string FlagParser::Usage(const std::string& program) const {
   std::ostringstream os;
-  os << "Usage: " << program << " [flags]\n";
+  if (!description_.empty()) {
+    os << description_ << "\n\n";
+  }
+  os << "Usage: " << program << " [flags]";
+  if (!positional_usage_.empty()) {
+    os << " " << positional_usage_;
+  }
+  os << "\n";
   for (const auto& [name, flag] : flags_) {
     os << "  --" << name;
     switch (flag.type) {
@@ -152,6 +172,28 @@ std::string FlagParser::Usage(const std::string& program) const {
     os << "\n      " << flag.help << "\n";
   }
   return os.str();
+}
+
+void ObsFlags::Register(FlagParser* parser) {
+  parser->AddInt("debug_port", &debug_port,
+                 "serve live introspection on 127.0.0.1:PORT "
+                 "(0 = ephemeral, -1 = off)");
+  parser->AddString("log_format", &log_format,
+                    "structured log line format: text | json");
+  parser->AddString("run_id", &run_id,
+                    "explicit run id tagging logs/metrics/traces "
+                    "(default: generated per run)");
+}
+
+Status ObsFlags::Apply() const {
+  LogFormat format;
+  if (!ParseLogFormat(log_format, &format)) {
+    return Status::InvalidArgument("unknown --log_format '" + log_format +
+                                   "' (expected text or json)");
+  }
+  SetLogFormat(format);
+  if (!run_id.empty()) SetLogRunId(run_id);
+  return Status::OK();
 }
 
 }  // namespace pmkm

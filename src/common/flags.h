@@ -1,8 +1,17 @@
-// Tiny command-line flag parser for the bench harnesses and examples.
+// The one command-line flag registry shared by every pmkm tool
+// (pmkm_cluster / pmkm_genbuckets / pmkm_inspect / pmkm_serve) and the
+// bench harnesses.
 //
 // Supports --name=value and --name value forms plus boolean --name /
 // --no-name. Unknown flags are reported as errors so experiment scripts fail
-// loudly instead of silently running the wrong configuration.
+// loudly instead of silently running the wrong configuration. `--help`
+// renders a generated usage page (program description, positional-argument
+// synopsis, every registered flag) and cancels the parse.
+//
+// Flag *blocks* — structs bundling related flags with a Register(parser)
+// method — keep multi-tool surfaces consistent: EngineFlags
+// (stream/engine.h) registers the engine knobs, ObsFlags (below) the
+// shared --debug_port/--log_format/--run_id observability trio.
 
 #ifndef PMKM_COMMON_FLAGS_H_
 #define PMKM_COMMON_FLAGS_H_
@@ -18,6 +27,13 @@ namespace pmkm {
 /// Declarative flag registry: declare typed flags, then Parse(argc, argv).
 class FlagParser {
  public:
+  /// One-line program description, shown at the top of --help output.
+  FlagParser& SetDescription(std::string description);
+
+  /// Positional-argument synopsis for the usage line (e.g.
+  /// "bucket.pmkb [bucket2.pmkb ...]"); empty means the tool takes none.
+  FlagParser& SetPositionalUsage(std::string usage);
+
   FlagParser& AddInt(const std::string& name, int64_t* target,
                      const std::string& help);
   FlagParser& AddDouble(const std::string& name, double* target,
@@ -34,7 +50,8 @@ class FlagParser {
 
   const std::vector<std::string>& positional() const { return positional_; }
 
-  /// Human-readable usage text listing all registered flags.
+  /// Human-readable usage text: description, usage line with the
+  /// positional synopsis, then every registered flag.
   std::string Usage(const std::string& program) const;
 
  private:
@@ -48,8 +65,36 @@ class FlagParser {
   Status SetValue(const std::string& name, const Flag& flag,
                   const std::string& value);
 
+  std::string description_;
+  std::string positional_usage_;
   std::map<std::string, Flag> flags_;
   std::vector<std::string> positional_;
+};
+
+/// The observability flag block every pmkm tool exposes, so batch tools
+/// and the serve daemon share one surface:
+///
+///   --debug_port   live introspection server on 127.0.0.1:PORT
+///                  (0 = ephemeral, -1 = off)
+///   --log_format   text | json structured log lines
+///   --run_id       explicit artifact-correlation id (default: generated)
+///
+/// Register the block, Parse, then Apply() — which validates the values
+/// and installs the log format/run id process-wide. Tools that host a
+/// debug server read debug_port themselves (common/ cannot depend on
+/// obs/).
+struct ObsFlags {
+  int64_t debug_port = -1;
+  std::string log_format = "text";
+  std::string run_id;
+
+  void Register(FlagParser* parser);
+
+  /// Validates --log_format and applies it (and the run id, when set) to
+  /// the process-wide logging config.
+  Status Apply() const;
+
+  bool serve_requested() const { return debug_port >= 0; }
 };
 
 }  // namespace pmkm

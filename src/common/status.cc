@@ -30,6 +30,30 @@ const char* StatusCodeToString(StatusCode code) {
   return "unknown";
 }
 
+int StatusExitCode(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInvalidArgument:
+      return 64;  // EX_USAGE
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kOutOfRange:
+      return 65;  // EX_DATAERR
+    case StatusCode::kNotFound:
+      return 66;  // EX_NOINPUT
+    case StatusCode::kIOError:
+      return 74;  // EX_IOERR
+    case StatusCode::kCancelled:
+      return 75;  // EX_TEMPFAIL
+    case StatusCode::kAlreadyExists:
+    case StatusCode::kInternal:
+    case StatusCode::kNotImplemented:
+    case StatusCode::kDeadlineExceeded:
+      return 70;  // EX_SOFTWARE
+  }
+  return 70;
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out = StatusCodeToString(code());

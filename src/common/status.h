@@ -34,6 +34,21 @@ enum class StatusCode : int {
 /// Returns a stable lowercase name for a status code ("invalid argument").
 const char* StatusCodeToString(StatusCode code);
 
+class Status;
+
+/// Maps a Status onto a sysexits(3)-style process exit code, so every CLI
+/// tool renders the same failure as the same exit code:
+///
+///   OK                 → 0
+///   InvalidArgument    → 64  (EX_USAGE: bad flags / bad request)
+///   FailedPrecondition,
+///   OutOfRange         → 65  (EX_DATAERR: input data is malformed)
+///   NotFound           → 66  (EX_NOINPUT: missing file/job)
+///   Cancelled          → 75  (EX_TEMPFAIL: interrupted, retryable)
+///   IOError            → 74  (EX_IOERR)
+///   everything else    → 70  (EX_SOFTWARE)
+int StatusExitCode(const Status& status);
+
 /// Outcome of a fallible operation: OK, or a code plus message.
 ///
 /// [[nodiscard]]: ignoring a returned Status silently swallows the error,

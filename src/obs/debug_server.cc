@@ -246,6 +246,14 @@ void DebugServer::HandleConnection(int) const {}
 
 #endif  // PMKM_HAVE_SOCKETS
 
+void DebugServer::RegisterEndpoint(const std::string& path,
+                                   const std::string& description,
+                                   const std::string& content_type,
+                                   EndpointHandler handler) {
+  MutexLock lock(mu_);
+  endpoints_[path] = Endpoint{description, content_type, std::move(handler)};
+}
+
 std::string DebugServer::RenderResponse(const std::string& target) const {
   // Strip the query string; no endpoint takes parameters yet.
   std::string path = target.substr(0, target.find('?'));
@@ -289,12 +297,28 @@ std::string DebugServer::RenderBody(const std::string& path,
     }
     return folded;
   }
+  // Host-registered endpoints. Copy the entry out so the handler runs
+  // without holding mu_ (it may be slow or take its own locks).
+  Endpoint endpoint;
+  bool found = false;
+  {
+    MutexLock lock(mu_);
+    auto it = endpoints_.find(path);
+    if (it != endpoints_.end()) {
+      endpoint = it->second;
+      found = true;
+    }
+  }
+  if (found && endpoint.handler != nullptr) {
+    *content_type = endpoint.content_type;
+    return endpoint.handler();
+  }
   *http_status = 404;
   return "not found: " + path + "\n";
 }
 
 std::string DebugServer::RenderIndex() const {
-  return
+  std::string out =
       "pmkm debug server\n"
       "\n"
       "  /metrics   Prometheus exposition (rolling window quantiles "
@@ -304,6 +328,13 @@ std::string DebugServer::RenderIndex() const {
       "  /tracez    recent trace spans as JSON\n"
       "  /pprofz    folded-stack CPU profile (flamegraph input)\n"
       "  /healthz   liveness probe\n";
+  MutexLock lock(mu_);
+  for (const auto& [path, endpoint] : endpoints_) {
+    out += "  " + path;
+    if (path.size() < 9) out.append(9 - path.size(), ' ');
+    out += "  " + endpoint.description + "\n";
+  }
+  return out;
 }
 
 std::string DebugServer::RenderStatusz() const {

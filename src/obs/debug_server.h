@@ -29,6 +29,8 @@
 #define PMKM_OBS_DEBUG_SERVER_H_
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -91,6 +93,22 @@ class DebugServer {
   /// (PipelineBuilder::WithDebugServer wires this up).
   RunBoard* board() { return &board_; }
 
+  /// Renders the body of one registered endpoint; invoked per request on
+  /// a handler thread, so it must be thread-safe.
+  using EndpointHandler = std::function<std::string()>;
+
+  /// Mounts an extra endpoint at `path` (e.g. "/jobz" — must start with
+  /// '/'). The handler's return value is served verbatim with the given
+  /// content type, and the endpoint is listed on the index page with
+  /// `description`. Hosts use this to expose process-specific state (the
+  /// serve daemon mounts its live job table here). Registering an
+  /// already-mounted path replaces the handler; built-in endpoints cannot
+  /// be shadowed.
+  void RegisterEndpoint(const std::string& path,
+                        const std::string& description,
+                        const std::string& content_type,
+                        EndpointHandler handler) PMKM_EXCLUDES(mu_);
+
   /// Renders the complete HTTP response for `GET <target>` (path plus
   /// optional query string). Thread-safe; used by the socket layer and
   /// directly by tests.
@@ -113,9 +131,16 @@ class DebugServer {
   Options options_;
   int port_ = -1;
 
+  struct Endpoint {
+    std::string description;
+    std::string content_type;
+    EndpointHandler handler;
+  };
+
   mutable Mutex mu_;
   bool running_ PMKM_GUARDED_BY(mu_) = false;
   int listen_fd_ PMKM_GUARDED_BY(mu_) = -1;
+  std::map<std::string, Endpoint> endpoints_ PMKM_GUARDED_BY(mu_);
 
   std::thread accept_thread_;
   std::unique_ptr<ThreadPool> pool_;

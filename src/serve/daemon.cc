@@ -1,0 +1,204 @@
+#include "serve/daemon.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace pmkm {
+namespace serve {
+
+ServeDaemon::ServeDaemon() = default;
+
+ServeDaemon::~ServeDaemon() { Stop(); }
+
+Status ServeDaemon::Start(const DaemonOptions& options) {
+  {
+    MutexLock lock(mu_);
+    if (running_) {
+      return Status::FailedPrecondition("daemon already running");
+    }
+  }
+  options_ = options;
+  PMKM_ASSIGN_OR_RETURN(Listener listener,
+                        ListenEndpoint(options.endpoint));
+  bound_endpoint_ = listener.endpoint;
+  service_ = std::make_unique<LocalService>(options.service);
+  pool_ = std::make_unique<ThreadPool>(
+      std::max<size_t>(1, options.num_handler_threads));
+  {
+    MutexLock lock(mu_);
+    listen_fd_ = listener.fd;
+    running_ = true;
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  PMKM_LOG(Info) << "serve daemon listening on " << bound_endpoint_;
+  return Status::OK();
+}
+
+void ServeDaemon::BeginDrain() {
+  if (service_ != nullptr) service_->BeginDrain();
+}
+
+void ServeDaemon::DrainAndStop() {
+  if (service_ != nullptr) {
+    service_->BeginDrain();
+    service_->Drain();
+  }
+  Stop();
+}
+
+void ServeDaemon::Stop() {
+  int fd = -1;
+  {
+    MutexLock lock(mu_);
+    if (!running_) return;
+    running_ = false;
+    fd = listen_fd_;
+    listen_fd_ = -1;
+  }
+  CloseFd(fd);  // unblocks the accept loop
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (pool_ != nullptr) {
+    pool_->Shutdown();  // drains in-flight connection handlers
+    pool_.reset();
+  }
+  if (service_ != nullptr) service_->Shutdown();
+  CleanupEndpoint(bound_endpoint_);
+}
+
+void ServeDaemon::AcceptLoop() {
+  while (true) {
+    int listen_fd;
+    {
+      MutexLock lock(mu_);
+      if (!running_) return;
+      listen_fd = listen_fd_;
+    }
+    if (listen_fd < 0) return;
+    Result<int> conn = AcceptConnection(listen_fd);
+    if (!conn.ok()) {
+      MutexLock lock(mu_);
+      if (!running_) return;  // Stop() closed the listener under us
+      continue;               // transient accept failure
+    }
+    const int fd = conn.value();
+    if (!SetIoTimeout(fd, options_.io_timeout_ms).ok()) {
+      CloseFd(fd);
+      continue;
+    }
+    auto future = pool_->Submit([this, fd] { HandleConnection(fd); });
+    if (!future.valid()) {
+      CloseFd(fd);  // pool already shut down
+      return;
+    }
+  }
+}
+
+void ServeDaemon::HandleConnection(int fd) {
+  // Hello exchange; an invalid or too-old client is dropped here.
+  uint8_t peer_hello[kHelloBytes];
+  if (!ReadExact(fd, peer_hello).ok()) {
+    CloseFd(fd);
+    return;
+  }
+  Result<uint32_t> peer_version =
+      DecodeHello(std::span<const uint8_t>(peer_hello, kHelloBytes));
+  if (!peer_version.ok()) {
+    CloseFd(fd);
+    return;
+  }
+  // Answer with our version even when rejecting, so an old client's error
+  // message can name both versions.
+  if (!WriteAll(fd, EncodeHello(kProtocolVersion)).ok()) {
+    CloseFd(fd);
+    return;
+  }
+  Result<uint32_t> negotiated = NegotiateVersion(peer_version.value());
+  if (!negotiated.ok()) {
+    CloseFd(fd);
+    return;
+  }
+  const uint32_t version = negotiated.value();
+
+  // Request/reply loop until the client hangs up or the stream breaks.
+  std::vector<uint8_t> buffer;
+  uint8_t chunk[4096];
+  while (true) {
+    size_t consumed = 0;
+    Result<std::optional<Frame>> frame = DecodeFrame(buffer, &consumed);
+    if (!frame.ok()) {
+      // Oversized or corrupt frame: this session is poisoned. Best-effort
+      // error reply, then hang up.
+      const std::vector<uint8_t> reply =
+          EncodeReply(frame.error(), std::vector<uint8_t>());
+      (void)WriteAll(fd, EncodeFrame(FrameType::kReply, reply));
+      break;
+    }
+    if (frame.value().has_value()) {
+      buffer.erase(buffer.begin(),
+                   buffer.begin() + static_cast<ptrdiff_t>(consumed));
+      const std::vector<uint8_t> reply =
+          Dispatch(*frame.value(), version);
+      if (!WriteAll(fd, EncodeFrame(FrameType::kReply, reply)).ok()) {
+        break;
+      }
+      continue;
+    }
+    Result<size_t> n = ReadSome(fd, chunk);
+    if (!n.ok() || n.value() == 0) break;  // hangup or timeout
+    buffer.insert(buffer.end(), chunk, chunk + n.value());
+  }
+  CloseFd(fd);
+}
+
+std::vector<uint8_t> ServeDaemon::Dispatch(const Frame& request,
+                                           uint32_t version) {
+  const std::vector<uint8_t> empty;
+  switch (static_cast<FrameType>(request.type)) {
+    case FrameType::kPing:
+      return EncodeReply(Status::OK(), empty);
+    case FrameType::kSubmitJob: {
+      Result<JobSpec> spec = DecodeJobSpec(request.payload, version);
+      if (!spec.ok()) return EncodeReply(spec.error(), empty);
+      Result<uint64_t> job_id = service_->SubmitJob(spec.value());
+      if (!job_id.ok()) return EncodeReply(job_id.error(), empty);
+      return EncodeReply(Status::OK(), EncodeU64(job_id.value()));
+    }
+    case FrameType::kJobStatus: {
+      Result<uint64_t> job_id = DecodeU64(request.payload);
+      if (!job_id.ok()) return EncodeReply(job_id.error(), empty);
+      Result<JobInfo> info = service_->JobStatus(job_id.value());
+      if (!info.ok()) return EncodeReply(info.error(), empty);
+      return EncodeReply(Status::OK(), EncodeJobInfo(info.value()));
+    }
+    case FrameType::kFetchModel: {
+      Result<uint64_t> job_id = DecodeU64(request.payload);
+      if (!job_id.ok()) return EncodeReply(job_id.error(), empty);
+      Result<std::map<GridCellId, CellClustering>> cells =
+          service_->FetchModel(job_id.value());
+      if (!cells.ok()) return EncodeReply(cells.error(), empty);
+      return EncodeReply(Status::OK(), EncodeModelSet(cells.value()));
+    }
+    case FrameType::kCancelJob: {
+      Result<uint64_t> job_id = DecodeU64(request.payload);
+      if (!job_id.ok()) return EncodeReply(job_id.error(), empty);
+      return EncodeReply(service_->CancelJob(job_id.value()), empty);
+    }
+    case FrameType::kListJobs: {
+      Result<std::vector<JobInfo>> jobs = service_->ListJobs();
+      if (!jobs.ok()) return EncodeReply(jobs.error(), empty);
+      return EncodeReply(Status::OK(), EncodeJobList(jobs.value()));
+    }
+    case FrameType::kReply:
+      break;
+  }
+  return EncodeReply(
+      Status::InvalidArgument("unknown request frame type " +
+                              std::to_string(request.type)),
+      empty);
+}
+
+}  // namespace serve
+}  // namespace pmkm

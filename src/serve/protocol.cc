@@ -1,0 +1,465 @@
+#include "serve/protocol.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "data/manifest.h"
+#include "stream/checkpoint.h"
+
+namespace pmkm {
+namespace serve {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Little-endian primitives.
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v >> 16));
+  out->push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+void PutI32(std::vector<uint8_t>* out, int32_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+}
+
+void PutDouble(std::vector<uint8_t>* out, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutString(std::vector<uint8_t>* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+void PutBool(std::vector<uint8_t>* out, bool v) {
+  out->push_back(v ? 1 : 0);
+}
+
+uint32_t LoadU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+/// Cursor over a payload with bounds-checked typed reads. Every reader
+/// method fails cleanly on truncation so a malicious or torn payload can
+/// never read out of bounds.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const uint8_t> data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+  Status ReadU32(uint32_t* out) {
+    PMKM_RETURN_NOT_OK(Need(4));
+    *out = LoadU32(data_.data() + pos_);
+    pos_ += 4;
+    return Status::OK();
+  }
+
+  Status ReadU64(uint64_t* out) {
+    uint32_t lo = 0;
+    uint32_t hi = 0;
+    PMKM_RETURN_NOT_OK(ReadU32(&lo));
+    PMKM_RETURN_NOT_OK(ReadU32(&hi));
+    *out = (static_cast<uint64_t>(hi) << 32) | lo;
+    return Status::OK();
+  }
+
+  Status ReadI32(int32_t* out) {
+    uint32_t v = 0;
+    PMKM_RETURN_NOT_OK(ReadU32(&v));
+    *out = static_cast<int32_t>(v);
+    return Status::OK();
+  }
+
+  Status ReadI64(int64_t* out) {
+    uint64_t v = 0;
+    PMKM_RETURN_NOT_OK(ReadU64(&v));
+    *out = static_cast<int64_t>(v);
+    return Status::OK();
+  }
+
+  Status ReadDouble(double* out) {
+    uint64_t bits = 0;
+    PMKM_RETURN_NOT_OK(ReadU64(&bits));
+    std::memcpy(out, &bits, sizeof(*out));
+    return Status::OK();
+  }
+
+  Status ReadString(std::string* out) {
+    uint32_t len = 0;
+    PMKM_RETURN_NOT_OK(ReadU32(&len));
+    if (len > kMaxFramePayload) {
+      return Status::OutOfRange("wire string length " + std::to_string(len) +
+                                " exceeds the frame cap");
+    }
+    PMKM_RETURN_NOT_OK(Need(len));
+    out->assign(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+  Status ReadBool(bool* out) {
+    PMKM_RETURN_NOT_OK(Need(1));
+    *out = data_[pos_] != 0;
+    pos_ += 1;
+    return Status::OK();
+  }
+
+  Status ReadBytes(size_t len, std::span<const uint8_t>* out) {
+    PMKM_RETURN_NOT_OK(Need(len));
+    *out = data_.subspan(pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+ private:
+  Status Need(size_t n) {
+    if (remaining() < n) {
+      return Status::OutOfRange("truncated wire payload: need " +
+                                std::to_string(n) + " bytes, have " +
+                                std::to_string(remaining()));
+    }
+    return Status::OK();
+  }
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+uint32_t FrameCrc(uint32_t type, std::span<const uint8_t> payload) {
+  uint8_t type_le[4];
+  type_le[0] = static_cast<uint8_t>(type);
+  type_le[1] = static_cast<uint8_t>(type >> 8);
+  type_le[2] = static_cast<uint8_t>(type >> 16);
+  type_le[3] = static_cast<uint8_t>(type >> 24);
+  const uint32_t seed = Crc32c(type_le, sizeof(type_le));
+  return Crc32c(payload.data(), payload.size(), seed);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Handshake.
+
+std::vector<uint8_t> EncodeHello(uint32_t version) {
+  std::vector<uint8_t> out;
+  out.reserve(kHelloBytes);
+  PutU32(&out, kProtocolMagic);
+  PutU32(&out, version);
+  return out;
+}
+
+Result<uint32_t> DecodeHello(std::span<const uint8_t> bytes) {
+  if (bytes.size() < kHelloBytes) {
+    return Status::OutOfRange("truncated hello: got " +
+                              std::to_string(bytes.size()) + " of " +
+                              std::to_string(kHelloBytes) + " bytes");
+  }
+  const uint32_t magic = LoadU32(bytes.data());
+  if (magic != kProtocolMagic) {
+    return Status::InvalidArgument("bad protocol magic: not a pmkm serve "
+                                   "peer");
+  }
+  return LoadU32(bytes.data() + 4);
+}
+
+Result<uint32_t> NegotiateVersion(uint32_t peer_version) {
+  const uint32_t effective = std::min(kProtocolVersion, peer_version);
+  if (effective < kMinProtocolVersion) {
+    return Status::FailedPrecondition(
+        "peer protocol version " + std::to_string(peer_version) +
+        " is older than the minimum supported version " +
+        std::to_string(kMinProtocolVersion));
+  }
+  return effective;
+}
+
+// ---------------------------------------------------------------------------
+// Framing.
+
+std::vector<uint8_t> EncodeFrame(FrameType type,
+                                 std::span<const uint8_t> payload) {
+  std::vector<uint8_t> out;
+  out.reserve(kFrameFixedBytes + payload.size());
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  PutU32(&out, static_cast<uint32_t>(type));
+  out.insert(out.end(), payload.begin(), payload.end());
+  PutU32(&out, FrameCrc(static_cast<uint32_t>(type), payload));
+  return out;
+}
+
+Result<std::optional<Frame>> DecodeFrame(std::span<const uint8_t> buffer,
+                                         size_t* consumed) {
+  *consumed = 0;
+  if (buffer.size() < 8) return std::optional<Frame>();
+  const uint32_t payload_len = LoadU32(buffer.data());
+  if (payload_len > kMaxFramePayload) {
+    return Status::OutOfRange("frame payload length " +
+                              std::to_string(payload_len) +
+                              " exceeds the 64 MiB cap");
+  }
+  const size_t total = kFrameFixedBytes + payload_len;
+  if (buffer.size() < total) return std::optional<Frame>();
+  const uint32_t type = LoadU32(buffer.data() + 4);
+  const std::span<const uint8_t> payload = buffer.subspan(8, payload_len);
+  const uint32_t stored_crc = LoadU32(buffer.data() + 8 + payload_len);
+  const uint32_t actual_crc = FrameCrc(type, payload);
+  if (stored_crc != actual_crc) {
+    return Status::IOError("frame CRC mismatch: stream corrupted");
+  }
+  Frame frame;
+  frame.type = type;
+  frame.payload.assign(payload.begin(), payload.end());
+  *consumed = total;
+  return std::optional<Frame>(std::move(frame));
+}
+
+// ---------------------------------------------------------------------------
+// JobSpec.
+
+std::vector<uint8_t> EncodeJobSpec(const JobSpec& spec, uint32_t version) {
+  std::vector<uint8_t> out;
+  PutU32(&out, static_cast<uint32_t>(spec.bucket_paths.size()));
+  for (const std::string& path : spec.bucket_paths) {
+    PutString(&out, path);
+  }
+  PutU64(&out, static_cast<uint64_t>(spec.engine.k));
+  PutU64(&out, static_cast<uint64_t>(spec.engine.restarts));
+  PutU64(&out, static_cast<uint64_t>(spec.engine.memory_kib));
+  PutU64(&out, static_cast<uint64_t>(spec.engine.cores));
+  PutString(&out, spec.engine.failure_policy);
+  PutU64(&out, static_cast<uint64_t>(spec.engine.max_retries));
+  PutU64(&out, static_cast<uint64_t>(spec.engine.op_timeout_ms));
+  PutString(&out, spec.engine.kernel);
+  PutString(&out, spec.engine.checkpoint_dir);
+  PutU64(&out, static_cast<uint64_t>(spec.engine.checkpoint_sync));
+  PutBool(&out, spec.engine.resume);
+  if (version >= 2) {
+    PutString(&out, spec.run_id);
+    PutString(&out, spec.client);
+  }
+  return out;
+}
+
+Result<JobSpec> DecodeJobSpec(std::span<const uint8_t> payload,
+                              uint32_t version) {
+  WireReader reader(payload);
+  JobSpec spec;
+  uint32_t path_count = 0;
+  PMKM_RETURN_NOT_OK(reader.ReadU32(&path_count));
+  // Each path costs at least its 4-byte length prefix, so a sane count
+  // can never exceed the remaining payload.
+  if (path_count > reader.remaining() / 4) {
+    return Status::OutOfRange("job spec path count " +
+                              std::to_string(path_count) +
+                              " exceeds the payload");
+  }
+  spec.bucket_paths.reserve(path_count);
+  for (uint32_t i = 0; i < path_count; ++i) {
+    std::string path;
+    PMKM_RETURN_NOT_OK(reader.ReadString(&path));
+    spec.bucket_paths.push_back(std::move(path));
+  }
+  PMKM_RETURN_NOT_OK(reader.ReadI64(&spec.engine.k));
+  PMKM_RETURN_NOT_OK(reader.ReadI64(&spec.engine.restarts));
+  PMKM_RETURN_NOT_OK(reader.ReadI64(&spec.engine.memory_kib));
+  PMKM_RETURN_NOT_OK(reader.ReadI64(&spec.engine.cores));
+  PMKM_RETURN_NOT_OK(reader.ReadString(&spec.engine.failure_policy));
+  PMKM_RETURN_NOT_OK(reader.ReadI64(&spec.engine.max_retries));
+  PMKM_RETURN_NOT_OK(reader.ReadI64(&spec.engine.op_timeout_ms));
+  PMKM_RETURN_NOT_OK(reader.ReadString(&spec.engine.kernel));
+  PMKM_RETURN_NOT_OK(reader.ReadString(&spec.engine.checkpoint_dir));
+  PMKM_RETURN_NOT_OK(reader.ReadI64(&spec.engine.checkpoint_sync));
+  PMKM_RETURN_NOT_OK(reader.ReadBool(&spec.engine.resume));
+  if (version >= 2) {
+    PMKM_RETURN_NOT_OK(reader.ReadString(&spec.run_id));
+    PMKM_RETURN_NOT_OK(reader.ReadString(&spec.client));
+  }
+  // Trailing bytes (fields from a newer minor version) are ignored.
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// JobInfo.
+
+namespace {
+
+void AppendJobInfo(std::vector<uint8_t>* out, const JobInfo& info) {
+  PutU64(out, info.job_id);
+  PutU32(out, static_cast<uint32_t>(info.state));
+  PutI32(out, static_cast<int32_t>(info.status.code()));
+  PutString(out, info.status.message());
+  PutString(out, info.client);
+  PutString(out, info.run_id);
+  PutU64(out, info.cells);
+  PutDouble(out, info.wall_seconds);
+}
+
+Status ReadJobInfo(WireReader* reader, JobInfo* info) {
+  PMKM_RETURN_NOT_OK(reader->ReadU64(&info->job_id));
+  uint32_t state = 0;
+  PMKM_RETURN_NOT_OK(reader->ReadU32(&state));
+  if (state > static_cast<uint32_t>(JobState::kCancelled)) {
+    return Status::OutOfRange("unknown job state tag " +
+                              std::to_string(state));
+  }
+  info->state = static_cast<JobState>(state);
+  int32_t code = 0;
+  std::string message;
+  PMKM_RETURN_NOT_OK(reader->ReadI32(&code));
+  PMKM_RETURN_NOT_OK(reader->ReadString(&message));
+  if (code < static_cast<int32_t>(StatusCode::kOk) ||
+      code > static_cast<int32_t>(StatusCode::kDeadlineExceeded)) {
+    return Status::OutOfRange("unknown status code tag " +
+                              std::to_string(code));
+  }
+  info->status = Status(static_cast<StatusCode>(code), std::move(message));
+  PMKM_RETURN_NOT_OK(reader->ReadString(&info->client));
+  PMKM_RETURN_NOT_OK(reader->ReadString(&info->run_id));
+  PMKM_RETURN_NOT_OK(reader->ReadU64(&info->cells));
+  PMKM_RETURN_NOT_OK(reader->ReadDouble(&info->wall_seconds));
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeJobInfo(const JobInfo& info) {
+  std::vector<uint8_t> out;
+  AppendJobInfo(&out, info);
+  return out;
+}
+
+Result<JobInfo> DecodeJobInfo(std::span<const uint8_t> payload) {
+  WireReader reader(payload);
+  JobInfo info;
+  PMKM_RETURN_NOT_OK(ReadJobInfo(&reader, &info));
+  return info;
+}
+
+std::vector<uint8_t> EncodeJobList(const std::vector<JobInfo>& jobs) {
+  std::vector<uint8_t> out;
+  PutU32(&out, static_cast<uint32_t>(jobs.size()));
+  for (const JobInfo& info : jobs) {
+    AppendJobInfo(&out, info);
+  }
+  return out;
+}
+
+Result<std::vector<JobInfo>> DecodeJobList(
+    std::span<const uint8_t> payload) {
+  WireReader reader(payload);
+  uint32_t count = 0;
+  PMKM_RETURN_NOT_OK(reader.ReadU32(&count));
+  // A JobInfo is at least 40 fixed bytes on the wire.
+  if (count > reader.remaining() / 40) {
+    return Status::OutOfRange("job list count " + std::to_string(count) +
+                              " exceeds the payload");
+  }
+  std::vector<JobInfo> jobs;
+  jobs.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    JobInfo info;
+    PMKM_RETURN_NOT_OK(ReadJobInfo(&reader, &info));
+    jobs.push_back(std::move(info));
+  }
+  return jobs;
+}
+
+// ---------------------------------------------------------------------------
+// Model set.
+
+std::vector<uint8_t> EncodeModelSet(
+    const std::map<GridCellId, CellClustering>& cells) {
+  std::vector<uint8_t> out;
+  PutU32(&out, static_cast<uint32_t>(cells.size()));
+  for (const auto& [cell, clustering] : cells) {
+    const std::vector<uint8_t> blob = EncodeCellComplete(clustering);
+    PutU32(&out, static_cast<uint32_t>(blob.size()));
+    out.insert(out.end(), blob.begin(), blob.end());
+  }
+  return out;
+}
+
+Result<std::map<GridCellId, CellClustering>> DecodeModelSet(
+    std::span<const uint8_t> payload) {
+  WireReader reader(payload);
+  uint32_t count = 0;
+  PMKM_RETURN_NOT_OK(reader.ReadU32(&count));
+  if (count > reader.remaining() / 4) {
+    return Status::OutOfRange("model set cell count " +
+                              std::to_string(count) +
+                              " exceeds the payload");
+  }
+  std::map<GridCellId, CellClustering> cells;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t blob_len = 0;
+    PMKM_RETURN_NOT_OK(reader.ReadU32(&blob_len));
+    std::span<const uint8_t> blob;
+    PMKM_RETURN_NOT_OK(reader.ReadBytes(blob_len, &blob));
+    PMKM_ASSIGN_OR_RETURN(CellClustering clustering,
+                          DecodeCellComplete(blob));
+    const GridCellId cell = clustering.cell;
+    cells.emplace(cell, std::move(clustering));
+  }
+  return cells;
+}
+
+// ---------------------------------------------------------------------------
+// Scalars and replies.
+
+std::vector<uint8_t> EncodeU64(uint64_t value) {
+  std::vector<uint8_t> out;
+  PutU64(&out, value);
+  return out;
+}
+
+Result<uint64_t> DecodeU64(std::span<const uint8_t> payload) {
+  WireReader reader(payload);
+  uint64_t value = 0;
+  PMKM_RETURN_NOT_OK(reader.ReadU64(&value));
+  return value;
+}
+
+std::vector<uint8_t> EncodeReply(const Status& status,
+                                 std::span<const uint8_t> body) {
+  std::vector<uint8_t> out;
+  PutI32(&out, static_cast<int32_t>(status.code()));
+  PutString(&out, status.message());
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+Result<Reply> DecodeReply(std::span<const uint8_t> payload) {
+  WireReader reader(payload);
+  int32_t code = 0;
+  std::string message;
+  PMKM_RETURN_NOT_OK(reader.ReadI32(&code));
+  PMKM_RETURN_NOT_OK(reader.ReadString(&message));
+  if (code < static_cast<int32_t>(StatusCode::kOk) ||
+      code > static_cast<int32_t>(StatusCode::kDeadlineExceeded)) {
+    return Status::OutOfRange("unknown status code tag " +
+                              std::to_string(code));
+  }
+  Reply reply;
+  reply.status = Status(static_cast<StatusCode>(code), std::move(message));
+  std::span<const uint8_t> body;
+  PMKM_RETURN_NOT_OK(reader.ReadBytes(reader.remaining(), &body));
+  reply.body.assign(body.begin(), body.end());
+  return reply;
+}
+
+}  // namespace serve
+}  // namespace pmkm

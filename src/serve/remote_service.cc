@@ -1,0 +1,160 @@
+#include "serve/remote_service.h"
+
+#include <utility>
+
+#include "serve/net.h"
+
+namespace pmkm {
+namespace serve {
+
+RemoteService::~RemoteService() { Disconnect(); }
+
+Status RemoteService::Connect(const std::string& endpoint) {
+  MutexLock lock(mu_);
+  if (fd_ >= 0) {
+    return Status::FailedPrecondition("already connected");
+  }
+  PMKM_ASSIGN_OR_RETURN(const int fd, DialEndpoint(endpoint));
+  // Hello exchange: send ours, read theirs, settle on min.
+  const std::vector<uint8_t> hello = EncodeHello(kProtocolVersion);
+  Status st = WriteAll(fd, hello);
+  uint8_t peer_hello[kHelloBytes];
+  if (st.ok()) st = ReadExact(fd, peer_hello);
+  uint32_t peer_version = 0;
+  if (st.ok()) {
+    Result<uint32_t> decoded =
+        DecodeHello(std::span<const uint8_t>(peer_hello, kHelloBytes));
+    if (decoded.ok()) {
+      peer_version = decoded.value();
+    } else {
+      st = decoded.error();
+    }
+  }
+  if (st.ok()) {
+    Result<uint32_t> negotiated = NegotiateVersion(peer_version);
+    if (negotiated.ok()) {
+      version_ = negotiated.value();
+    } else {
+      st = negotiated.error();
+    }
+  }
+  if (!st.ok()) {
+    CloseFd(fd);
+    return st;
+  }
+  fd_ = fd;
+  read_buffer_.clear();
+  return Status::OK();
+}
+
+void RemoteService::Disconnect() {
+  MutexLock lock(mu_);
+  CloseFd(fd_);
+  fd_ = -1;
+  version_ = 0;
+  read_buffer_.clear();
+}
+
+bool RemoteService::connected() const {
+  MutexLock lock(mu_);
+  return fd_ >= 0;
+}
+
+uint32_t RemoteService::negotiated_version() const {
+  MutexLock lock(mu_);
+  return version_;
+}
+
+Status RemoteService::Ping() {
+  PMKM_ASSIGN_OR_RETURN(Reply reply, Call(FrameType::kPing, {}));
+  return reply.status;
+}
+
+Result<uint64_t> RemoteService::SubmitJob(const JobSpec& spec) {
+  std::vector<uint8_t> payload;
+  {
+    MutexLock lock(mu_);
+    if (fd_ < 0) return Status::FailedPrecondition("not connected");
+    payload = EncodeJobSpec(spec, version_);
+  }
+  PMKM_ASSIGN_OR_RETURN(Reply reply,
+                        Call(FrameType::kSubmitJob, std::move(payload)));
+  PMKM_RETURN_NOT_OK(reply.status);
+  return DecodeU64(reply.body);
+}
+
+Result<JobInfo> RemoteService::JobStatus(uint64_t job_id) {
+  PMKM_ASSIGN_OR_RETURN(
+      Reply reply, Call(FrameType::kJobStatus, EncodeU64(job_id)));
+  PMKM_RETURN_NOT_OK(reply.status);
+  return DecodeJobInfo(reply.body);
+}
+
+Result<std::map<GridCellId, CellClustering>> RemoteService::FetchModel(
+    uint64_t job_id) {
+  PMKM_ASSIGN_OR_RETURN(
+      Reply reply, Call(FrameType::kFetchModel, EncodeU64(job_id)));
+  PMKM_RETURN_NOT_OK(reply.status);
+  return DecodeModelSet(reply.body);
+}
+
+Status RemoteService::CancelJob(uint64_t job_id) {
+  PMKM_ASSIGN_OR_RETURN(
+      Reply reply, Call(FrameType::kCancelJob, EncodeU64(job_id)));
+  return reply.status;
+}
+
+Result<std::vector<JobInfo>> RemoteService::ListJobs() {
+  PMKM_ASSIGN_OR_RETURN(Reply reply, Call(FrameType::kListJobs, {}));
+  PMKM_RETURN_NOT_OK(reply.status);
+  return DecodeJobList(reply.body);
+}
+
+Result<Reply> RemoteService::Call(FrameType type,
+                                  std::vector<uint8_t> payload) {
+  MutexLock lock(mu_);
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  Reply reply;
+  const Status st = CallLocked(type, payload, &reply);
+  if (!st.ok()) {
+    // Transport failure: the stream position is unknowable, so poison
+    // the connection rather than risk desynchronized frames.
+    CloseFd(fd_);
+    fd_ = -1;
+    read_buffer_.clear();
+    return st;
+  }
+  return reply;
+}
+
+Status RemoteService::CallLocked(FrameType type,
+                                 const std::vector<uint8_t>& payload,
+                                 Reply* reply) {
+  PMKM_RETURN_NOT_OK(WriteAll(fd_, EncodeFrame(type, payload)));
+  // Accumulate bytes until one complete frame decodes.
+  uint8_t chunk[4096];
+  while (true) {
+    size_t consumed = 0;
+    PMKM_ASSIGN_OR_RETURN(std::optional<Frame> frame,
+                          DecodeFrame(read_buffer_, &consumed));
+    if (frame.has_value()) {
+      read_buffer_.erase(read_buffer_.begin(),
+                         read_buffer_.begin() +
+                             static_cast<ptrdiff_t>(consumed));
+      if (frame->type != static_cast<uint32_t>(FrameType::kReply)) {
+        return Status::IOError("protocol error: expected a reply frame, "
+                               "got type " + std::to_string(frame->type));
+      }
+      PMKM_ASSIGN_OR_RETURN(*reply, DecodeReply(frame->payload));
+      return Status::OK();
+    }
+    PMKM_ASSIGN_OR_RETURN(const size_t n, ReadSome(fd_, chunk));
+    if (n == 0) {
+      return Status::IOError("server closed the connection mid-reply");
+    }
+    read_buffer_.insert(read_buffer_.end(), chunk, chunk + n);
+  }
+}
+
+}  // namespace serve
+}  // namespace pmkm

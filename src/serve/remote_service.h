@@ -1,0 +1,77 @@
+// RemoteService: ClusterService client over the serve wire protocol
+// (serve/protocol.h) to a pmkm_serve daemon on a unix-domain or loopback
+// TCP socket.
+//
+// Connect() dials, exchanges hellos and fixes the effective protocol
+// version; after that every API call is one request frame and one kReply
+// frame on the shared connection (requests are serialized under a mutex —
+// the protocol is strictly request/reply). A Status carried in a reply is
+// surfaced as that call's Status, so remote error semantics match
+// LocalService exactly; transport failures surface as IOError and poison
+// the connection (every later call fails fast until a new Connect()).
+
+#ifndef PMKM_SERVE_REMOTE_SERVICE_H_
+#define PMKM_SERVE_REMOTE_SERVICE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/annotations.h"
+#include "serve/protocol.h"
+#include "serve/service.h"
+
+namespace pmkm {
+namespace serve {
+
+class RemoteService : public ClusterService {
+ public:
+  RemoteService() = default;
+  ~RemoteService() override;
+
+  RemoteService(const RemoteService&) = delete;
+  RemoteService& operator=(const RemoteService&) = delete;
+
+  /// Dials `endpoint` ("unix:/path" or "127.0.0.1:port") and performs the
+  /// handshake. Fails on a bad magic or an unsupported peer version.
+  Status Connect(const std::string& endpoint) PMKM_EXCLUDES(mu_);
+
+  /// Closes the connection; idempotent.
+  void Disconnect() PMKM_EXCLUDES(mu_);
+
+  bool connected() const PMKM_EXCLUDES(mu_);
+
+  /// Version agreed with the server (valid after Connect).
+  uint32_t negotiated_version() const PMKM_EXCLUDES(mu_);
+
+  /// Liveness probe: one kPing round trip.
+  Status Ping() PMKM_EXCLUDES(mu_);
+
+  Result<uint64_t> SubmitJob(const JobSpec& spec) override
+      PMKM_EXCLUDES(mu_);
+  Result<JobInfo> JobStatus(uint64_t job_id) override PMKM_EXCLUDES(mu_);
+  Result<std::map<GridCellId, CellClustering>> FetchModel(
+      uint64_t job_id) override PMKM_EXCLUDES(mu_);
+  Status CancelJob(uint64_t job_id) override PMKM_EXCLUDES(mu_);
+  Result<std::vector<JobInfo>> ListJobs() override PMKM_EXCLUDES(mu_);
+
+ private:
+  /// One request/reply round trip. Returns the decoded reply; the carried
+  /// Status is NOT yet applied (callers decide whether a non-OK status
+  /// still has a meaningful body).
+  Result<Reply> Call(FrameType type, std::vector<uint8_t> payload)
+      PMKM_EXCLUDES(mu_);
+  Status CallLocked(FrameType type, const std::vector<uint8_t>& payload,
+                    Reply* reply) PMKM_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  int fd_ PMKM_GUARDED_BY(mu_) = -1;
+  uint32_t version_ PMKM_GUARDED_BY(mu_) = 0;
+  /// Unconsumed bytes read past the previous frame boundary.
+  std::vector<uint8_t> read_buffer_ PMKM_GUARDED_BY(mu_);
+};
+
+}  // namespace serve
+}  // namespace pmkm
+
+#endif  // PMKM_SERVE_REMOTE_SERVICE_H_

@@ -217,6 +217,7 @@ Result<StreamRunResult> RunPlan(std::unique_ptr<Operator> scan,
   Executor executor;
   scan->set_failure_policy(exec.failure_policy);
   scan->set_obs(exec.obs);
+  scan->set_cancel_token(exec.cancel);
   scan->set_live_slot(0);
   std::vector<std::string> operator_names{scan->name()};
   executor.Add(std::move(scan));
@@ -457,6 +458,10 @@ PipelineBuilder& PipelineBuilder::WithDebugServer(obs::DebugServer* server) {
 Result<StreamRunResult> PipelineBuilder::Run(
     const std::vector<std::string>& bucket_paths) const {
   EngineOptions options = options_;
+  if (options.exec.cancel != nullptr &&
+      options.exec.cancel->load(std::memory_order_acquire)) {
+    return Status::Cancelled("run cancelled before start");
+  }
   PMKM_RETURN_NOT_OK(ResolveKernel(&options));
   if (options.exec.obs.run_id.empty()) {
     options.exec.obs.run_id = GenerateRunId();
@@ -540,6 +545,10 @@ Result<StreamRunResult> PipelineBuilder::Run(
 
 Result<StreamRunResult> PipelineBuilder::RunInMemory(
     std::vector<GridBucket> cells) const {
+  if (options_.exec.cancel != nullptr &&
+      options_.exec.cancel->load(std::memory_order_acquire)) {
+    return Status::Cancelled("run cancelled before start");
+  }
   if (cells.empty()) return Status::InvalidArgument("no cells given");
   if (options_.checkpoint.enabled()) {
     return Status::InvalidArgument(
@@ -574,35 +583,6 @@ Result<std::string> PipelineBuilder::Explain(
   return ExplainPartialMergePlan(
       bucket_paths.size(), probed.total_points * bucket_paths.size(),
       probed.dim, options.partial, options.merge, probed.plan);
-}
-
-// ---------------------------------------------------------------------------
-// Legacy free functions (stream/plan.h): thin compat wrappers.
-
-Result<StreamRunResult> RunPartialMergeStream(
-    const std::vector<std::string>& bucket_paths,
-    const KMeansConfig& partial_config,
-    const MergeKMeansConfig& merge_config, const ResourceModel& resources,
-    const StreamExecOptions& exec) {
-  return PipelineBuilder()
-      .WithPartialKMeans(partial_config)
-      .WithMerge(merge_config)
-      .WithResources(resources)
-      .WithExecution(exec)
-      .Run(bucket_paths);
-}
-
-Result<StreamRunResult> RunPartialMergeStreamInMemory(
-    std::vector<GridBucket> cells, const KMeansConfig& partial_config,
-    const MergeKMeansConfig& merge_config, const ResourceModel& resources,
-    size_t chunk_points_override, const StreamExecOptions& exec) {
-  return PipelineBuilder()
-      .WithPartialKMeans(partial_config)
-      .WithMerge(merge_config)
-      .WithResources(resources)
-      .WithExecution(exec)
-      .WithChunkPoints(chunk_points_override)
-      .RunInMemory(std::move(cells));
 }
 
 }  // namespace pmkm

@@ -18,13 +18,15 @@
 //                     .WithMetrics(&registry)
 //                     .Run(bucket_paths);
 //
-// The legacy free functions RunPartialMergeStream /
-// RunPartialMergeStreamInMemory (stream/plan.h) are thin wrappers over
-// this builder and remain source-compatible.
+// This builder is the engine's single entry point: the serve layer
+// (serve/service.h) submits every job through it, and the legacy
+// free-function wrappers were retired (pmkm_lint's `direct-run` rule
+// keeps new ones from appearing).
 
 #ifndef PMKM_STREAM_ENGINE_H_
 #define PMKM_STREAM_ENGINE_H_
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -175,6 +177,15 @@ class PipelineBuilder {
   /// starts fresh (still checkpointing as it goes).
   PipelineBuilder& WithResume(bool resume) {
     options_.checkpoint.resume = resume;
+    return *this;
+  }
+  /// Attaches a cooperative cancellation token: when the pointed-at flag
+  /// becomes true, the run stops at the next work-unit boundary and
+  /// Run()/RunInMemory() return Status::Cancelled. The flag's owner must
+  /// outlive the run; null (default) detaches. This is how
+  /// ClusterService::CancelJob interrupts a running job.
+  PipelineBuilder& WithCancelToken(const std::atomic<bool>* cancel) {
+    options_.exec.cancel = cancel;
     return *this;
   }
 

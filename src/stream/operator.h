@@ -90,6 +90,14 @@ class Operator {
   const ObsContext& obs() const { return obs_; }
   void set_obs(const ObsContext& obs) { obs_ = obs; }
 
+  /// Cooperative cancellation token (StreamExecOptions::cancel), set by
+  /// the engine before Executor::Run. Source operators poll it between
+  /// work units and return Status::Cancelled, which the executor treats
+  /// as terminal under every failure policy.
+  void set_cancel_token(const std::atomic<bool>* cancel) {
+    cancel_ = cancel;
+  }
+
   /// Slot of this instance in the RunBoard layout declared by
   /// RunBoard::BeginRun (set by the engine together with set_obs when a
   /// debug server is attached).
@@ -112,6 +120,11 @@ class Operator {
  protected:
   void TickProgress() { progress_.fetch_add(1, std::memory_order_relaxed); }
 
+  /// True once the attached cancel token (if any) was flipped.
+  bool CancelRequested() const {
+    return cancel_ != nullptr && cancel_->load(std::memory_order_acquire);
+  }
+
   /// Copies the current stats into the attached RunBoard slot so the
   /// debug server's /statusz shows live per-operator progress. Call after
   /// each completed work unit (chunk/bucket/cell); no-op without a board.
@@ -124,6 +137,7 @@ class Operator {
   size_t live_slot_ = 0;
   OperatorStats stats_;
   ObsContext obs_;
+  const std::atomic<bool>* cancel_ = nullptr;
 };
 
 /// Supervision knobs for one Executor::Run.

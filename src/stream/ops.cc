@@ -137,6 +137,10 @@ Status ScanOperator::EmitBucketWithRetry(const std::string& path) {
 
 Status ScanOperator::Run() {
   while (bucket_index_ < paths_.size()) {
+    if (CancelRequested()) {
+      CloseOutputOnce();
+      return Status::Cancelled("run cancelled");
+    }
     const std::string& path = paths_[bucket_index_];
     const Status st = EmitBucketWithRetry(path);
     if (!st.ok()) {
@@ -204,6 +208,7 @@ Status MemoryScanOperator::Run() {
   } closer{out_.get()};
 
   for (const GridBucket& cell : cells_) {
+    if (CancelRequested()) return Status::Cancelled("run cancelled");
     ScopedSpan span(obs().trace, "scan.cell", "io");
     if (span.enabled()) span.AddArg("cell", cell.cell.ToString());
     const size_t n = cell.points.size();

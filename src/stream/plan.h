@@ -14,6 +14,7 @@
 #ifndef PMKM_STREAM_PLAN_H_
 #define PMKM_STREAM_PLAN_H_
 
+#include <atomic>
 #include <map>
 #include <string>
 #include <vector>
@@ -78,6 +79,14 @@ struct StreamExecOptions {
   /// uninstrumented run; set metrics and/or trace to collect a
   /// MetricsRegistry export and a Chrome trace of the pipeline.
   ObsContext obs;
+
+  /// Cooperative cancellation token (nullable). When the pointed-at flag
+  /// becomes true, the scan stops at the next work-unit boundary with
+  /// Status::Cancelled and the executor tears the pipeline down under
+  /// every failure policy (a cancel is never retried or skipped). The
+  /// flag's owner must outlive the run. ClusterService::CancelJob
+  /// (serve/service.h) flips this for running jobs.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// One quarantined cell/bucket in the run report.
@@ -131,23 +140,11 @@ struct StreamRunResult {
   std::vector<QueueStatsSnapshot> queues;
 };
 
-/// Compiles and executes the full plan over bucket files: one scan, the
-/// planned number of partial clones, one merge. Thin wrapper over
-/// PipelineBuilder (stream/engine.h), which is the preferred entry point;
-/// kept source-compatible for existing callers.
-Result<StreamRunResult> RunPartialMergeStream(
-    const std::vector<std::string>& bucket_paths,
-    const KMeansConfig& partial_config,
-    const MergeKMeansConfig& merge_config, const ResourceModel& resources,
-    const StreamExecOptions& exec = StreamExecOptions{});
-
-/// Same, over in-memory cells (used by the speed-up experiment where the
-/// clone count is forced via `resources.cores`).
-Result<StreamRunResult> RunPartialMergeStreamInMemory(
-    std::vector<GridBucket> cells, const KMeansConfig& partial_config,
-    const MergeKMeansConfig& merge_config, const ResourceModel& resources,
-    size_t chunk_points_override = 0,
-    const StreamExecOptions& exec = StreamExecOptions{});
+// The legacy free-function entry points RunPartialMergeStream /
+// RunPartialMergeStreamInMemory were retired: every run goes through
+// PipelineBuilder (stream/engine.h), the single entry point the serve
+// layer, tools, benches and tests share. pmkm_lint's `direct-run` rule
+// keeps new direct-run entry points from reappearing.
 
 }  // namespace pmkm
 

@@ -9,6 +9,7 @@
 #include "cluster/metrics.h"
 #include "data/misr.h"
 #include "histogram/histogram.h"
+#include "stream/engine.h"
 #include "stream/plan.h"
 
 namespace pmkm {
@@ -59,7 +60,11 @@ TEST_F(PipelineTest, SwathToHistograms) {
   ResourceModel resources;
   resources.cores = 3;
   resources.memory_bytes_per_operator = 64 << 10;
-  auto run = RunPartialMergeStream(paths, partial, merge, resources);
+  auto run = PipelineBuilder()
+                 .WithPartialKMeans(partial)
+                 .WithMerge(merge)
+                 .WithResources(resources)
+                 .Run(paths);
   ASSERT_TRUE(run.ok()) << run.status();
   ASSERT_EQ(run->cells.size(), paths.size());
 
@@ -112,9 +117,11 @@ TEST_F(PipelineTest, StreamedRunIsDeterministic) {
   resources.cores = 4;  // clones must not affect results
   resources.memory_bytes_per_operator = 32 << 10;
 
-  auto a = RunPartialMergeStream(paths, partial, merge, resources);
+  PipelineBuilder builder;
+  builder.WithPartialKMeans(partial).WithMerge(merge);
+  auto a = builder.WithResources(resources).Run(paths);
   resources.cores = 2;
-  auto b = RunPartialMergeStream(paths, partial, merge, resources);
+  auto b = builder.WithResources(resources).Run(paths);
   ASSERT_TRUE(a.ok() && b.ok());
   ASSERT_EQ(a->cells.size(), b->cells.size());
   for (const auto& [id, cell] : a->cells) {

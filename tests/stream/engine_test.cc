@@ -62,7 +62,7 @@ TEST(EngineFlagsTest, RejectsBadValues) {
   }
 }
 
-TEST(PipelineBuilderTest, RunInMemoryMatchesLegacyFreeFunction) {
+TEST(PipelineBuilderTest, RunInMemoryIsDeterministic) {
   KMeansConfig partial;
   partial.k = 5;
   partial.restarts = 2;
@@ -73,17 +73,15 @@ TEST(PipelineBuilderTest, RunInMemoryMatchesLegacyFreeFunction) {
   resources.cores = 2;
   resources.memory_bytes_per_operator = 6 * 8 * 4 * 150;
 
-  auto via_builder = PipelineBuilder()
-                         .WithPartialKMeans(partial)
-                         .WithMerge(merge)
-                         .WithResources(resources)
-                         .RunInMemory({MakeBucket(1, 600, 2)});
-  auto via_legacy = RunPartialMergeStreamInMemory(
-      {MakeBucket(1, 600, 2)}, partial, merge, resources);
-  ASSERT_TRUE(via_builder.ok()) << via_builder.status();
-  ASSERT_TRUE(via_legacy.ok()) << via_legacy.status();
-  const auto& a = via_builder->cells.at(GridCellId{1, 1});
-  const auto& b = via_legacy->cells.at(GridCellId{1, 1});
+  PipelineBuilder builder;
+  builder.WithPartialKMeans(partial).WithMerge(merge).WithResources(
+      resources);
+  auto first = builder.RunInMemory({MakeBucket(1, 600, 2)});
+  auto second = builder.RunInMemory({MakeBucket(1, 600, 2)});
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_TRUE(second.ok()) << second.status();
+  const auto& a = first->cells.at(GridCellId{1, 1});
+  const auto& b = second->cells.at(GridCellId{1, 1});
   EXPECT_EQ(a.model.centroids, b.model.centroids);
   EXPECT_EQ(a.model.sse, b.model.sse);
 }

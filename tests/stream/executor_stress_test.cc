@@ -11,6 +11,7 @@
 
 #include "common/fault.h"
 #include "data/generator.h"
+#include "stream/engine.h"
 #include "stream/ops.h"
 #include "stream/plan.h"
 
@@ -209,8 +210,12 @@ TEST(ExecutorStressTest, SeededFaultSweepNeverProducesWrongResults) {
     exec.io_retry.max_attempts = 3;
     exec.io_retry.initial_backoff_ms = 0;
 
-    auto run = RunPartialMergeStream(paths, PartialConfig(), MergeConfig(),
-                                     resources, exec);
+    auto run = PipelineBuilder()
+                   .WithPartialKMeans(PartialConfig())
+                   .WithMerge(MergeConfig())
+                   .WithResources(resources)
+                   .WithExecution(exec)
+                   .Run(paths);
     ASSERT_TRUE(run.ok()) << "seed=" << seed << ": " << run.status();
 
     std::set<GridCellId> quarantined;

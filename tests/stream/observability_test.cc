@@ -14,6 +14,7 @@
 #include "data/io.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "stream/engine.h"
 #include "stream/explain.h"
 #include "stream/plan.h"
 
@@ -58,11 +59,14 @@ TEST(ObservabilityTest, InMemoryRunPopulatesOperatorAndQueueStats) {
   resources.cores = 3;
   MetricsRegistry registry;
   TraceRecorder tracer;
-  StreamExecOptions exec;
-  exec.obs.metrics = &registry;
-  exec.obs.trace = &tracer;
-  auto result = RunPartialMergeStreamInMemory(
-      cells, PartialConfig(), MergeConfig(), resources, 200, exec);
+  auto result = PipelineBuilder()
+                    .WithPartialKMeans(PartialConfig())
+                    .WithMerge(MergeConfig())
+                    .WithResources(resources)
+                    .WithChunkPoints(200)
+                    .WithMetrics(&registry)
+                    .WithTrace(&tracer)
+                    .RunInMemory(cells);
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_EQ(result->cells.size(), 2u);
 
@@ -138,10 +142,12 @@ TEST(ObservabilityTest, OnDiskRunPopulatesStatsAndExplainAnalyze) {
   ResourceModel resources;
   resources.cores = 2;
   MetricsRegistry registry;
-  StreamExecOptions exec;
-  exec.obs.metrics = &registry;
-  auto result = RunPartialMergeStream(paths, PartialConfig(),
-                                      MergeConfig(), resources, exec);
+  auto result = PipelineBuilder()
+                    .WithPartialKMeans(PartialConfig())
+                    .WithMerge(MergeConfig())
+                    .WithResources(resources)
+                    .WithMetrics(&registry)
+                    .Run(paths);
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_EQ(result->cells.size(), 2u);
 
@@ -169,9 +175,12 @@ TEST(ObservabilityTest, DisabledObsLeavesSinksUntouchedButKeepsStats) {
   std::vector<GridBucket> cells = {MakeBucket(5, 6, 300, 9)};
   ResourceModel resources;
   resources.cores = 2;
-  auto result = RunPartialMergeStreamInMemory(
-      cells, PartialConfig(), MergeConfig(), resources, 100,
-      StreamExecOptions{});
+  auto result = PipelineBuilder()
+                    .WithPartialKMeans(PartialConfig())
+                    .WithMerge(MergeConfig())
+                    .WithResources(resources)
+                    .WithChunkPoints(100)
+                    .RunInMemory(cells);
   ASSERT_TRUE(result.ok()) << result.status();
   // Stats and queue snapshots are always collected — only the registry
   // and trace sinks are optional.

@@ -7,6 +7,7 @@
 
 #include "cluster/metrics.h"
 #include "data/generator.h"
+#include "stream/engine.h"
 
 namespace pmkm {
 namespace {
@@ -116,7 +117,11 @@ TEST_F(PlanRunTest, EndToEndOverFiles) {
   resources.cores = 4;
   resources.memory_bytes_per_operator = 6 * 8 * 4 * 100;  // 100-pt chunks
 
-  auto result = RunPartialMergeStream(paths, partial, merge, resources);
+  auto result = PipelineBuilder()
+                    .WithPartialKMeans(partial)
+                    .WithMerge(merge)
+                    .WithResources(resources)
+                    .Run(paths);
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_EQ(result->plan.chunk_points, 100u);
   EXPECT_EQ(result->cells.size(), 3u);
@@ -131,7 +136,10 @@ TEST_F(PlanRunTest, EndToEndOverFiles) {
 TEST_F(PlanRunTest, EmptyPathListRejected) {
   KMeansConfig partial;
   MergeKMeansConfig merge;
-  EXPECT_TRUE(RunPartialMergeStream({}, partial, merge, ResourceModel{})
+  EXPECT_TRUE(PipelineBuilder()
+                  .WithPartialKMeans(partial)
+                  .WithMerge(merge)
+                  .Run({})
                   .status()
                   .IsInvalidArgument());
 }
@@ -154,10 +162,11 @@ TEST_F(PlanRunTest, InMemoryVariantMatchesFileVariant) {
   resources.cores = 2;
   resources.memory_bytes_per_operator = 6 * 8 * 4 * 150;
 
-  auto from_file =
-      RunPartialMergeStream({path}, partial, merge, resources);
-  auto in_memory = RunPartialMergeStreamInMemory({bucket}, partial, merge,
-                                                 resources, 150);
+  PipelineBuilder builder;
+  builder.WithPartialKMeans(partial).WithMerge(merge).WithResources(
+      resources);
+  auto from_file = builder.Run({path});
+  auto in_memory = builder.WithChunkPoints(150).RunInMemory({bucket});
   ASSERT_TRUE(from_file.ok() && in_memory.ok());
   const auto& a = from_file->cells.at(bucket.cell);
   const auto& b = in_memory->cells.at(bucket.cell);
@@ -168,8 +177,10 @@ TEST_F(PlanRunTest, InMemoryVariantMatchesFileVariant) {
 TEST_F(PlanRunTest, InMemoryEmptyCellsRejected) {
   KMeansConfig partial;
   MergeKMeansConfig merge;
-  EXPECT_TRUE(RunPartialMergeStreamInMemory({}, partial, merge,
-                                            ResourceModel{})
+  EXPECT_TRUE(PipelineBuilder()
+                  .WithPartialKMeans(partial)
+                  .WithMerge(merge)
+                  .RunInMemory({})
                   .status()
                   .IsInvalidArgument());
 }

@@ -13,6 +13,7 @@
 
 #include "common/fault.h"
 #include "common/rng.h"
+#include "stream/engine.h"
 #include "stream/plan.h"
 
 namespace pmkm {
@@ -94,6 +95,18 @@ class ResilienceTest : public ::testing::Test {
     return config;
   }
 
+  // The standard small-resource pipeline over on-disk buckets.
+  static Result<StreamRunResult> RunStream(
+      const std::vector<std::string>& paths,
+      const StreamExecOptions& exec) {
+    return PipelineBuilder()
+        .WithPartialKMeans(PartialConfig())
+        .WithMerge(MergeConfig())
+        .WithResources(SmallResources())
+        .WithExecution(exec)
+        .Run(paths);
+  }
+
   fs::path dir_;
 };
 
@@ -109,8 +122,7 @@ TEST_F(ResilienceTest, SkipAndContinueQuarantinesCorruptBucketUnderFaults) {
   exec.io_retry.max_attempts = 8;
   exec.io_retry.initial_backoff_ms = 0;  // retry without sleeping
 
-  auto run = RunPartialMergeStream(paths, PartialConfig(), MergeConfig(),
-                                   SmallResources(), exec);
+  auto run = RunStream(paths, exec);
   ASSERT_TRUE(run.ok()) << run.status();
 
   // All healthy cells clustered; exactly the corrupt one quarantined.
@@ -144,8 +156,7 @@ TEST_F(ResilienceTest, SkipAndContinueIsDeterministicPerSeed) {
     exec.failure_policy = FailurePolicy::kSkipAndContinue;
     exec.io_retry.max_attempts = 8;
     exec.io_retry.initial_backoff_ms = 0;
-    return RunPartialMergeStream(paths, PartialConfig(), MergeConfig(),
-                                 SmallResources(), exec);
+    return RunStream(paths, exec);
   };
   auto a = run_once();
   auto b = run_once();
@@ -164,8 +175,7 @@ TEST_F(ResilienceTest, FailFastReturnsFirstErrorOnCorruptBucket) {
 
   StreamExecOptions exec;
   exec.failure_policy = FailurePolicy::kFailFast;
-  auto run = RunPartialMergeStream(paths, PartialConfig(), MergeConfig(),
-                                   SmallResources(), exec);
+  auto run = RunStream(paths, exec);
   ASSERT_FALSE(run.ok());
   EXPECT_TRUE(run.status().IsIOError()) << run.status();
   EXPECT_NE(run.status().message().find("truncated bucket payload"),
@@ -180,8 +190,7 @@ TEST_F(ResilienceTest, FailFastSurfacesInjectedFault) {
                   .ok());
   StreamExecOptions exec;
   exec.failure_policy = FailurePolicy::kFailFast;
-  auto run = RunPartialMergeStream(paths, PartialConfig(), MergeConfig(),
-                                   SmallResources(), exec);
+  auto run = RunStream(paths, exec);
   ASSERT_FALSE(run.ok());
   EXPECT_TRUE(run.status().IsIOError()) << run.status();
   EXPECT_EQ(run.status().message(), "injected read fault");
@@ -196,8 +205,7 @@ TEST_F(ResilienceTest, RetryOperatorRestartsScanAndRecoversFully) {
   StreamExecOptions exec;
   exec.failure_policy = FailurePolicy::kRetryOperator;
   exec.max_retries = 2;
-  auto run = RunPartialMergeStream(paths, PartialConfig(), MergeConfig(),
-                                   SmallResources(), exec);
+  auto run = RunStream(paths, exec);
   ASSERT_TRUE(run.ok()) << run.status();
   EXPECT_EQ(run->cells.size(), kNumCells);  // nothing lost
   EXPECT_EQ(run->report.operator_restarts, 1u);
@@ -215,8 +223,7 @@ TEST_F(ResilienceTest, RetryOperatorExhaustionFailsTheRun) {
   StreamExecOptions exec;
   exec.failure_policy = FailurePolicy::kRetryOperator;
   exec.max_retries = 2;
-  auto run = RunPartialMergeStream(paths, PartialConfig(), MergeConfig(),
-                                   SmallResources(), exec);
+  auto run = RunStream(paths, exec);
   ASSERT_FALSE(run.ok());
   EXPECT_TRUE(run.status().IsIOError()) << run.status();
 }
@@ -248,10 +255,13 @@ TEST_F(ResilienceTest, WatchdogDetectsStalledOperator) {
   exec.op_timeout_ms = 300;
 
   const auto started = std::chrono::steady_clock::now();
-  auto run = RunPartialMergeStreamInMemory(std::move(cells),
-                                           PartialConfig(), MergeConfig(),
-                                           resources, /*chunk override=*/8,
-                                           exec);
+  auto run = PipelineBuilder()
+                 .WithPartialKMeans(PartialConfig())
+                 .WithMerge(MergeConfig())
+                 .WithResources(resources)
+                 .WithChunkPoints(8)
+                 .WithExecution(exec)
+                 .RunInMemory(std::move(cells));
   const auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
       std::chrono::steady_clock::now() - started);
   ASSERT_FALSE(run.ok());
@@ -265,8 +275,7 @@ TEST_F(ResilienceTest, WatchdogStaysQuietOnHealthyRun) {
   std::vector<std::string> paths = WriteBuckets();
   StreamExecOptions exec;
   exec.op_timeout_ms = 10000;
-  auto run = RunPartialMergeStream(paths, PartialConfig(), MergeConfig(),
-                                   SmallResources(), exec);
+  auto run = RunStream(paths, exec);
   ASSERT_TRUE(run.ok()) << run.status();
   EXPECT_EQ(run->cells.size(), kNumCells);
   EXPECT_TRUE(run->report.stalled_operators.empty());
@@ -285,8 +294,7 @@ TEST_F(ResilienceTest, SkipAndContinueSurvivesUnreadableFirstBucket) {
   exec.failure_policy = FailurePolicy::kSkipAndContinue;
   exec.io_retry.max_attempts = 2;
   exec.io_retry.initial_backoff_ms = 0;
-  auto run = RunPartialMergeStream(paths, PartialConfig(), MergeConfig(),
-                                   SmallResources(), exec);
+  auto run = RunStream(paths, exec);
   ASSERT_TRUE(run.ok()) << run.status();
   EXPECT_EQ(run->cells.size(), kNumCells - 1);
   ASSERT_EQ(run->report.quarantined.size(), 1u);

@@ -2,6 +2,7 @@
 // real subprocesses (paths injected by CMake via compile definitions).
 
 #include <gtest/gtest.h>
+#include <sys/wait.h>
 
 #include <cstdlib>
 #include <filesystem>
@@ -29,6 +30,12 @@ class ToolsTest : public ::testing::Test {
 
   int Run(const std::string& command) {
     return std::system((command + " > /dev/null 2>&1").c_str());
+  }
+
+  /// The subprocess's actual exit code (Run returns the raw wait status).
+  int ExitCode(const std::string& command) {
+    const int status = Run(command);
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
   }
 
   std::string Dir(const std::string& sub) const {
@@ -166,6 +173,60 @@ TEST_F(ToolsTest, InspectRejectsGarbage) {
     out << "not a pmkm file";
   }
   EXPECT_NE(Run(std::string(PMKM_TOOL_INSPECT) + " " + path), 0);
+}
+
+TEST_F(ToolsTest, InspectExitCodesAreStatusDerived) {
+  // The documented sysexits contract: every failure path exits with
+  // StatusExitCode(status), never an ad-hoc 1.
+  const std::string inspect(PMKM_TOOL_INSPECT);
+
+  // 64 EX_USAGE: bad flags, and no input files.
+  EXPECT_EQ(ExitCode(inspect + " --no-such-flag x.pmkb"), 64);
+  EXPECT_EQ(ExitCode(inspect), 64);
+
+  // 66 EX_NOINPUT: the file does not exist.
+  EXPECT_EQ(ExitCode(inspect + " " + Dir("missing.pmkb")), 66);
+
+  // 65 EX_DATAERR: readable file, but not a pmkm format.
+  const std::string garbage = Dir("garbage.bin");
+  {
+    std::ofstream out(garbage, std::ios::binary);
+    out << "not a pmkm file";
+  }
+  EXPECT_EQ(ExitCode(inspect + " " + garbage), 65);
+
+  // 74 EX_IOERR: right magic, corrupt payload.
+  ASSERT_EQ(Run(std::string(PMKM_TOOL_GENBUCKETS) + " --out=" + Dir("b") +
+                " --mode=cells --cells=1 --n=100"),
+            0);
+  std::string bucket;
+  for (const auto& e : fs::directory_iterator(Dir("b"))) {
+    bucket = e.path().string();
+  }
+  ASSERT_FALSE(bucket.empty());
+  const std::string truncated = Dir("truncated.pmkb");
+  {
+    std::ifstream in(bucket, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    std::ofstream out(truncated, std::ios::binary);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_EQ(ExitCode(inspect + " " + truncated), 74);
+
+  // Several inputs: every failure renders, the first one's code wins.
+  EXPECT_EQ(
+      ExitCode(inspect + " " + Dir("missing.pmkb") + " " + garbage), 66);
+  EXPECT_EQ(
+      ExitCode(inspect + " " + garbage + " " + Dir("missing.pmkb")), 65);
+
+  // A failing input does not mask a later success, nor vice versa: the
+  // good file still renders, but the exit code reflects the failure.
+  EXPECT_EQ(ExitCode(inspect + " " + bucket + " " + garbage), 65);
+
+  // 0 on full success.
+  EXPECT_EQ(ExitCode(inspect + " " + bucket), 0);
 }
 
 TEST_F(ToolsTest, ClusterWithoutInputsFails) {

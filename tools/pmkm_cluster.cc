@@ -8,12 +8,21 @@
 // with resource-driven planning). Engine-level flags (--k, --restarts,
 // --memory-kib, --cores, --failure_policy, --max_retries,
 // --op_timeout_ms, --kernel) come from EngineFlags and are shared with
-// the stream benches; the stream path runs through PipelineBuilder.
+// the stream benches.
+//
+// The stream path runs through the ClusterService API (serve/service.h):
+// by default an in-process LocalService, or — with
+// --server=unix:/path | --server=127.0.0.1:port — a pmkm_serve daemon
+// over the wire protocol. Both backends produce byte-identical models;
+// engine-side observability (--stats, --metrics_out, --trace_out,
+// --profile_out, --explain) is collected in the executing process and is
+// therefore local-backend only.
 
 #include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <thread>
 
 #include "cluster/metrics.h"
@@ -29,14 +38,16 @@
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
+#include "serve/local_service.h"
+#include "serve/remote_service.h"
 #include "stream/engine.h"
 #include "stream/explain.h"
 
 namespace {
 
 int Fail(const pmkm::Status& st) {
-  std::cerr << st << "\n";
-  return 1;
+  std::cerr << "pmkm_cluster: " << st << "\n";
+  return pmkm::StatusExitCode(st);
 }
 
 pmkm::Status WriteTextFile(const std::string& path,
@@ -59,25 +70,33 @@ int main(int argc, char** argv) {
   bool explain = false;
   std::string csv_dir;
   std::string faults;
+  std::string server;
   bool stats = false;
   std::string metrics_out;
   std::string prom_out;
   std::string trace_out;
-  std::string log_format = "text";
-  std::string run_id;
   std::string profile_out;
-  int64_t debug_port = -1;
   int64_t debug_linger_ms = 0;
   int64_t flush_interval_ms = 1000;
+  pmkm::ObsFlags obs_flags;
   pmkm::EngineFlags engine_flags;
   pmkm::FlagParser parser;
-  parser.AddString("algo", &algo, "pm | serial | stream")
+  parser
+      .SetDescription(
+          "pmkm_cluster: cluster grid-bucket files and write one .pmkm "
+          "model per cell.")
+      .SetPositionalUsage("bucket.pmkb [bucket2.pmkb ...]")
+      .AddString("algo", &algo, "pm | serial | stream")
       .AddString("out", &out, "output directory for .pmkm model files")
       .AddString("csv-dir", &csv_dir,
                  "also export centroids+weights as CSV here (optional)")
       .AddInt("splits", &splits, "pm: partitions per cell")
       .AddString("faults", &faults,
                  "arm fault-injection sites, e.g. io.read:p=0.05,seed=7")
+      .AddString("server", &server,
+                 "stream: run the job on a pmkm_serve daemon at this "
+                 "endpoint (unix:/path or host:port) instead of "
+                 "in-process")
       .AddBool("explain", &explain,
                "stream: print the physical plan before running")
       .AddBool("stats", &stats,
@@ -91,18 +110,9 @@ int main(int argc, char** argv) {
       .AddString("trace_out", &trace_out,
                  "stream: write a Chrome trace_event JSON here (open in "
                  "chrome://tracing or Perfetto)")
-      .AddString("log_format", &log_format,
-                 "log line format: text | json (structured lines)")
-      .AddString("run_id", &run_id,
-                 "stream: explicit run id tagging all artifacts "
-                 "(default: generated)")
       .AddString("profile_out", &profile_out,
                  "write a folded-stack CPU profile of the run here "
                  "(flamegraph/speedscope input; see pmkm_inspect profile)")
-      .AddInt("debug_port", &debug_port,
-              "serve live introspection (/metrics /statusz /runz /tracez "
-              "/pprofz /healthz) on 127.0.0.1:PORT; 0 = ephemeral port, "
-              "-1 = off")
       .AddInt("debug_linger_ms", &debug_linger_ms,
               "keep the debug server up this long after the run finishes "
               "(lets scrapers read the final state)")
@@ -111,17 +121,13 @@ int main(int argc, char** argv) {
               "--trace_out snapshots while running, so a killed run still "
               "leaves recent artifacts (0 = end-of-run only)")
       .AddBool("quiet", &quiet, "suppress the per-cell report");
+  obs_flags.Register(&parser);
   engine_flags.Register(&parser);
   const pmkm::Status st = parser.Parse(argc, argv);
   if (st.IsCancelled()) return 0;
   if (!st.ok()) return Fail(st);
-  {
-    pmkm::LogFormat format;
-    if (!pmkm::ParseLogFormat(log_format, &format)) {
-      return Fail(pmkm::Status::InvalidArgument(
-          "--log_format=" + log_format + " (use text|json)"));
-    }
-    pmkm::SetLogFormat(format);
+  if (const pmkm::Status os = obs_flags.Apply(); !os.ok()) {
+    return Fail(os);
   }
   if (!faults.empty()) {
     const pmkm::Status fs =
@@ -131,10 +137,8 @@ int main(int argc, char** argv) {
   auto options = engine_flags.ToOptions();
   if (!options.ok()) return Fail(options.status());
   if (parser.positional().empty()) {
-    std::cerr << "usage: " << argv[0]
-              << " [flags] bucket.pmkb [bucket2.pmkb ...]\n"
-              << parser.Usage(argv[0]);
-    return 1;
+    std::cerr << parser.Usage(argv[0]);
+    return Fail(pmkm::Status::InvalidArgument("no bucket files given"));
   }
   // The serial and pm paths run k-means outside the engine; point the
   // process default kernel at the chosen one so --kernel applies there
@@ -165,33 +169,81 @@ int main(int argc, char** argv) {
   };
 
   if (algo == "stream") {
-    pmkm::PipelineBuilder builder(*options);
-    // Observability is on only when some output (or the debug server)
-    // asks for it; otherwise the pipeline runs with null sinks (zero
-    // instrumentation cost).
+    // The job, as the ClusterService sees it — identical for both
+    // backends.
+    pmkm::serve::JobSpec spec;
+    spec.bucket_paths = parser.positional();
+    spec.engine = engine_flags;
+    spec.run_id = obs_flags.run_id;
+    spec.client = "pmkm_cluster";
+
+    if (!server.empty()) {
+      // Remote backend: the engine (and its instrumentation) lives in
+      // the daemon process.
+      if (explain || stats || !metrics_out.empty() || !prom_out.empty() ||
+          !trace_out.empty() || !profile_out.empty()) {
+        return Fail(pmkm::Status::InvalidArgument(
+            "--explain/--stats/--metrics_out/--prom_out/--trace_out/"
+            "--profile_out collect engine-side state and are only "
+            "available without --server (use the daemon's --debug_port "
+            "introspection instead)"));
+      }
+      pmkm::serve::RemoteService remote;
+      if (const pmkm::Status cs = remote.Connect(server); !cs.ok()) {
+        return Fail(cs);
+      }
+      auto job_id = remote.SubmitJob(spec);
+      if (!job_id.ok()) return Fail(job_id.status());
+      if (!quiet) {
+        std::cout << "job " << *job_id << " submitted to " << server
+                  << " (protocol v" << remote.negotiated_version()
+                  << ")\n";
+      }
+      auto info = remote.AwaitJob(*job_id, 0);
+      if (!info.ok()) return Fail(info.status());
+      if (!info->status.ok()) return Fail(info->status);
+      auto cells = remote.FetchModel(*job_id);
+      if (!cells.ok()) return Fail(cells.status());
+      for (const auto& [id, cell] : *cells) {
+        const pmkm::Status ss = save(id, cell.model);
+        if (!ss.ok()) return Fail(ss);
+        report(id, cell.input_points, cell.model,
+               info->wall_seconds * 1e3 /
+                   static_cast<double>(cells->size()));
+      }
+      std::cout << cells->size() << " cell(s) clustered remotely on "
+                << server << ", " << info->wall_seconds << " s total\n";
+      return 0;
+    }
+
+    // Local backend: one in-process LocalService worker, with the
+    // engine's full observability surface wired through it.
     pmkm::MetricsRegistry registry;
     pmkm::TraceRecorder tracer;
-    pmkm::obs::DebugServer server(&registry, &tracer);
-    const bool serve = debug_port >= 0;
+    pmkm::obs::DebugServer debug_server(&registry, &tracer);
+    const bool serve = obs_flags.serve_requested();
+    pmkm::serve::LocalServiceOptions lopts;
+    lopts.num_workers = 1;
+    lopts.max_queued_jobs = 1;
+    lopts.max_jobs_per_client = 0;
     if (serve || stats || !metrics_out.empty() || !prom_out.empty()) {
-      builder.WithMetrics(&registry);
+      lopts.metrics = &registry;
     }
-    if (serve || !trace_out.empty()) builder.WithTrace(&tracer);
+    if (serve || !trace_out.empty()) lopts.trace = &tracer;
     if (serve) {
       // Serving without a trace file: bound the recorder so a long run
       // keeps a ring of recent spans instead of growing forever.
       if (trace_out.empty()) tracer.SetCapacity(4096);
       pmkm::obs::DebugServer::Options srv;
-      srv.port = static_cast<int>(debug_port);
-      const pmkm::Status ss = server.Start(srv);
+      srv.port = static_cast<int>(obs_flags.debug_port);
+      const pmkm::Status ss = debug_server.Start(srv);
       if (!ss.ok()) return Fail(ss);
       // std::endl: scripts watch a redirected (fully buffered) stdout for
       // this line to learn the ephemeral port, so it must flush now.
       std::cout << "debug server listening on http://127.0.0.1:"
-                << server.port() << "/" << std::endl;
-      builder.WithDebugServer(&server);
+                << debug_server.port() << "/" << std::endl;
+      lopts.debug_server = &debug_server;
     }
-    if (!run_id.empty()) builder.WithRunId(run_id);
     if (!profile_out.empty()) {
       const pmkm::Status ps = pmkm::obs::CpuProfiler::Global().Start();
       if (!ps.ok()) return Fail(ps);
@@ -239,11 +291,33 @@ int main(int argc, char** argv) {
           std::chrono::milliseconds(debug_linger_ms));
     };
     if (explain) {
-      auto text = builder.Explain(parser.positional());
+      auto text =
+          pmkm::PipelineBuilder(*options).Explain(parser.positional());
       if (!text.ok()) return Fail(text.status());
       std::cout << *text;
     }
-    auto run = builder.Run(parser.positional());
+
+    pmkm::serve::LocalService local(lopts);
+    uint64_t job_id = 0;
+    pmkm::Result<pmkm::StreamRunResult> run =
+        pmkm::Status::Internal("job never ran");
+    {
+      auto submitted = local.SubmitJob(spec);
+      if (submitted.ok()) {
+        job_id = *submitted;
+        auto info = local.AwaitJob(job_id, 0);
+        if (info.ok() && info->status.ok()) {
+          run = local.RunResult(job_id);
+        } else {
+          run = info.ok() ? pmkm::Result<pmkm::StreamRunResult>(
+                                info->status)
+                          : pmkm::Result<pmkm::StreamRunResult>(
+                                info.status());
+        }
+      } else {
+        run = submitted.status();
+      }
+    }
     if (!run.ok()) {
       flusher.Stop();
       // Export what the failed run collected; its error dominates any
@@ -307,9 +381,8 @@ int main(int argc, char** argv) {
       if (!result.ok()) return Fail(result.status());
       model = std::move(result->model);
     } else {
-      std::cerr << "unknown --algo=" << algo
-                << " (use pm|serial|stream)\n";
-      return 1;
+      return Fail(pmkm::Status::InvalidArgument(
+          "unknown --algo=" + algo + " (use pm|serial|stream)"));
     }
     const double ms = watch.ElapsedMillis();
     const pmkm::Status ss = save(bucket->cell, model);

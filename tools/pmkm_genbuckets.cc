@@ -10,9 +10,19 @@
 #include <iostream>
 
 #include "common/flags.h"
+#include "common/status.h"
 #include "data/generator.h"
 #include "data/io.h"
 #include "data/misr.h"
+
+namespace {
+
+int Fail(const pmkm::Status& st) {
+  std::cerr << "pmkm_genbuckets: " << st << "\n";
+  return pmkm::StatusExitCode(st);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::string out = "buckets";
@@ -24,8 +34,13 @@ int main(int argc, char** argv) {
   int64_t min_cell_points = 100;
   double cell_degrees = 5.0;
   int64_t seed = 2004;
+  pmkm::ObsFlags obs_flags;
   pmkm::FlagParser parser;
-  parser.AddString("out", &out, "output directory")
+  parser
+      .SetDescription(
+          "pmkm_genbuckets: generate synthetic MISR-like grid-bucket "
+          "files.")
+      .AddString("out", &out, "output directory")
       .AddString("mode", &mode, "cells | swath")
       .AddInt("cells", &cells, "cells mode: number of cells")
       .AddInt("n", &n, "cells mode: points per cell")
@@ -36,11 +51,15 @@ int main(int argc, char** argv) {
       .AddDouble("cell-degrees", &cell_degrees,
                  "swath mode: grid cell size")
       .AddInt("seed", &seed, "master random seed");
+  obs_flags.Register(&parser);
   const pmkm::Status st = parser.Parse(argc, argv);
   if (st.IsCancelled()) return 0;
   if (!st.ok()) {
-    std::cerr << st << "\n" << parser.Usage(argv[0]);
-    return 1;
+    std::cerr << parser.Usage(argv[0]);
+    return Fail(st);
+  }
+  if (const pmkm::Status os = obs_flags.Apply(); !os.ok()) {
+    return Fail(os);
   }
 
   std::filesystem::create_directories(out);
@@ -60,10 +79,7 @@ int main(int argc, char** argv) {
       const std::string path =
           out + "/" + bucket.cell.ToString() + ".pmkb";
       const pmkm::Status ws = pmkm::WriteGridBucket(path, bucket);
-      if (!ws.ok()) {
-        std::cerr << ws << "\n";
-        return 1;
-      }
+      if (!ws.ok()) return Fail(ws);
       ++written;
       total_points += bucket.points.size();
     }
@@ -73,10 +89,7 @@ int main(int argc, char** argv) {
     pmkm::MisrSwathSimulator sim(config);
     auto grid = sim.SimulateToGrid(static_cast<size_t>(orbits),
                                    cell_degrees);
-    if (!grid.ok()) {
-      std::cerr << grid.status() << "\n";
-      return 1;
-    }
+    if (!grid.ok()) return Fail(grid.status());
     for (const auto& [id, points] : grid->buckets()) {
       if (points.size() < static_cast<size_t>(min_cell_points)) continue;
       pmkm::GridBucket bucket;
@@ -84,19 +97,20 @@ int main(int argc, char** argv) {
       bucket.points = points;
       const std::string path = out + "/" + id.ToString() + ".pmkb";
       const pmkm::Status ws = pmkm::WriteGridBucket(path, bucket);
-      if (!ws.ok()) {
-        std::cerr << ws << "\n";
-        return 1;
-      }
+      if (!ws.ok()) return Fail(ws);
       ++written;
       total_points += points.size();
     }
   } else {
-    std::cerr << "unknown --mode=" << mode << " (use cells|swath)\n";
-    return 1;
+    return Fail(pmkm::Status::InvalidArgument(
+        "unknown --mode=" + mode + " (use cells|swath)"));
   }
 
   std::cout << "wrote " << written << " bucket file(s), " << total_points
             << " points, to " << out << "\n";
-  return written > 0 ? 0 : 1;
+  if (written == 0) {
+    return Fail(pmkm::Status::NotFound(
+        "no bucket qualified (every cell was below --min-cell-points?)"));
+  }
+  return 0;
 }

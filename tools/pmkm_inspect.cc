@@ -23,6 +23,12 @@
 //
 // The lock-graph JSON is written by a PMKM_SCHEDCHECK=ON binary at process
 // exit when PMKM_LOCKGRAPH_OUT=<path> is set.
+//
+// Every failure path funnels through one renderer and exits with the
+// sysexits-style code derived from its Status (StatusExitCode): 66 for a
+// missing file, 74 for I/O corruption, 65 for parseable-but-wrong input,
+// 64 for bad flags. With several inputs, each failure is reported and the
+// exit code is the first failure's.
 
 #include <algorithm>
 #include <cstdio>
@@ -36,6 +42,7 @@
 
 #include "cluster/serialize.h"
 #include "common/flags.h"
+#include "common/status.h"
 #include "data/io.h"
 #include "data/manifest.h"
 #include "data/stats.h"
@@ -46,34 +53,32 @@
 
 namespace {
 
-int InspectBucket(const std::string& path) {
+// The one error renderer: every failure prints here and the exit code is
+// always derived from the Status, never an ad-hoc `return 1`.
+int Fail(const std::string& context, const pmkm::Status& st) {
+  std::cerr << "pmkm_inspect: " << context << ": " << st << "\n";
+  return pmkm::StatusExitCode(st);
+}
+
+pmkm::Status InspectBucket(const std::string& path) {
   auto bucket = pmkm::ReadGridBucket(path);
-  if (!bucket.ok()) {
-    std::cerr << bucket.status() << "\n";
-    return 1;
-  }
+  if (!bucket.ok()) return bucket.status();
   const pmkm::Dataset& points = bucket->points;
   std::cout << path << ": grid bucket\n"
             << "  cell : " << bucket->cell.ToString() << "\n";
   if (points.empty()) {
     std::cout << "  empty (0 points, dim " << points.dim() << ")\n";
-    return 0;
+    return pmkm::Status::OK();
   }
   auto profile = pmkm::ProfileDataset(points);
-  if (!profile.ok()) {
-    std::cerr << profile.status() << "\n";
-    return 1;
-  }
+  if (!profile.ok()) return profile.status();
   std::cout << "  " << profile->ToString();
-  return 0;
+  return pmkm::Status::OK();
 }
 
-int InspectModel(const std::string& path) {
+pmkm::Status InspectModel(const std::string& path) {
   auto model = pmkm::LoadModel(path);
-  if (!model.ok()) {
-    std::cerr << model.status() << "\n";
-    return 1;
-  }
+  if (!model.ok()) return model.status();
   const double mass =
       std::accumulate(model->weights.begin(), model->weights.end(), 0.0);
   std::cout << path << ": clustering model\n"
@@ -103,7 +108,7 @@ int InspectModel(const std::string& path) {
     }
     std::printf("]\n");
   }
-  return 0;
+  return pmkm::Status::OK();
 }
 
 pmkm::Result<pmkm::JsonValue> LoadJson(const std::string& path) {
@@ -120,12 +125,9 @@ double NumberOr(const pmkm::JsonValue* v, double fallback = 0.0) {
 
 // `pmkm_inspect metrics run.metrics.json`: the registry JSON written by
 // `pmkm_cluster --metrics_out`, pretty-printed per instrument kind.
-int InspectMetrics(const std::string& path) {
+pmkm::Status InspectMetrics(const std::string& path) {
   auto doc = LoadJson(path);
-  if (!doc.ok()) {
-    std::cerr << path << ": " << doc.status() << "\n";
-    return 1;
-  }
+  if (!doc.ok()) return doc.status();
   std::cout << path << ": metrics registry\n";
   if (const pmkm::JsonValue* counters = doc->Find("counters");
       counters != nullptr && counters->is_object()) {
@@ -154,21 +156,18 @@ int InspectMetrics(const std::string& path) {
           NumberOr(value.Find("p99")), NumberOr(value.Find("max")));
     }
   }
-  return 0;
+  return pmkm::Status::OK();
 }
 
 // `pmkm_inspect trace run.trace.json`: the Chrome trace written by
 // `pmkm_cluster --trace_out`; per-category rollup plus the slowest spans.
-int InspectTrace(const std::string& path) {
+pmkm::Status InspectTrace(const std::string& path) {
   auto doc = LoadJson(path);
-  if (!doc.ok()) {
-    std::cerr << path << ": " << doc.status() << "\n";
-    return 1;
-  }
+  if (!doc.ok()) return doc.status();
   const pmkm::JsonValue* events = doc->Find("traceEvents");
   if (events == nullptr || !events->is_array()) {
-    std::cerr << path << ": no traceEvents array (not a Chrome trace?)\n";
-    return 1;
+    return pmkm::Status::InvalidArgument(
+        "no traceEvents array (not a Chrome trace?)");
   }
   struct Rollup {
     size_t count = 0;
@@ -209,18 +208,15 @@ int InspectTrace(const std::string& path) {
     }
     std::printf("\n");
   }
-  return 0;
+  return pmkm::Status::OK();
 }
 
 // `pmkm_inspect profile run.folded`: folded-stack CPU profile written by
 // `pmkm_cluster --profile_out` (or /pprofz). Top frames by self samples,
 // with self/total percentages — a terminal flamegraph substitute.
-int InspectProfile(const std::string& path, int64_t top_n) {
+pmkm::Status InspectProfile(const std::string& path, int64_t top_n) {
   std::ifstream in(path);
-  if (!in) {
-    std::cerr << path << ": cannot open\n";
-    return 1;
-  }
+  if (!in) return pmkm::Status::IOError("cannot open " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
   uint64_t total = 0;
@@ -228,7 +224,7 @@ int InspectProfile(const std::string& path, int64_t top_n) {
       pmkm::obs::AggregateFolded(buf.str(), &total);
   std::cout << path << ": folded-stack profile, " << total
             << " sample(s), " << rows.size() << " distinct frame(s)\n";
-  if (total == 0) return 0;
+  if (total == 0) return pmkm::Status::OK();
   const size_t top = std::min<size_t>(
       top_n > 0 ? static_cast<size_t>(top_n) : rows.size(), rows.size());
   std::printf("  %-52s %8s %6s %8s %6s\n", "frame", "self", "self%",
@@ -245,26 +241,22 @@ int InspectProfile(const std::string& path, int64_t top_n) {
                 100.0 * static_cast<double>(r.total) /
                     static_cast<double>(total));
   }
-  return 0;
+  return pmkm::Status::OK();
 }
 
 // `pmkm_inspect lockgraph run.lockgraph.json`: the lock-order graph dumped
 // by a PMKM_SCHEDCHECK build (PMKM_LOCKGRAPH_OUT). Summarizes lock classes
 // and ordering edges, flags same-class nestings, and with --dot re-emits
 // the graph as graphviz for visual inspection.
-int InspectLockGraph(const std::string& path, bool dot) {
+pmkm::Status InspectLockGraph(const std::string& path, bool dot) {
   auto doc = LoadJson(path);
-  if (!doc.ok()) {
-    std::cerr << path << ": " << doc.status() << "\n";
-    return 1;
-  }
+  if (!doc.ok()) return doc.status();
   const pmkm::JsonValue* classes = doc->Find("classes");
   const pmkm::JsonValue* edges = doc->Find("edges");
   if (classes == nullptr || !classes->is_array() || edges == nullptr ||
       !edges->is_array()) {
-    std::cerr << path
-              << ": no classes/edges arrays (not a lock-graph dump?)\n";
-    return 1;
+    return pmkm::Status::InvalidArgument(
+        "no classes/edges arrays (not a lock-graph dump?)");
   }
 
   auto text = [](const pmkm::JsonValue& v, const char* key) {
@@ -290,7 +282,7 @@ int InspectLockGraph(const std::string& path, bool dot) {
                 << (same ? ", style=dashed" : "") << "];\n";
     }
     std::cout << "}\n";
-    return 0;
+    return pmkm::Status::OK();
   }
 
   std::cout << path << ": lock-order graph, " << classes->size()
@@ -312,13 +304,13 @@ int InspectLockGraph(const std::string& path, bool dot) {
                 text(e, "to_site").c_str(),
                 same ? "   [same class: explorer territory]" : "");
   }
-  return 0;
+  return pmkm::Status::OK();
 }
 
 // `pmkm_inspect checkpoint <dir|journal.pmkj>`: dumps a run journal as
 // JSON — per-record listing, recovered epoch, checksum/torn-tail status,
 // and the position a resumed run would continue from.
-int InspectCheckpoint(const std::string& arg) {
+pmkm::Status InspectCheckpoint(const std::string& arg) {
   std::error_code ec;
   const std::string path = std::filesystem::is_directory(arg, ec)
                                ? pmkm::CheckpointJournalPath(arg)
@@ -328,13 +320,10 @@ int InspectCheckpoint(const std::string& arg) {
   if (!std::filesystem::exists(path, ec)) {
     doc.Set("found", false);
     std::cout << doc.Dump(2) << "\n";
-    return 0;
+    return pmkm::Status::OK();
   }
   auto recovery = pmkm::RecoverJournal(path);
-  if (!recovery.ok()) {
-    std::cerr << path << ": " << recovery.status() << "\n";
-    return 1;
-  }
+  if (!recovery.ok()) return recovery.status();
   const pmkm::CheckpointState state =
       pmkm::ReplayCheckpointJournal(*recovery);
 
@@ -397,7 +386,25 @@ int InspectCheckpoint(const std::string& arg) {
   doc.Set("resume", std::move(resume));
 
   std::cout << doc.Dump(2) << "\n";
-  return 0;
+  return pmkm::Status::OK();
+}
+
+// Magic-sniffed dispatch for plain file arguments. The Status category
+// picks the exit code (StatusExitCode): a missing file is NotFound (66),
+// an unreadable or short one IOError (74), and an unrecognized format
+// OutOfRange (65, EX_DATAERR — the file exists but is not ours).
+pmkm::Status InspectFile(const std::string& path) {
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) {
+    return pmkm::Status::NotFound("no such file");
+  }
+  std::ifstream in(path, std::ios::binary);
+  uint32_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!in) return pmkm::Status::IOError("unreadable or too short");
+  if (magic == 0x424b4d50) return InspectBucket(path);  // "PMKB"
+  if (magic == 0x4d4b4d50) return InspectModel(path);   // "PMKM"
+  return pmkm::Status::OutOfRange("unknown file magic");
 }
 
 }  // namespace
@@ -406,60 +413,64 @@ int main(int argc, char** argv) {
   pmkm::FlagParser parser;
   bool dot = false;
   int64_t top_n = 20;
-  parser.AddBool("dot", &dot,
-                 "lockgraph: emit graphviz DOT instead of a summary");
-  parser.AddInt("top", &top_n,
-                "profile: number of frames to print (0 = all)");
+  pmkm::ObsFlags obs_flags;
+  parser
+      .SetDescription(
+          "pmkm_inspect: summarize pmkm binary files (buckets, models) "
+          "and observability exports (metrics, traces, profiles, lock "
+          "graphs, checkpoints).")
+      .SetPositionalUsage(
+          "file.pmkb|file.pmkm ...  |  "
+          "metrics|trace|profile|lockgraph|checkpoint file ...")
+      .AddBool("dot", &dot,
+               "lockgraph: emit graphviz DOT instead of a summary")
+      .AddInt("top", &top_n,
+              "profile: number of frames to print (0 = all)");
+  obs_flags.Register(&parser);
   const pmkm::Status st = parser.Parse(argc, argv);
   if (st.IsCancelled()) return 0;
-  if (!st.ok() || parser.positional().empty()) {
-    std::cerr << "usage: " << argv[0]
-              << " file.pmkb|file.pmkm ...\n"
-              << "       " << argv[0] << " metrics run.metrics.json ...\n"
-              << "       " << argv[0] << " trace run.trace.json ...\n"
-              << "       " << argv[0] << " profile [--top=N] run.folded ...\n"
-              << "       " << argv[0]
-              << " lockgraph [--dot] run.lockgraph.json ...\n"
-              << "       " << argv[0]
-              << " checkpoint ckpt_dir|journal.pmkj ...\n";
-    return 1;
+  if (!st.ok()) {
+    std::cerr << parser.Usage(argv[0]);
+    return Fail("flags", st);
   }
-  std::vector<std::string> paths = parser.positional();
+  if (const pmkm::Status os = obs_flags.Apply(); !os.ok()) {
+    return Fail("flags", os);
+  }
+  if (parser.positional().empty()) {
+    std::cerr << parser.Usage(argv[0]);
+    return Fail("usage",
+                pmkm::Status::InvalidArgument("no input files given"));
+  }
+
+  // With several inputs every failure is rendered; the process exit code
+  // is the first failure's Status-derived code.
+  int rc = 0;
+  auto account = [&rc](const std::string& context, const pmkm::Status& s) {
+    if (s.ok()) return;
+    const int code = Fail(context, s);
+    if (rc == 0) rc = code;
+  };
+
+  const std::vector<std::string> paths = parser.positional();
   const std::string& sub = paths.front();
   if (sub == "metrics" || sub == "trace" || sub == "lockgraph" ||
       sub == "checkpoint" || sub == "profile") {
     if (paths.size() < 2) {
-      std::cerr << "usage: " << argv[0] << " " << sub << " file ...\n";
-      return 1;
+      return Fail(sub, pmkm::Status::InvalidArgument(
+                           "needs at least one file argument"));
     }
-    int rc = 0;
     for (size_t i = 1; i < paths.size(); ++i) {
-      rc |= sub == "metrics"      ? InspectMetrics(paths[i])
-            : sub == "lockgraph"  ? InspectLockGraph(paths[i], dot)
-            : sub == "checkpoint" ? InspectCheckpoint(paths[i])
-            : sub == "profile"    ? InspectProfile(paths[i], top_n)
-                                  : InspectTrace(paths[i]);
+      account(paths[i],
+              sub == "metrics"      ? InspectMetrics(paths[i])
+              : sub == "lockgraph"  ? InspectLockGraph(paths[i], dot)
+              : sub == "checkpoint" ? InspectCheckpoint(paths[i])
+              : sub == "profile"    ? InspectProfile(paths[i], top_n)
+                                    : InspectTrace(paths[i]));
     }
     return rc;
   }
-  int rc = 0;
   for (const std::string& path : paths) {
-    std::ifstream in(path, std::ios::binary);
-    uint32_t magic = 0;
-    in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-    if (!in) {
-      std::cerr << path << ": unreadable or too short\n";
-      rc = 1;
-      continue;
-    }
-    if (magic == 0x424b4d50) {  // "PMKB"
-      rc |= InspectBucket(path);
-    } else if (magic == 0x4d4b4d50) {  // "PMKM"
-      rc |= InspectModel(path);
-    } else {
-      std::cerr << path << ": unknown file magic\n";
-      rc = 1;
-    }
+    account(path, InspectFile(path));
   }
   return rc;
 }

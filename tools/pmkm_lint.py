@@ -46,6 +46,14 @@ trustworthy at scale but that no compiler checks (DESIGN.md §11):
                 exactly the corruption the checkpoint layer exists to
                 survive. Text/report writers (CSV, traces, JSON exports)
                 open without std::ios::binary and are not flagged.
+  direct-run    The retired free-function entry points
+                RunPartialMergeStream / RunPartialMergeStreamInMemory must
+                not reappear: every pipeline run goes through
+                PipelineBuilder (stream/engine.h) so cancel tokens,
+                observability sinks, resource budgets and checkpointing
+                are wired in one place. Likewise, constructing the raw
+                stream Executor outside the engine bypasses supervision;
+                only stream/engine.cc and tests may build one directly.
 
 Suppression: append `// pmkm-lint: allow(<rule>)` to the offending line
 (or the line above) together with a comment justifying the exception.
@@ -73,6 +81,8 @@ RULES = {
     "fault-site": "malformed PMKM_FAULT_POINT site name",
     "raw-sync": "raw std sync primitive outside the annotated wrappers",
     "persist": "binary persistence outside the crash-safe commit paths",
+    "direct-run": "pipeline run outside PipelineBuilder (retired entry "
+                  "points / raw Executor)",
 }
 
 # Directories scanned when no explicit file list is given.
@@ -99,6 +109,8 @@ RENAME_RE = re.compile(
     r"(?<![\w.:])std::rename\s*\(")
 BINARY_OFSTREAM_RE = re.compile(
     r"std::ofstream\b[^;\n]*std::ios(?:_base)?::binary")
+DIRECT_RUN_RE = re.compile(r"\bRunPartialMergeStream(?:InMemory)?\b")
+RAW_EXECUTOR_RE = re.compile(r"\bExecutor\s+\w+\s*[({;]|\bExecutor\s*\(")
 
 
 def strip_comments_and_strings(text):
@@ -253,6 +265,13 @@ def lint_file(root, relpath):
         os.path.join("src", "data", "io.cc"),
         os.path.join("src", "data", "manifest.h"),
         os.path.join("src", "data", "manifest.cc"))
+    # The engine owns the Executor; operator.{h,cc} declare/implement it;
+    # tests may drive it directly to exercise supervision paths.
+    raw_exec_exempt = (
+        in_dir(relpath, "tests")
+        or relpath in (os.path.join("src", "stream", "engine.cc"),
+                       os.path.join("src", "stream", "operator.h"),
+                       os.path.join("src", "stream", "operator.cc")))
 
     for lineno, line in enumerate(code_lines, start=1):
         if not rng_exempt and RNG_RE.search(line):
@@ -285,6 +304,14 @@ def lint_file(root, relpath):
                     check(lineno, "persist",
                           "binary ofstream outside the crash-safe commit "
                           "paths; use AtomicWriteFile/JournalWriter")
+        if DIRECT_RUN_RE.search(line):
+            check(lineno, "direct-run",
+                  "retired RunPartialMergeStream* entry point; run "
+                  "through PipelineBuilder (stream/engine.h)")
+        if not raw_exec_exempt and RAW_EXECUTOR_RE.search(line):
+            check(lineno, "direct-run",
+                  "raw Executor outside the engine; run pipelines "
+                  "through PipelineBuilder (stream/engine.h)")
         if not fault_def_file:
             for m in FAULT_POINT_RE.finditer(line):
                 # Re-read the argument from the raw line: literals were
