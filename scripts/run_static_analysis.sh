@@ -1,17 +1,24 @@
 #!/usr/bin/env bash
-# Project static-analysis gate (DESIGN.md §11–12). Runs four stages and
-# exits non-zero on any new finding:
+# Project static-analysis gate (DESIGN.md §11–12, §16). Runs five stages
+# and exits non-zero on any finding:
 #
 #   1. pmkm_lint          project invariants (tools/pmkm_lint.py)
 #   2. thread-safety      full Clang build with -Wthread-safety
 #                         -Werror=thread-safety over src/, tools/, tests/
-#   3. clang-tidy         curated .clang-tidy profile, gated against
-#                         scripts/clang_tidy_baseline.txt. The compilation
-#                         database is regenerated before every run; a
-#                         database that still misses a source afterwards is
-#                         a FAILURE (a stale compdb silently analyzes the
-#                         wrong file set), never a skip.
-#   4. schedcheck         PMKM_SCHEDCHECK=ON build + the schedcheck-labeled
+#   3. clang-tidy         curated .clang-tidy profile, baseline-free: any
+#                         finding fails (suppress at the site with
+#                         NOLINT + justification, never via a baseline
+#                         file). The compilation database is regenerated
+#                         before every run; a database that still misses
+#                         a source afterwards is a FAILURE (a stale
+#                         compdb silently analyzes the wrong file set),
+#                         never a skip.
+#   4. pmkm_ctxcheck      whole-program execution-context call-graph gate
+#                         (signal-safe, no-block-under-lock, wait-free,
+#                         bounded-handler — tools/pmkm_ctxcheck.py),
+#                         ratcheted against scripts/ctxcheck_baseline.txt
+#                         (kept empty; it may only shrink).
+#   5. schedcheck         PMKM_SCHEDCHECK=ON build + the schedcheck-labeled
 #                         ctest suites: lock-order witness, deterministic
 #                         schedule explorer, seeded-bug doubles, and
 #                         bounded schedule sweeps over the queue/executor
@@ -21,10 +28,13 @@
 # tool is missing the stage is SKIPPED with a warning — the gate then
 # covers what the host can check — unless PMKM_SA_STRICT=1, which turns a
 # missing tool into a failure (use in CI, where Clang is installed).
-# Stage 4 runs with any compiler (the hooks are plain C++).
+# Stages 4 and 5 run with any compiler.
 #
 # Usage:
 #   scripts/run_static_analysis.sh [--update-baseline]
+#
+# --update-baseline rewrites scripts/ctxcheck_baseline.txt from the
+# current pmkm_ctxcheck findings (the clang-tidy stage has no baseline).
 #
 # Environment:
 #   CLANGXX      Clang C++ compiler   (default: clang++)
@@ -39,7 +49,6 @@ cd "$(dirname "$0")/.."
 CLANGXX="${CLANGXX:-clang++}"
 CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
 STRICT="${PMKM_SA_STRICT:-0}"
-BASELINE="scripts/clang_tidy_baseline.txt"
 UPDATE_BASELINE=0
 if [[ "${1:-}" == "--update-baseline" ]]; then
   UPDATE_BASELINE=1
@@ -60,7 +69,7 @@ skip_or_fail() {
 }
 
 # ---------------------------------------------------------------------------
-echo "==> stage 1/4: pmkm_lint"
+echo "==> stage 1/5: pmkm_lint"
 if command -v python3 > /dev/null; then
   if python3 tools/pmkm_lint.py; then
     echo "pmkm_lint: clean"
@@ -72,7 +81,7 @@ else
 fi
 
 # ---------------------------------------------------------------------------
-echo "==> stage 2/4: Clang -Wthread-safety build"
+echo "==> stage 2/5: Clang -Wthread-safety build"
 if command -v "${CLANGXX}" > /dev/null; then
   # PMKM_THREAD_SAFETY_ANALYSIS is ON by default under Clang; -Werror
   # makes any thread-safety finding a build failure.
@@ -94,7 +103,7 @@ else
 fi
 
 # ---------------------------------------------------------------------------
-echo "==> stage 3/4: clang-tidy gate"
+echo "==> stage 3/5: clang-tidy gate"
 if command -v "${CLANG_TIDY}" > /dev/null; then
   # Prefer the clang compile database from stage 2; otherwise export one
   # from the default (gcc) configuration — clang-tidy only needs the
@@ -109,8 +118,6 @@ if command -v "${CLANG_TIDY}" > /dev/null; then
   cmake -B "${compdb_dir}" -S . \
     -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
 
-  # Normalize findings to "relative/file: check-name" (drop line/column so
-  # unrelated edits do not churn the baseline), sorted and unique.
   mapfile -t tidy_sources < <(find src tools -name '*.cc' | sort)
 
   # Stale-database guard: every source we are about to lint must appear in
@@ -130,45 +137,55 @@ if command -v "${CLANG_TIDY}" > /dev/null; then
     failures=$((failures + 1))
   fi
 
-  current_findings="$(
+  # Baseline-free: every finding fails. Suppress at the site with a
+  # NOLINT(check-name) plus a justification comment, never via a
+  # baseline file — a baseline hides findings from review; a NOLINT is
+  # itself reviewable code.
+  tidy_findings="$(
     "${CLANG_TIDY}" -p "${compdb_dir}" --quiet "${tidy_sources[@]}" \
         2> /dev/null |
       grep -E '^[^ ]+:[0-9]+:[0-9]+: (warning|error):' |
       sed -E "s|^$(pwd)/||" |
-      sed -E 's|^([^:]+):[0-9]+:[0-9]+: (warning\|error): .*\[([a-z0-9.,-]+)\]$|\1: \3|' |
       sort -u || true
   )"
 
-  if [[ "${UPDATE_BASELINE}" == "1" ]]; then
-    {
-      grep '^#' "${BASELINE}"
-      echo "${current_findings}"
-    } | grep -v '^$' > "${BASELINE}.tmp" && mv "${BASELINE}.tmp" "${BASELINE}"
-    echo "baseline updated: $(grep -cv '^#' "${BASELINE}" || true) finding(s)"
+  if [[ -n "${tidy_findings}" ]]; then
+    echo "FAIL: clang-tidy findings (fix, or NOLINT at the site with a" \
+         "justification — the gate is baseline-free):" >&2
+    echo "${tidy_findings}" | sed 's/^/  /' >&2
+    failures=$((failures + 1))
   else
-    baseline_findings="$(grep -v '^#' "${BASELINE}" | grep -v '^$' || true)"
-    new_findings="$(comm -23 <(echo "${current_findings}" | grep -v '^$' || true) \
-                             <(echo "${baseline_findings}") || true)"
-    fixed_findings="$(comm -13 <(echo "${current_findings}" | grep -v '^$' || true) \
-                               <(echo "${baseline_findings}") || true)"
-    if [[ -n "${fixed_findings}" ]]; then
-      echo "note: baselined findings no longer fire (run --update-baseline):"
-      echo "${fixed_findings}" | sed 's/^/  /'
-    fi
-    if [[ -n "${new_findings}" ]]; then
-      echo "FAIL: new clang-tidy findings (fix, or baseline with justification):" >&2
-      echo "${new_findings}" | sed 's/^/  /' >&2
-      failures=$((failures + 1))
-    else
-      echo "clang-tidy: no new findings"
-    fi
+    echo "clang-tidy: clean"
   fi
 else
   skip_or_fail "${CLANG_TIDY} not found; cannot run clang-tidy gate"
 fi
 
 # ---------------------------------------------------------------------------
-echo "==> stage 4/4: schedcheck (lock-order witness + schedule sweeps)"
+echo "==> stage 4/5: pmkm_ctxcheck (execution-context call-graph gate)"
+if command -v python3 > /dev/null; then
+  # Reuse the compilation database stage 2/3 just regenerated (build-tsa
+  # preferred, then build); when neither Clang stage ran, export one here.
+  # pmkm_ctxcheck itself fails (exit 65) on a database older than any
+  # source rather than analyzing the wrong file set.
+  if [[ ! -f build-tsa/compile_commands.json ]]; then
+    cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+  fi
+  ctx_args=()
+  if [[ "${UPDATE_BASELINE}" == "1" ]]; then
+    ctx_args+=(--update-baseline)
+  fi
+  if python3 tools/pmkm_ctxcheck.py "${ctx_args[@]+"${ctx_args[@]}"}"; then
+    echo "pmkm_ctxcheck: clean"
+  else
+    failures=$((failures + 1))
+  fi
+else
+  skip_or_fail "python3 not found; cannot run pmkm_ctxcheck"
+fi
+
+# ---------------------------------------------------------------------------
+echo "==> stage 5/5: schedcheck (lock-order witness + schedule sweeps)"
 # Compiler-agnostic: the hooks are plain C++. PR-gate budget is modest
 # (200 seeds per sweep); the nightly workflow raises PMKM_SCHEDCHECK_SEEDS.
 schedcheck_targets=(lock_graph_test scheduler_test seeded_bugs_test

@@ -94,6 +94,43 @@
 #define PMKM_NO_THREAD_SAFETY_ANALYSIS \
   PMKM_THREAD_ANNOTATION(no_thread_safety_analysis)
 
+// ---------------------------------------------------------------------------
+// Execution-context annotations, verified whole-program by
+// tools/pmkm_ctxcheck.py (DESIGN.md §16). Under Clang they emit
+// __attribute__((annotate(...))) so the roots are also visible in the
+// AST/IR; under GCC they expand to nothing. The analyzer itself keys on
+// the macro names at the declaration or definition, so the checks run
+// identically under either toolchain.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define PMKM_CTX_ANNOTATION(x) __attribute__((annotate(x)))
+#else
+#define PMKM_CTX_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Root of an async-signal context (SIGPROF handler, crash paths).
+/// Everything transitively reachable must stay on the POSIX
+/// async-signal-safe allowlist: no allocation, locks, stdio, or calls
+/// off the allowlist (pmkm_ctxcheck rule `signal-safe`).
+#define PMKM_SIGNAL_SAFE PMKM_CTX_ANNOTATION("pmkm_signal_safe")
+
+/// Root of a wait-free hot path (metric Record/Increment, kernel
+/// AssignBlock). Must never allocate, lock, block, or throw
+/// (pmkm_ctxcheck rule `wait-free`).
+#define PMKM_WAITFREE PMKM_CTX_ANNOTATION("pmkm_waitfree")
+
+/// Function that may be called while any pmkm::Mutex is held: nothing it
+/// reaches may issue a blocking syscall or unbounded wait. Functions
+/// marked PMKM_REQUIRES(...) or named *Locked are checked implicitly
+/// (pmkm_ctxcheck rule `no-block-under-lock`).
+#define PMKM_NO_BLOCK_UNDER_LOCK PMKM_CTX_ANNOTATION("pmkm_no_block_under_lock")
+
+/// Handler running on a bounded pool (debug server, serve sessions):
+/// only timeout-bounded blocking primitives (CondVar::WaitFor,
+/// SO_RCVTIMEO-bounded socket I/O) are allowed
+/// (pmkm_ctxcheck rule `bounded-handler`).
+#define PMKM_BOUNDED_HANDLER PMKM_CTX_ANNOTATION("pmkm_bounded_handler")
+
 namespace pmkm {
 
 /// std::mutex with thread-safety-analysis capability annotations. Use with

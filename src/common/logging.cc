@@ -226,7 +226,10 @@ LogMessage::~LogMessage() {
     const std::string rendered = RenderLogLine(
         level_, file_base_, line_, stream_.str(), format, RunIdStorage(),
         now_ms);
-    // The logging sink itself: the one sanctioned stderr writer.
+    // The logging sink itself: the one sanctioned stderr writer. LogMutex
+    // exists solely to keep these lines interleaving-free, so the write
+    // IS the critical section; nothing else ever blocks under it.
+    // pmkm-ctxcheck: allow(no-block-under-lock)
     std::cerr << rendered << std::endl;
   }
   if (level_ == LogLevel::kFatal) std::abort();

@@ -190,6 +190,8 @@ void DebugServer::HandleConnection(int fd) const {
   char buf[2048];
   while (request.find("\r\n\r\n") == std::string::npos &&
          request.find("\n\n") == std::string::npos) {
+    // Bounded by SO_RCVTIMEO (options_.io_timeout_ms, set in AcceptLoop).
+    // pmkm-ctxcheck: allow(bounded-handler)
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n <= 0) {  // timeout, reset, or clean close before a full request
       ::close(fd);
@@ -199,6 +201,8 @@ void DebugServer::HandleConnection(int fd) const {
     if (request.size() > options_.max_request_bytes) {
       const std::string response = BuildResponse(
           431, "text/plain; charset=utf-8", "request too large\n");
+      // Bounded by SO_SNDTIMEO (options_.io_timeout_ms, AcceptLoop).
+      // pmkm-ctxcheck: allow(bounded-handler)
       (void)::send(fd, response.data(), response.size(), MSG_NOSIGNAL);
       ::close(fd);
       return;
@@ -225,6 +229,8 @@ void DebugServer::HandleConnection(int fd) const {
   }
   size_t sent = 0;
   while (sent < response.size()) {
+    // Bounded by SO_SNDTIMEO (options_.io_timeout_ms, AcceptLoop).
+    // pmkm-ctxcheck: allow(bounded-handler)
     const ssize_t n = ::send(fd, response.data() + sent,
                              response.size() - sent, MSG_NOSIGNAL);
     if (n <= 0) break;  // timeout or client went away
@@ -311,6 +317,11 @@ std::string DebugServer::RenderBody(const std::string& path,
   }
   if (found && endpoint.handler != nullptr) {
     *content_type = endpoint.content_type;
+    // Mounted endpoint handlers are in-process renderers (metrics/status
+    // snapshots under short locks) — no socket or file I/O. The contract
+    // is documented on RegisterEndpoint; the analyzer cannot see through
+    // the std::function.
+    // pmkm-ctxcheck: allow(bounded-handler)
     return endpoint.handler();
   }
   *http_status = 404;

@@ -103,7 +103,9 @@ class DebugServer {
   /// `description`. Hosts use this to expose process-specific state (the
   /// serve daemon mounts its live job table here). Registering an
   /// already-mounted path replaces the handler; built-in endpoints cannot
-  /// be shadowed.
+  /// be shadowed. Handlers must be bounded: render from in-memory state
+  /// under short locks — no socket/file I/O, no unbounded waits (the
+  /// pmkm_ctxcheck bounded-handler rule relies on this contract).
   void RegisterEndpoint(const std::string& path,
                         const std::string& description,
                         const std::string& content_type,
@@ -116,7 +118,9 @@ class DebugServer {
 
  private:
   void AcceptLoop();
-  void HandleConnection(int fd) const;
+  // Runs on the bounded handler pool; all socket I/O inside is bounded by
+  // options_.io_timeout_ms (SO_RCVTIMEO/SO_SNDTIMEO, set in AcceptLoop).
+  void HandleConnection(int fd) const PMKM_BOUNDED_HANDLER;
 
   // Endpoint bodies (path → content); also sets `content_type`.
   std::string RenderBody(const std::string& path,

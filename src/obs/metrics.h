@@ -42,7 +42,7 @@ namespace pmkm {
 /// Monotonic event counter. Thread-safe.
 class Counter {
  public:
-  void Increment(uint64_t n = 1) {
+  void Increment(uint64_t n = 1) PMKM_WAITFREE {
     value_.fetch_add(n, std::memory_order_relaxed);
   }
   uint64_t value() const { return value_.load(std::memory_order_relaxed); }
@@ -54,11 +54,11 @@ class Counter {
 /// Last-written value plus high-water mark. Thread-safe.
 class Gauge {
  public:
-  void Set(int64_t v) {
+  void Set(int64_t v) PMKM_WAITFREE {
     value_.store(v, std::memory_order_relaxed);
     UpdateMax(v);
   }
-  void Add(int64_t delta) {
+  void Add(int64_t delta) PMKM_WAITFREE {
     UpdateMax(value_.fetch_add(delta, std::memory_order_relaxed) + delta);
   }
   int64_t value() const { return value_.load(std::memory_order_relaxed); }
@@ -82,7 +82,7 @@ class Histogram {
  public:
   static constexpr size_t kBuckets = 64;
 
-  void Record(double value);
+  void Record(double value) PMKM_WAITFREE;
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }

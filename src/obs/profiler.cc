@@ -1,6 +1,7 @@
 #include "obs/profiler.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,6 +26,14 @@ namespace {
 
 // The previous SIGPROF disposition, restored by Stop().
 struct sigaction g_previous_action;
+
+// The singleton as seen from signal context. The handler must not call
+// Global(): the function-local static there runs __cxa_guard_acquire and
+// operator new on first use, neither async-signal-safe (pmkm_ctxcheck
+// witness: SignalHandler -> Global -> new CpuProfiler). Global() publishes
+// the instance here before Start() can install the handler, so the
+// handler does one atomic load and bails while unset.
+std::atomic<CpuProfiler*> g_profiler{nullptr};
 
 std::string Demangle(const char* name) {
   int status = 0;
@@ -67,11 +76,14 @@ CpuProfiler& CpuProfiler::Global() {
   // destruction, so the singleton must outlive every other static.
   static CpuProfiler* profiler =
       new CpuProfiler();  // pmkm-lint: allow(naked-new)
+  g_profiler.store(profiler, std::memory_order_release);
   return *profiler;
 }
 
 void CpuProfiler::SignalHandler(int /*signum*/) {
-  CpuProfiler& p = Global();
+  CpuProfiler* const published = g_profiler.load(std::memory_order_acquire);
+  if (published == nullptr) return;
+  CpuProfiler& p = *published;
   if (!p.armed_.load(std::memory_order_relaxed)) return;
   void* frames[128];
   const int want = static_cast<int>(

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/status.h"
 
 namespace pmkm {
@@ -82,7 +83,7 @@ class CpuProfiler {
  private:
   CpuProfiler() = default;
 
-  static void SignalHandler(int signum);
+  static void SignalHandler(int signum) PMKM_SIGNAL_SAFE;
 
   std::atomic<bool> running_{false};
   std::atomic<bool> armed_{false};  // handler writes only when set

@@ -42,8 +42,8 @@ class RollingHistogram {
 
   uint64_t window_seconds() const { return window_seconds_; }
 
-  void Record(double value) { RecordAt(value, NowTick()); }
-  void RecordAt(double value, uint64_t tick);
+  void Record(double value) PMKM_WAITFREE { RecordAt(value, NowTick()); }
+  void RecordAt(double value, uint64_t tick) PMKM_WAITFREE;
 
   /// Windowed view. min/max/quantiles cover only samples recorded in the
   /// last `window_seconds` seconds; count/sum likewise.
@@ -96,8 +96,10 @@ class RollingCounter {
 
   uint64_t window_seconds() const { return window_seconds_; }
 
-  void Increment(uint64_t n = 1) { IncrementAt(n, RollingHistogram::NowTick()); }
-  void IncrementAt(uint64_t n, uint64_t tick);
+  void Increment(uint64_t n = 1) PMKM_WAITFREE {
+    IncrementAt(n, RollingHistogram::NowTick());
+  }
+  void IncrementAt(uint64_t n, uint64_t tick) PMKM_WAITFREE;
 
   /// Cumulative total since construction (monotonic).
   uint64_t total() const { return total_.load(std::memory_order_relaxed); }

@@ -97,8 +97,11 @@ void ServeDaemon::AcceptLoop() {
 }
 
 void ServeDaemon::HandleConnection(int fd) {
-  // Hello exchange; an invalid or too-old client is dropped here.
+  // Hello exchange; an invalid or too-old client is dropped here. All
+  // socket I/O below is bounded by SO_RCVTIMEO/SO_SNDTIMEO
+  // (options_.io_timeout_ms, set on the fd in AcceptLoop).
   uint8_t peer_hello[kHelloBytes];
+  // pmkm-ctxcheck: allow(bounded-handler)
   if (!ReadExact(fd, peer_hello).ok()) {
     CloseFd(fd);
     return;
@@ -111,6 +114,7 @@ void ServeDaemon::HandleConnection(int fd) {
   }
   // Answer with our version even when rejecting, so an old client's error
   // message can name both versions.
+  // pmkm-ctxcheck: allow(bounded-handler)  (SO_SNDTIMEO-bounded)
   if (!WriteAll(fd, EncodeHello(kProtocolVersion)).ok()) {
     CloseFd(fd);
     return;
@@ -133,6 +137,7 @@ void ServeDaemon::HandleConnection(int fd) {
       // error reply, then hang up.
       const std::vector<uint8_t> reply =
           EncodeReply(frame.error(), std::vector<uint8_t>());
+      // pmkm-ctxcheck: allow(bounded-handler)  (SO_SNDTIMEO-bounded)
       (void)WriteAll(fd, EncodeFrame(FrameType::kReply, reply));
       break;
     }
@@ -141,11 +146,13 @@ void ServeDaemon::HandleConnection(int fd) {
                    buffer.begin() + static_cast<ptrdiff_t>(consumed));
       const std::vector<uint8_t> reply =
           Dispatch(*frame.value(), version);
+      // pmkm-ctxcheck: allow(bounded-handler)  (SO_SNDTIMEO-bounded)
       if (!WriteAll(fd, EncodeFrame(FrameType::kReply, reply)).ok()) {
         break;
       }
       continue;
     }
+    // pmkm-ctxcheck: allow(bounded-handler)  (SO_RCVTIMEO-bounded)
     Result<size_t> n = ReadSome(fd, chunk);
     if (!n.ok() || n.value() == 0) break;  // hangup or timeout
     buffer.insert(buffer.end(), chunk, chunk + n.value());

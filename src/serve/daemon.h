@@ -84,7 +84,9 @@ class ServeDaemon {
 
  private:
   void AcceptLoop();
-  void HandleConnection(int fd);
+  // Runs on the bounded handler pool; all socket I/O inside is bounded by
+  // options_.io_timeout_ms (SO_RCVTIMEO/SO_SNDTIMEO, set in AcceptLoop).
+  void HandleConnection(int fd) PMKM_BOUNDED_HANDLER;
   /// One request frame → one reply frame, dispatched to the service.
   std::vector<uint8_t> Dispatch(const Frame& request, uint32_t version);
 

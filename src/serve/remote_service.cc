@@ -7,13 +7,14 @@
 namespace pmkm {
 namespace serve {
 
-RemoteService::~RemoteService() { Disconnect(); }
+namespace {
 
-Status RemoteService::Connect(const std::string& endpoint) {
-  MutexLock lock(mu_);
-  if (fd_ >= 0) {
-    return Status::FailedPrecondition("already connected");
-  }
+// Dials `endpoint` and performs the hello exchange with NO locks held
+// (network I/O must not run under mu_ — pmkm_ctxcheck rule
+// no-block-under-lock). On success *out_fd/*out_version are the connected
+// socket and the negotiated version; on failure the socket is closed.
+Status DialAndHello(const std::string& endpoint, int* out_fd,
+                    uint32_t* out_version) {
   PMKM_ASSIGN_OR_RETURN(const int fd, DialEndpoint(endpoint));
   // Hello exchange: send ours, read theirs, settle on min.
   const std::vector<uint8_t> hello = EncodeHello(kProtocolVersion);
@@ -33,7 +34,7 @@ Status RemoteService::Connect(const std::string& endpoint) {
   if (st.ok()) {
     Result<uint32_t> negotiated = NegotiateVersion(peer_version);
     if (negotiated.ok()) {
-      version_ = negotiated.value();
+      *out_version = negotiated.value();
     } else {
       st = negotiated.error();
     }
@@ -42,13 +43,74 @@ Status RemoteService::Connect(const std::string& endpoint) {
     CloseFd(fd);
     return st;
   }
+  *out_fd = fd;
+  return Status::OK();
+}
+
+// One request/reply round trip on `fd` with NO locks held. The caller
+// owns the session via busy_ and hands in the carry-over read buffer;
+// on success `buffer` holds any bytes read past the reply frame.
+Status Exchange(int fd, FrameType type, const std::vector<uint8_t>& payload,
+                std::vector<uint8_t>* buffer, Reply* reply) {
+  PMKM_RETURN_NOT_OK(WriteAll(fd, EncodeFrame(type, payload)));
+  // Accumulate bytes until one complete frame decodes.
+  uint8_t chunk[4096];
+  while (true) {
+    size_t consumed = 0;
+    PMKM_ASSIGN_OR_RETURN(std::optional<Frame> frame,
+                          DecodeFrame(*buffer, &consumed));
+    if (frame.has_value()) {
+      buffer->erase(buffer->begin(),
+                    buffer->begin() + static_cast<ptrdiff_t>(consumed));
+      if (frame->type != static_cast<uint32_t>(FrameType::kReply)) {
+        return Status::IOError("protocol error: expected a reply frame, "
+                               "got type " + std::to_string(frame->type));
+      }
+      PMKM_ASSIGN_OR_RETURN(*reply, DecodeReply(frame->payload));
+      return Status::OK();
+    }
+    PMKM_ASSIGN_OR_RETURN(const size_t n, ReadSome(fd, chunk));
+    if (n == 0) {
+      return Status::IOError("server closed the connection mid-reply");
+    }
+    buffer->insert(buffer->end(), chunk, chunk + n);
+  }
+}
+
+}  // namespace
+
+RemoteService::~RemoteService() { Disconnect(); }
+
+Status RemoteService::Connect(const std::string& endpoint) {
+  {
+    MutexLock lock(mu_);
+    // Reserve the session before dialing: busy_ keeps a concurrent
+    // Connect/Call/Disconnect off fd_ while the handshake runs off-lock.
+    while (busy_) io_done_.Wait(mu_);
+    if (fd_ >= 0) {
+      return Status::FailedPrecondition("already connected");
+    }
+    busy_ = true;
+  }
+  int fd = -1;
+  uint32_t version = 0;
+  const Status st = DialAndHello(endpoint, &fd, &version);
+  MutexLock lock(mu_);
+  busy_ = false;
+  io_done_.NotifyAll();
+  if (!st.ok()) return st;
   fd_ = fd;
+  version_ = version;
   read_buffer_.clear();
   return Status::OK();
 }
 
 void RemoteService::Disconnect() {
   MutexLock lock(mu_);
+  // An in-flight exchange owns fd_ with mu_ released; closing now could
+  // recycle the descriptor under it. Wait the exchange out — exactly what
+  // Disconnect did when exchanges held mu_ throughout, minus the lock.
+  while (busy_) io_done_.Wait(mu_);
   CloseFd(fd_);
   fd_ = -1;
   version_ = 0;
@@ -112,10 +174,25 @@ Result<std::vector<JobInfo>> RemoteService::ListJobs() {
 
 Result<Reply> RemoteService::Call(FrameType type,
                                   std::vector<uint8_t> payload) {
-  MutexLock lock(mu_);
-  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  int fd = -1;
+  std::vector<uint8_t> buffer;
+  {
+    MutexLock lock(mu_);
+    // Waiting on io_done_ releases mu_ while parked; the socket round
+    // trip below then runs with no lock held at all.
+    while (busy_) io_done_.Wait(mu_);
+    if (fd_ < 0) return Status::FailedPrecondition("not connected");
+    busy_ = true;
+    fd = fd_;
+    buffer = std::move(read_buffer_);
+    read_buffer_.clear();
+  }
   Reply reply;
-  const Status st = CallLocked(type, payload, &reply);
+  const Status st = Exchange(fd, type, payload, &buffer, &reply);
+  MutexLock lock(mu_);
+  // busy_ was ours the whole time, so fd_ is still the fd we used.
+  busy_ = false;
+  io_done_.NotifyAll();
   if (!st.ok()) {
     // Transport failure: the stream position is unknowable, so poison
     // the connection rather than risk desynchronized frames.
@@ -124,36 +201,8 @@ Result<Reply> RemoteService::Call(FrameType type,
     read_buffer_.clear();
     return st;
   }
+  read_buffer_ = std::move(buffer);
   return reply;
-}
-
-Status RemoteService::CallLocked(FrameType type,
-                                 const std::vector<uint8_t>& payload,
-                                 Reply* reply) {
-  PMKM_RETURN_NOT_OK(WriteAll(fd_, EncodeFrame(type, payload)));
-  // Accumulate bytes until one complete frame decodes.
-  uint8_t chunk[4096];
-  while (true) {
-    size_t consumed = 0;
-    PMKM_ASSIGN_OR_RETURN(std::optional<Frame> frame,
-                          DecodeFrame(read_buffer_, &consumed));
-    if (frame.has_value()) {
-      read_buffer_.erase(read_buffer_.begin(),
-                         read_buffer_.begin() +
-                             static_cast<ptrdiff_t>(consumed));
-      if (frame->type != static_cast<uint32_t>(FrameType::kReply)) {
-        return Status::IOError("protocol error: expected a reply frame, "
-                               "got type " + std::to_string(frame->type));
-      }
-      PMKM_ASSIGN_OR_RETURN(*reply, DecodeReply(frame->payload));
-      return Status::OK();
-    }
-    PMKM_ASSIGN_OR_RETURN(const size_t n, ReadSome(fd_, chunk));
-    if (n == 0) {
-      return Status::IOError("server closed the connection mid-reply");
-    }
-    read_buffer_.insert(read_buffer_.end(), chunk, chunk + n);
-  }
 }
 
 }  // namespace serve

@@ -4,8 +4,12 @@
 //
 // Connect() dials, exchanges hellos and fixes the effective protocol
 // version; after that every API call is one request frame and one kReply
-// frame on the shared connection (requests are serialized under a mutex —
-// the protocol is strictly request/reply). A Status carried in a reply is
+// frame on the shared connection. The protocol is strictly request/reply,
+// so exchanges are serialized — but by a busy token handed off under mu_,
+// not by holding mu_ across the socket I/O: the wire round trip runs with
+// no lock held (pmkm_ctxcheck: no-block-under-lock), so a slow server
+// stalls only concurrent callers, never connected()/negotiated_version()
+// state queries. A Status carried in a reply is
 // surfaced as that call's Status, so remote error semantics match
 // LocalService exactly; transport failures surface as IOError and poison
 // the connection (every later call fails fast until a new Connect()).
@@ -58,13 +62,19 @@ class RemoteService : public ClusterService {
  private:
   /// One request/reply round trip. Returns the decoded reply; the carried
   /// Status is NOT yet applied (callers decide whether a non-OK status
-  /// still has a meaningful body).
+  /// still has a meaningful body). Reserves the session (busy_), performs
+  /// the socket I/O with mu_ released, then publishes the outcome.
   Result<Reply> Call(FrameType type, std::vector<uint8_t> payload)
       PMKM_EXCLUDES(mu_);
-  Status CallLocked(FrameType type, const std::vector<uint8_t>& payload,
-                    Reply* reply) PMKM_REQUIRES(mu_);
 
   mutable Mutex mu_;
+  CondVar io_done_;
+  /// Session reservation: the thread that set busy_ owns fd_ and the
+  /// stream until it clears it (with mu_ released in between — socket
+  /// I/O must never run under mu_). Connect/Call/Disconnect all wait on
+  /// io_done_ for the reservation, so fd_ is never closed or replaced
+  /// under an in-flight exchange.
+  bool busy_ PMKM_GUARDED_BY(mu_) = false;
   int fd_ PMKM_GUARDED_BY(mu_) = -1;
   uint32_t version_ PMKM_GUARDED_BY(mu_) = 0;
   /// Unconsumed bytes read past the previous frame boundary.

@@ -1,0 +1,33 @@
+// pmkm_ctxcheck golden fixture — NEGATIVE for rule `bounded-handler`.
+//
+// The handler only parks on CondVar::WaitFor with a deadline: a slow
+// client costs at most the timeout, never a pinned pool thread. The
+// analyzer must report nothing.
+
+#include <chrono>
+
+#include "common/annotations.h"
+
+namespace ctxfix {
+
+class SessionServer {
+ public:
+  void HandleConnection(int /*fd*/) PMKM_BOUNDED_HANDLER {
+    pmkm::MutexLock lock(mu_);
+    while (!ready_) {
+      if (cv_.WaitFor(mu_, std::chrono::milliseconds(100)) ==
+          std::cv_status::timeout) {
+        return;  // bounded: give the pool thread back
+      }
+    }
+  }
+
+ private:
+  pmkm::Mutex mu_;
+  pmkm::CondVar cv_;
+  bool ready_ PMKM_GUARDED_BY(mu_) = false;
+};
+
+void Touch(SessionServer& s) { s.HandleConnection(3); }
+
+}  // namespace ctxfix

@@ -1,0 +1,32 @@
+// pmkm_ctxcheck golden fixture — POSITIVE for rule `bounded-handler`.
+//
+// A PMKM_BOUNDED_HANDLER session handler parks on an *untimed*
+// CondVar::Wait: one slow client now pins a pool thread forever, and a
+// handful of them starve the whole handler pool. The analyzer must
+// report the witness chain HandleConnection -> AwaitWork -> Wait.
+// This file compiles but is deliberately wrong.
+
+#include "common/annotations.h"
+
+namespace ctxfix {
+
+class SessionServer {
+ public:
+  void HandleConnection(int /*fd*/) PMKM_BOUNDED_HANDLER {
+    pmkm::MutexLock lock(mu_);
+    AwaitWork();
+  }
+
+ private:
+  void AwaitWork() PMKM_REQUIRES(mu_) {
+    while (!ready_) cv_.Wait(mu_);  // unbounded: no timeout, pool thread pinned
+  }
+
+  pmkm::Mutex mu_;
+  pmkm::CondVar cv_;
+  bool ready_ PMKM_GUARDED_BY(mu_) = false;
+};
+
+void Touch(SessionServer& s) { s.HandleConnection(3); }
+
+}  // namespace ctxfix

@@ -1,0 +1,37 @@
+// pmkm_ctxcheck golden fixture — NEGATIVE for rule `no-block-under-lock`.
+//
+// The lock only covers in-memory state; the blocking write/fsync happen
+// after the scoped lock closes. The direct CondVar::Wait by the lock
+// holder is exempt (the wait releases mu_). The analyzer must report
+// nothing.
+
+#include <unistd.h>
+
+#include "common/annotations.h"
+
+namespace ctxfix {
+
+class Journal {
+ public:
+  void Append(const char* buf, int n) {
+    {
+      pmkm::MutexLock lock(mu_);
+      while (draining_) cv_.Wait(mu_);  // direct wait: releases mu_
+      seq_++;
+    }
+    // Off-lock: disk latency no longer serializes other threads.
+    (void)write(fd_, buf, static_cast<size_t>(n));
+    (void)fsync(fd_);
+  }
+
+ private:
+  pmkm::Mutex mu_;
+  pmkm::CondVar cv_;
+  bool draining_ PMKM_GUARDED_BY(mu_) = false;
+  long seq_ PMKM_GUARDED_BY(mu_) = 0;
+  int fd_ = -1;
+};
+
+void Touch(Journal& j) { j.Append("x", 1); }
+
+}  // namespace ctxfix

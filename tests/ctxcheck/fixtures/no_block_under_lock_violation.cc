@@ -1,0 +1,37 @@
+// pmkm_ctxcheck golden fixture — POSITIVE for rule `no-block-under-lock`.
+//
+// Append holds mu_ (via MutexLock) across a helper that issues blocking
+// write/fsync syscalls: every other thread touching this journal now
+// waits on disk latency. The analyzer must report the witness chain
+//   Append -> WriteRecord -> write (and fsync)
+// This file compiles but is deliberately wrong.
+
+#include <unistd.h>
+
+#include "common/annotations.h"
+
+namespace ctxfix {
+
+class Journal {
+ public:
+  void Append(const char* buf, int n) {
+    pmkm::MutexLock lock(mu_);
+    seq_++;
+    WriteRecord(buf, n);
+  }
+
+ private:
+  // Blocking I/O hidden one call deep — the lock is still held here.
+  void WriteRecord(const char* buf, int n) {
+    (void)write(fd_, buf, static_cast<size_t>(n));
+    (void)fsync(fd_);
+  }
+
+  pmkm::Mutex mu_;
+  long seq_ PMKM_GUARDED_BY(mu_) = 0;
+  int fd_ = -1;
+};
+
+void Touch(Journal& j) { j.Append("x", 1); }
+
+}  // namespace ctxfix

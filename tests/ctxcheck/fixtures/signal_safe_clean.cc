@@ -1,0 +1,32 @@
+// pmkm_ctxcheck golden fixture — NEGATIVE for rule `signal-safe`.
+//
+// The handler touches only async-signal-safe operations: atomics, memcpy
+// into a preallocated ring slot, and a helper that does the same. The
+// analyzer must report nothing.
+
+#include <atomic>
+#include <cstring>
+
+#include "common/annotations.h"
+
+namespace ctxfix {
+
+struct Ring {
+  std::atomic<unsigned> next{0};
+  unsigned long slots[64][8];
+};
+
+Ring g_ring;
+
+void StoreSample(const unsigned long* frames, unsigned n) {
+  const unsigned idx = g_ring.next.fetch_add(1) % 64;
+  if (n > 8) n = 8;
+  std::memcpy(g_ring.slots[idx], frames, n * sizeof(unsigned long));
+}
+
+void OnProfileSignal(int /*signum*/) PMKM_SIGNAL_SAFE {
+  unsigned long frames[8] = {0};
+  StoreSample(frames, 8);
+}
+
+}  // namespace ctxfix

@@ -1,0 +1,24 @@
+// pmkm_ctxcheck golden fixture — POSITIVE for rule `signal-safe`.
+//
+// A PMKM_SIGNAL_SAFE root reaches malloc through a helper: allocation is
+// never async-signal-safe (the interrupted thread may hold the allocator
+// lock). The analyzer must report the full witness chain
+//   OnProfileSignal -> GrowScratch -> malloc
+// Expected by tests/ctxcheck/run_fixture_tests.py; this file compiles but
+// is deliberately wrong.
+
+#include <cstdlib>
+
+#include "common/annotations.h"
+
+namespace ctxfix {
+
+void* g_scratch = nullptr;
+
+// Lazy allocation looks harmless at the call site; only the whole-program
+// walk connects it to the signal context.
+void GrowScratch() { g_scratch = std::malloc(64); }
+
+void OnProfileSignal(int /*signum*/) PMKM_SIGNAL_SAFE { GrowScratch(); }
+
+}  // namespace ctxfix

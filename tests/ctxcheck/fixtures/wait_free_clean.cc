@@ -1,0 +1,29 @@
+// pmkm_ctxcheck golden fixture — NEGATIVE for rule `wait-free`.
+//
+// The wait-free Record touches only fixed-size atomics (the
+// RollingHistogram::Record shape): a CAS-claimed slot index plus relaxed
+// adds. The analyzer must report nothing.
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/annotations.h"
+
+namespace ctxfix {
+
+class SampleRecorder {
+ public:
+  void Record(double v) PMKM_WAITFREE {
+    const uint64_t bucket = v < 0 ? 0 : static_cast<uint64_t>(v) % 64;
+    counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+    total_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> counts_[64] = {};
+  std::atomic<uint64_t> total_{0};
+};
+
+void Touch(SampleRecorder& r) { r.Record(1.0); }
+
+}  // namespace ctxfix

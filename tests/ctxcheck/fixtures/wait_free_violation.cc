@@ -1,0 +1,24 @@
+// pmkm_ctxcheck golden fixture — POSITIVE for rule `wait-free`.
+//
+// A PMKM_WAITFREE hot-path Record grows a vector: push_back may allocate
+// (and in a shared recorder would need a lock anyway). The analyzer must
+// report the witness chain Record -> push_back. This file compiles but is
+// deliberately wrong.
+
+#include <vector>
+
+#include "common/annotations.h"
+
+namespace ctxfix {
+
+class SampleRecorder {
+ public:
+  void Record(double v) PMKM_WAITFREE { samples_.push_back(v); }
+
+ private:
+  std::vector<double> samples_;
+};
+
+void Touch(SampleRecorder& r) { r.Record(1.0); }
+
+}  // namespace ctxfix

@@ -46,6 +46,13 @@ trustworthy at scale but that no compiler checks (DESIGN.md §11):
                 exactly the corruption the checkpoint layer exists to
                 survive. Text/report writers (CSV, traces, JSON exports)
                 open without std::ios::binary and are not flagged.
+  raw-signal    Library code (src/) never installs signal handlers with
+                raw `signal()`/`sigaction()`: a handler constrains every
+                line it can interrupt to the async-signal-safe subset,
+                which pmkm_ctxcheck can only verify for the two sanctioned
+                installers (obs/profiler.cc SIGPROF, serve/daemon.cc).
+                Process-lifecycle wiring belongs in the CLI surface
+                (tools/), outside the library.
   direct-run    The retired free-function entry points
                 RunPartialMergeStream / RunPartialMergeStreamInMemory must
                 not reappear: every pipeline run goes through
@@ -62,14 +69,23 @@ Usage:
   tools/pmkm_lint.py [--root DIR] [--list-rules] [files...]
 
 With no file arguments, lints the standard project surface under --root
-(default: the repo containing this script). Exits non-zero if any finding
-is reported. Registered as the `lint.pmkm` ctest.
+(default: the repo containing this script). Registered as the `lint.pmkm`
+ctest.
+
+Exit codes follow the sysexits contract shared with pmkm_inspect and
+pmkm_ctxcheck:
+  0   clean
+  64  usage error
+  65  findings reported
+  74  I/O error reading an input file
 """
 
 import argparse
 import os
 import re
 import sys
+
+EX_OK, EX_USAGE, EX_DATAERR, EX_IOERR = 0, 64, 65, 74
 
 # (rule id, human description) — keep in sync with the docstring.
 RULES = {
@@ -80,6 +96,7 @@ RULES = {
     "header-guard": "header guard missing or misnamed",
     "fault-site": "malformed PMKM_FAULT_POINT site name",
     "raw-sync": "raw std sync primitive outside the annotated wrappers",
+    "raw-signal": "signal()/sigaction() outside the sanctioned installers",
     "persist": "binary persistence outside the crash-safe commit paths",
     "direct-run": "pipeline run outside PipelineBuilder (retired entry "
                   "points / raw Executor)",
@@ -102,6 +119,9 @@ RAW_SYNC_RE = re.compile(
     r"std::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
     r"shared_mutex|shared_timed_mutex|condition_variable(?:_any)?|"
     r"lock_guard|unique_lock|scoped_lock|shared_lock)\b")
+# Calls only: `struct sigaction act;` declarations do not match.
+RAW_SIGNAL_RE = re.compile(
+    r"(?<![\w.:])(?:signal|sigaction|bsd_signal|sysv_signal)\s*\(")
 FAULT_POINT_RE = re.compile(r"PMKM_FAULT_POINT\s*\(\s*([^)]*)\)")
 FAULT_SITE_RE = re.compile(r'^"[a-z0-9_]+(?:\.[a-z0-9_]+)+"$')
 RENAME_RE = re.compile(
@@ -258,6 +278,11 @@ def lint_file(root, relpath):
                     os.path.join("src", "common", "logging.cc"))
         or in_dir(relpath, os.path.join("src", "common", "schedcheck")))
     sleep_exempt = fname in ("retry.cc", "retry.h", "fault.cc", "fault.h")
+    # The two sanctioned handler installers: the SIGPROF profiler and the
+    # serve daemon. Their handlers/closures are verified by pmkm_ctxcheck.
+    signal_exempt = relpath in (
+        os.path.join("src", "obs", "profiler.cc"),
+        os.path.join("src", "serve", "daemon.cc"))
     fault_def_file = relpath == os.path.join("src", "common", "fault.h")
     # The two modules that *implement* the crash-safe commit protocol.
     persist_exempt = relpath in (
@@ -295,6 +320,11 @@ def lint_file(root, relpath):
                 check(lineno, "raw-sync",
                       "raw std sync primitive; use the annotated Mutex/"
                       "MutexLock/CondVar from common/annotations.h")
+            if not signal_exempt and RAW_SIGNAL_RE.search(line):
+                check(lineno, "raw-signal",
+                      "signal handler installed outside the sanctioned "
+                      "installers (obs/profiler.cc, serve/daemon.cc); "
+                      "wire process signals in tools/ instead")
             if not persist_exempt:
                 if RENAME_RE.search(line):
                     check(lineno, "persist",
@@ -388,8 +418,16 @@ def collect_files(root, args_files):
                         os.path.join(dirpath, name), root)
 
 
+class SysexitsParser(argparse.ArgumentParser):
+    """argparse exits 2 on bad usage; the pmkm tools contract is 64."""
+
+    def error(self, message):
+        self.print_usage(sys.stderr)
+        self.exit(EX_USAGE, f"{self.prog}: error: {message}\n")
+
+
 def main(argv=None):
-    parser = argparse.ArgumentParser(
+    parser = SysexitsParser(
         prog="pmkm_lint", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument(
@@ -405,7 +443,7 @@ def main(argv=None):
     if args.list_rules:
         for rule, description in RULES.items():
             print(f"{rule:14} {description}")
-        return 0
+        return EX_OK
 
     root = os.path.abspath(args.root)
     findings = []
@@ -419,7 +457,9 @@ def main(argv=None):
     status = "FAILED" if findings else "OK"
     print(f"pmkm_lint: {status} — {checked} files checked, "
           f"{len(findings)} finding(s)")
-    return 1 if findings else 0
+    if any(f.rule == "io" for f in findings):
+        return EX_IOERR
+    return EX_DATAERR if findings else EX_OK
 
 
 if __name__ == "__main__":
