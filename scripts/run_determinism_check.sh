@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# Determinism integration check (DESIGN.md §17): the dynamic complement
+# to the static pmkm_detcheck gate. The same clustering spec must produce
+# byte-identical .pmkm model files
+#
+#   1. across worker parallelism (--cores=1/4/16: schedule and merge
+#      order must not leak into output bytes);
+#   2. across two separate process invocations at the same core count
+#      (catches ASLR/pointer-ordering leaks that rule ptr-order cannot
+#      prove absent — addresses differ between processes, so any
+#      address-keyed ordering diverges here);
+#   3. through a pmkm_serve daemon (remote submission path: protocol
+#      encode/decode and the service job machinery add no bytes of
+#      nondeterminism on top of the engine).
+#
+# Every run is cmp'd file-by-file against the --cores=1 reference.
+#
+# Usage: scripts/run_determinism_check.sh [--cells N] [--points N]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CELLS=4
+POINTS=6000
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --cells)  CELLS="$2"; shift 2 ;;
+    --points) POINTS="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+if [[ ! -x build/tools/pmkm_genbuckets || ! -x build/tools/pmkm_cluster \
+      || ! -x build/tools/pmkm_serve ]]; then
+  cmake -B build -S .
+  cmake --build build -j --target pmkm_genbuckets pmkm_cluster_tool \
+    pmkm_serve_tool
+fi
+GENBUCKETS=build/tools/pmkm_genbuckets
+CLUSTER=build/tools/pmkm_cluster
+SERVE=build/tools/pmkm_serve
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/pmkm_detcheck_run.XXXXXX")"
+SERVE_PID=""
+cleanup() {
+  [[ -n "${SERVE_PID}" ]] && kill "${SERVE_PID}" 2> /dev/null || true
+  rm -rf "${WORK}"
+}
+trap cleanup EXIT
+
+echo "== determinism check: ${CELLS} cells x ${POINTS} points =="
+
+"${GENBUCKETS}" --out="${WORK}/buckets" --mode=cells \
+  --cells="${CELLS}" --n="${POINTS}" > /dev/null
+
+ENGINE_FLAGS=(--k=6 --restarts=4 --kernel=scalar --quiet)
+
+run_local() {  # run_local <outdir> <cores>
+  "${CLUSTER}" --algo=stream "${ENGINE_FLAGS[@]}" --cores="$2" \
+    --out="${WORK}/$1" "${WORK}"/buckets/*.pmkb > /dev/null
+}
+
+# Reference plus the parallelism sweep; cores4 twice from two distinct
+# process invocations (ASLR re-randomizes between them).
+run_local cores1 1
+run_local cores4 4
+run_local cores4_again 4
+run_local cores16 16
+
+# Remote: the same spec through a pmkm_serve daemon.
+"${SERVE}" --endpoint="unix:${WORK}/serve.sock" --workers=2 \
+  > "${WORK}/serve.log" 2>&1 &
+SERVE_PID=$!
+ENDPOINT=""
+for _ in $(seq 1 100); do
+  ENDPOINT="$(sed -n 's#^listening on ##p' "${WORK}/serve.log" | head -n 1)"
+  [[ -n "${ENDPOINT}" ]] && break
+  kill -0 "${SERVE_PID}" 2> /dev/null || {
+    echo "FAIL: pmkm_serve exited before listening"; cat "${WORK}/serve.log"
+    exit 1
+  }
+  sleep 0.1
+done
+[[ -n "${ENDPOINT}" ]] || { echo "FAIL: no listen line"; exit 1; }
+"${CLUSTER}" --algo=stream "${ENGINE_FLAGS[@]}" --cores=4 \
+  --server="${ENDPOINT}" --out="${WORK}/remote" \
+  "${WORK}"/buckets/*.pmkb > "${WORK}/client.log" 2>&1 || {
+  echo "FAIL: remote client"; cat "${WORK}/client.log"; exit 1
+}
+kill "${SERVE_PID}" 2> /dev/null || true
+wait "${SERVE_PID}" 2> /dev/null || true
+SERVE_PID=""
+
+MODELS=0
+for ref in "${WORK}"/cores1/*.pmkm; do
+  base="$(basename "${ref}")"
+  for variant in cores4 cores4_again cores16 remote; do
+    cmp -s "${ref}" "${WORK}/${variant}/${base}" || {
+      echo "FAIL: ${variant}/${base} differs from the --cores=1 reference"
+      exit 1
+    }
+  done
+  MODELS=$((MODELS + 1))
+done
+[[ "${MODELS}" -eq "${CELLS}" ]] || {
+  echo "FAIL: expected ${CELLS} models, found ${MODELS}"; exit 1
+}
+
+echo "ok: ${MODELS} models byte-identical across cores=1/4/16, a second"
+echo "    process invocation, and the pmkm_serve path"
+echo "== determinism check passed =="

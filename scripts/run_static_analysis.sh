@@ -13,11 +13,16 @@
 #                         a source afterwards is a FAILURE (a stale
 #                         compdb silently analyzes the wrong file set),
 #                         never a skip.
-#   4. pmkm_ctxcheck      whole-program execution-context call-graph gate
-#                         (signal-safe, no-block-under-lock, wait-free,
-#                         bounded-handler — tools/pmkm_ctxcheck.py),
-#                         ratcheted against scripts/ctxcheck_baseline.txt
-#                         (kept empty; it may only shrink).
+#   4. call-graph gates   pmkm_ctxcheck (signal-safe, no-block-under-lock,
+#                         wait-free, bounded-handler) AND pmkm_detcheck
+#                         (unordered-iter, nondet-source, ptr-order,
+#                         fp-flags — DESIGN.md §17) over ONE shared
+#                         compdb read and source parse
+#                         (tools/pmkm_callgraph.py drives both), each
+#                         ratcheted against its own baseline —
+#                         scripts/ctxcheck_baseline.txt and
+#                         scripts/detcheck_baseline.txt (kept empty; they
+#                         may only shrink).
 #   5. schedcheck         PMKM_SCHEDCHECK=ON build + the schedcheck-labeled
 #                         ctest suites: lock-order witness, deterministic
 #                         schedule explorer, seeded-bug doubles, and
@@ -33,8 +38,9 @@
 # Usage:
 #   scripts/run_static_analysis.sh [--update-baseline]
 #
-# --update-baseline rewrites scripts/ctxcheck_baseline.txt from the
-# current pmkm_ctxcheck findings (the clang-tidy stage has no baseline).
+# --update-baseline rewrites scripts/ctxcheck_baseline.txt and
+# scripts/detcheck_baseline.txt from the current findings (the clang-tidy
+# stage has no baseline).
 #
 # Environment:
 #   CLANGXX      Clang C++ compiler   (default: clang++)
@@ -162,12 +168,17 @@ else
 fi
 
 # ---------------------------------------------------------------------------
-echo "==> stage 4/5: pmkm_ctxcheck (execution-context call-graph gate)"
+echo "==> stage 4/5: call-graph gates (pmkm_ctxcheck + pmkm_detcheck)"
 if command -v python3 > /dev/null; then
   # Reuse the compilation database stage 2/3 just regenerated (build-tsa
   # preferred, then build); when neither Clang stage ran, export one here.
-  # pmkm_ctxcheck itself fails (exit 65) on a database older than any
+  # The driver itself fails (exit 65) on a database older than any
   # source rather than analyzing the wrong file set.
+  #
+  # tools/pmkm_callgraph.py reads the compdb and parses every source
+  # ONCE, then runs both analyzers over the shared program model — the
+  # combined stage costs barely more than the old ctxcheck-only stage
+  # (~1.4s vs ~1.25s wall for the whole tree) instead of doubling it.
   if [[ ! -f build-tsa/compile_commands.json ]]; then
     cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
   fi
@@ -175,13 +186,13 @@ if command -v python3 > /dev/null; then
   if [[ "${UPDATE_BASELINE}" == "1" ]]; then
     ctx_args+=(--update-baseline)
   fi
-  if python3 tools/pmkm_ctxcheck.py "${ctx_args[@]+"${ctx_args[@]}"}"; then
-    echo "pmkm_ctxcheck: clean"
+  if python3 tools/pmkm_callgraph.py "${ctx_args[@]+"${ctx_args[@]}"}"; then
+    echo "call-graph gates: clean"
   else
     failures=$((failures + 1))
   fi
 else
-  skip_or_fail "python3 not found; cannot run pmkm_ctxcheck"
+  skip_or_fail "python3 not found; cannot run the call-graph gates"
 fi
 
 # ---------------------------------------------------------------------------

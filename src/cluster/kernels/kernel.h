@@ -90,7 +90,8 @@ class DistanceKernel {
   virtual void AssignBlock(const double* points, size_t n, size_t dim,
                            const CentroidBlock& centroids, uint32_t* assign,
                            double* dist2,
-                           double* second2 = nullptr) const PMKM_WAITFREE = 0;
+                           double* second2 = nullptr) const PMKM_WAITFREE
+      PMKM_DETERMINISTIC = 0;
 
   /// Weighted-sum scatter for a tile: for each point i,
   /// sums[assign[i]*dim + d] += w_i * x_i[d] and
@@ -99,7 +100,8 @@ class DistanceKernel {
   virtual void AccumulateBlock(const double* points, const double* weights,
                                size_t n, size_t dim, const uint32_t* assign,
                                double* sums,
-                               double* cluster_weight) const PMKM_WAITFREE = 0;
+                               double* cluster_weight) const PMKM_WAITFREE
+      PMKM_DETERMINISTIC = 0;
 
   /// The two per-centroid arrays Hamerly's bounds need:
   /// drift[j] = ‖old_j − new_j‖ and s[j] = ½·min_{j2≠j} ‖new_j − new_j2‖.

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <vector>
 
+#include "common/annotations.h"
 #include "data/io.h"
 #include "data/manifest.h"
 
@@ -30,7 +31,8 @@ Status GetPod(std::ifstream* in, T* value) {
 
 }  // namespace
 
-Status SaveModel(const std::string& path, const ClusteringModel& model) {
+Status SaveModel(const std::string& path,
+                 const ClusteringModel& model) PMKM_DETERMINISTIC {
   if (model.k() == 0) {
     return Status::InvalidArgument("cannot save an empty model");
   }

@@ -131,6 +131,22 @@
 /// (pmkm_ctxcheck rule `bounded-handler`).
 #define PMKM_BOUNDED_HANDLER PMKM_CTX_ANNOTATION("pmkm_bounded_handler")
 
+/// Root of an output-byte determinism contract, verified whole-program
+/// by tools/pmkm_detcheck.py (DESIGN.md §17): model serialization
+/// (SaveModel), checkpoint kPartialState/cell-complete encoders, serve
+/// protocol encoders, and the kernel Assign/Accumulate hot path that
+/// produces the numbers being serialized. Nothing reachable may iterate
+/// a hash-ordered container into the output (rule `unordered-iter`),
+/// read a wall clock or random source outside the sanctioned seed
+/// plumbing in common/rng.h (rule `nondet-source`), or key ordering or
+/// hashing on pointer values (rule `ptr-order`); each root's TU must be
+/// compiled with -ffp-contract=off and without value-unsafe FP flags
+/// (rule `fp-flags`). These are the static guarantees behind the
+/// bitwise-model contracts: cross-ISA kernel parity (PR 3), resume
+/// parity (PR 6), local-vs-remote parity (PR 8), and the
+/// content-addressed cache keys of ROADMAP item 1.
+#define PMKM_DETERMINISTIC PMKM_CTX_ANNOTATION("pmkm_deterministic")
+
 namespace pmkm {
 
 /// std::mutex with thread-safety-analysis capability annotations. Use with

@@ -126,6 +126,14 @@ Result<std::vector<JobInfo>> LocalService::ListJobs() {
   for (const auto& [id, job] : jobs_) {
     jobs.push_back(job->info);
   }
+  // jobs_ is an ordered std::map keyed by id, so the loop above already
+  // yields ascending ids — but the ascending-id contract (service.h) must
+  // not silently rot if the container is ever swapped for a hash map, so
+  // enforce it explicitly rather than inherit it.
+  std::sort(jobs.begin(), jobs.end(),
+            [](const JobInfo& a, const JobInfo& b) {
+              return a.job_id < b.job_id;
+            });
   return jobs;
 }
 
@@ -211,8 +219,16 @@ std::string LocalService::JobsJson() {
   root.Set("draining", draining_);
   root.Set("queued", queue_.size());
   root.Set("running", running_);
+  // Same explicit ascending-id contract as ListJobs (service.h): /jobz
+  // consumers diff scrapes, so the array order must survive any future
+  // change to the jobs_ container.
+  std::vector<uint64_t> ids;
+  ids.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
   JsonValue jobs = JsonValue::Array();
-  for (const auto& [id, job] : jobs_) {
+  for (const uint64_t id : ids) {
+    const std::unique_ptr<Job>& job = jobs_.at(id);
     JsonValue j = JsonValue::Object();
     j.Set("job_id", id);
     j.Set("state", JobStateToString(job->info.state));

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/annotations.h"
 #include "data/manifest.h"
 #include "stream/checkpoint.h"
 
@@ -154,7 +155,7 @@ uint32_t FrameCrc(uint32_t type, std::span<const uint8_t> payload) {
 // ---------------------------------------------------------------------------
 // Handshake.
 
-std::vector<uint8_t> EncodeHello(uint32_t version) {
+std::vector<uint8_t> EncodeHello(uint32_t version) PMKM_DETERMINISTIC {
   std::vector<uint8_t> out;
   out.reserve(kHelloBytes);
   PutU32(&out, kProtocolMagic);
@@ -190,8 +191,8 @@ Result<uint32_t> NegotiateVersion(uint32_t peer_version) {
 // ---------------------------------------------------------------------------
 // Framing.
 
-std::vector<uint8_t> EncodeFrame(FrameType type,
-                                 std::span<const uint8_t> payload) {
+std::vector<uint8_t> EncodeFrame(
+    FrameType type, std::span<const uint8_t> payload) PMKM_DETERMINISTIC {
   std::vector<uint8_t> out;
   out.reserve(kFrameFixedBytes + payload.size());
   PutU32(&out, static_cast<uint32_t>(payload.size()));
@@ -230,7 +231,8 @@ Result<std::optional<Frame>> DecodeFrame(std::span<const uint8_t> buffer,
 // ---------------------------------------------------------------------------
 // JobSpec.
 
-std::vector<uint8_t> EncodeJobSpec(const JobSpec& spec, uint32_t version) {
+std::vector<uint8_t> EncodeJobSpec(const JobSpec& spec,
+                                   uint32_t version) PMKM_DETERMINISTIC {
   std::vector<uint8_t> out;
   PutU32(&out, static_cast<uint32_t>(spec.bucket_paths.size()));
   for (const std::string& path : spec.bucket_paths) {
@@ -336,7 +338,7 @@ Status ReadJobInfo(WireReader* reader, JobInfo* info) {
 
 }  // namespace
 
-std::vector<uint8_t> EncodeJobInfo(const JobInfo& info) {
+std::vector<uint8_t> EncodeJobInfo(const JobInfo& info) PMKM_DETERMINISTIC {
   std::vector<uint8_t> out;
   AppendJobInfo(&out, info);
   return out;
@@ -349,7 +351,8 @@ Result<JobInfo> DecodeJobInfo(std::span<const uint8_t> payload) {
   return info;
 }
 
-std::vector<uint8_t> EncodeJobList(const std::vector<JobInfo>& jobs) {
+std::vector<uint8_t> EncodeJobList(
+    const std::vector<JobInfo>& jobs) PMKM_DETERMINISTIC {
   std::vector<uint8_t> out;
   PutU32(&out, static_cast<uint32_t>(jobs.size()));
   for (const JobInfo& info : jobs) {
@@ -382,7 +385,7 @@ Result<std::vector<JobInfo>> DecodeJobList(
 // Model set.
 
 std::vector<uint8_t> EncodeModelSet(
-    const std::map<GridCellId, CellClustering>& cells) {
+    const std::map<GridCellId, CellClustering>& cells) PMKM_DETERMINISTIC {
   std::vector<uint8_t> out;
   PutU32(&out, static_cast<uint32_t>(cells.size()));
   for (const auto& [cell, clustering] : cells) {
@@ -420,7 +423,7 @@ Result<std::map<GridCellId, CellClustering>> DecodeModelSet(
 // ---------------------------------------------------------------------------
 // Scalars and replies.
 
-std::vector<uint8_t> EncodeU64(uint64_t value) {
+std::vector<uint8_t> EncodeU64(uint64_t value) PMKM_DETERMINISTIC {
   std::vector<uint8_t> out;
   PutU64(&out, value);
   return out;
@@ -433,8 +436,8 @@ Result<uint64_t> DecodeU64(std::span<const uint8_t> payload) {
   return value;
 }
 
-std::vector<uint8_t> EncodeReply(const Status& status,
-                                 std::span<const uint8_t> body) {
+std::vector<uint8_t> EncodeReply(
+    const Status& status, std::span<const uint8_t> body) PMKM_DETERMINISTIC {
   std::vector<uint8_t> out;
   PutI32(&out, static_cast<int32_t>(status.code()));
   PutString(&out, status.message());

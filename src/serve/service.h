@@ -127,7 +127,12 @@ class ClusterService {
   virtual Status CancelJob(uint64_t job_id) = 0;
 
   /// All jobs the service still remembers (active plus a bounded ring of
-  /// finished ones), oldest first.
+  /// finished ones), in strictly ascending job_id order — i.e. submission
+  /// order, oldest first. The ordering is part of the API contract (and
+  /// of the wire encoding, EncodeJobList): clients, /jobz scrapers, and
+  /// byte-level golden tests all rely on ListJobs output being stable
+  /// regardless of completion/cancellation order (pmkm_detcheck rule
+  /// `unordered-iter` guards the same property statically).
   virtual Result<std::vector<JobInfo>> ListJobs() = 0;
 
   /// Blocks until `job_id` reaches a terminal state and returns its final

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <filesystem>
 
+#include "common/annotations.h"
 #include "common/fault.h"
 #include "common/logging.h"
 #include "obs/metrics.h"
@@ -147,7 +148,8 @@ std::string CheckpointJournalPath(const std::string& dir) {
   return (std::filesystem::path(dir) / "journal.pmkj").string();
 }
 
-std::vector<uint8_t> EncodeCellComplete(const CellClustering& cell) {
+std::vector<uint8_t> EncodeCellComplete(
+    const CellClustering& cell) PMKM_DETERMINISTIC {
   std::vector<uint8_t> out;
   PutU32(&out, kCellPayloadVersion);
   PutI32(&out, cell.cell.lat_index);
@@ -197,8 +199,8 @@ Result<CellClustering> DecodeCellComplete(std::span<const uint8_t> payload) {
   return cell;
 }
 
-std::vector<uint8_t> EncodePartialState(GridCellId cell,
-                                        const IncrementalMergeState& state) {
+std::vector<uint8_t> EncodePartialState(
+    GridCellId cell, const IncrementalMergeState& state) PMKM_DETERMINISTIC {
   std::vector<uint8_t> out;
   PutU32(&out, kPartialPayloadVersion);
   PutI32(&out, cell.lat_index);

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "cluster/incremental_merge.h"
+#include "common/annotations.h"
 #include "data/manifest.h"
 #include "obs/stats.h"
 #include "stream/ops.h"
@@ -151,11 +152,12 @@ class CheckpointWriter {
 
   /// Appends one completed cell. Durable after the sync-interval'th
   /// append (and at Finalize()). Fault site: "checkpoint.append".
-  Status AppendCellComplete(const CellClustering& cell);
+  Status AppendCellComplete(const CellClustering& cell) PMKM_DETERMINISTIC;
 
   /// Appends an incremental-merge snapshot for `cell`.
   Status AppendPartialState(GridCellId cell,
-                            const IncrementalMergeState& state);
+                            const IncrementalMergeState& state)
+      PMKM_DETERMINISTIC;
 
   /// Marks the run complete (kRunEnd) and fsyncs. Idempotent for a run
   /// that appended nothing on top of an already-complete journal.

@@ -1,0 +1,21 @@
+// pmkm_detcheck golden fixture — NEGATIVE twin for rule `fp-flags`
+// (D4): byte-identical math to the violation fixture, but the runner
+// synthesizes a compliant compile command (-ffp-contract=off present,
+// no value-unsafe flags), so the analyzer must stay silent.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/annotations.h"
+
+namespace detfix {
+
+double ReduceBlockClean(const std::vector<double>& xs) PMKM_DETERMINISTIC {
+  double acc = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    acc += xs[i] * xs[i];
+  }
+  return acc;
+}
+
+}  // namespace detfix

@@ -1,0 +1,26 @@
+// pmkm_detcheck golden fixture — POSITIVE for rule `fp-flags` (D4).
+//
+// The source itself is fine: a PMKM_DETERMINISTIC reduction over
+// doubles. The violation lives in the compile command: the fixture
+// runner (run_fixture_tests.py) synthesizes a compile_commands.json
+// entry for this TU WITHOUT -ffp-contract=off and WITH -ffast-math, and
+// the analyzer must flag both — FMA contraction and value-unsafe math
+// make the reduction's bytes vary by compiler and architecture. The
+// clean twin gets a compliant command for identical source.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/annotations.h"
+
+namespace detfix {
+
+double ReduceBlock(const std::vector<double>& xs) PMKM_DETERMINISTIC {
+  double acc = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    acc += xs[i] * xs[i];
+  }
+  return acc;
+}
+
+}  // namespace detfix

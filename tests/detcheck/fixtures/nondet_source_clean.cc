@@ -1,0 +1,30 @@
+// pmkm_detcheck golden fixture — NEGATIVE twin for rule `nondet-source`
+// (D2). The encoder emits only a pure function of its input, and the
+// surrounding code reads steady_clock for a latency metric — the one
+// clock the rule deliberately does NOT flag (monotonic, metrics-only;
+// see the steady_clock rationale in tools/pmkm_detcheck.py). The
+// analyzer must stay silent.
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "common/annotations.h"
+
+namespace detfix {
+
+std::vector<uint8_t> EncodeSnapshot(
+    const std::vector<double>& xs) PMKM_DETERMINISTIC {
+  const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  std::vector<uint8_t> out;
+  out.push_back(static_cast<uint8_t>(xs.size() & 0xff));
+  for (const double x : xs) {
+    out.push_back(static_cast<uint8_t>(static_cast<uint64_t>(x) & 0xff));
+  }
+  // Metrics only: the duration never reaches `out`.
+  (void)(std::chrono::steady_clock::now() - start);
+  return out;
+}
+
+}  // namespace detfix

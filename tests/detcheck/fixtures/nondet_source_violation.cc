@@ -1,0 +1,32 @@
+// pmkm_detcheck golden fixture — POSITIVE for rule `nondet-source` (D2).
+//
+// Two distinct leaks into a PMKM_DETERMINISTIC encoder:
+//   1. a wall-clock stamp (time()) reached through a helper — the chain
+//      EncodeSnapshot -> Stamp -> time must be reported;
+//   2. a std::mt19937 declared on the output path itself, outside the
+//      sanctioned common/rng.h seed plumbing.
+// This file compiles but is deliberately wrong.
+
+#include <cstdint>
+#include <ctime>
+#include <random>
+#include <vector>
+
+#include "common/annotations.h"
+
+namespace detfix {
+
+uint64_t Stamp() { return static_cast<uint64_t>(time(nullptr)); }
+
+std::vector<uint8_t> EncodeSnapshot(
+    const std::vector<double>& xs) PMKM_DETERMINISTIC {
+  // pmkm-lint: allow(raw-random) — this fixture IS the violation.
+  std::mt19937 jitter(12345);
+  std::vector<uint8_t> out;
+  out.push_back(static_cast<uint8_t>(Stamp() & 0xff));
+  out.push_back(static_cast<uint8_t>(jitter() & 0xff));
+  out.push_back(static_cast<uint8_t>(xs.size() & 0xff));
+  return out;
+}
+
+}  // namespace detfix

@@ -1,0 +1,40 @@
+// pmkm_detcheck golden fixture — NEGATIVE twin for rule `ptr-order`
+// (D3): the same shape keyed on a stable uint64_t id instead of an
+// address. The key order is a pure function of the inserted data, so
+// the analyzer must stay silent.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/annotations.h"
+
+namespace detfix {
+
+struct Item {
+  uint64_t id = 0;
+  int weight = 0;
+};
+
+class IdIndexEncoder {
+ public:
+  std::vector<uint8_t> EncodeIndex() PMKM_DETERMINISTIC {
+    std::vector<uint8_t> out;
+    for (const auto& entry : index_) {
+      out.push_back(static_cast<uint8_t>(entry.first & 0xff));
+      out.push_back(static_cast<uint8_t>(entry.second & 0xff));
+    }
+    return out;
+  }
+
+  void Insert(const Item& item, int rank) { index_[item.id] = rank; }
+
+ private:
+  std::map<uint64_t, int> index_;
+};
+
+std::vector<uint8_t> Touch(IdIndexEncoder& enc) {
+  return enc.EncodeIndex();
+}
+
+}  // namespace detfix

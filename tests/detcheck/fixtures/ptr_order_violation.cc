@@ -1,0 +1,45 @@
+// pmkm_detcheck golden fixture — POSITIVE for rule `ptr-order` (D3).
+//
+// Two address-derived leaks into a PMKM_DETERMINISTIC encoder:
+//   1. iterating a std::map keyed on pointers — ordered, but ordered by
+//      ADDRESS, which ASLR re-randomizes every process, so the byte
+//      order differs between two invocations on identical input;
+//   2. reinterpret_cast of a pointer to uintptr_t, emitting the address
+//      itself.
+// This file compiles but is deliberately wrong.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/annotations.h"
+
+namespace detfix {
+
+struct Item {
+  int weight = 0;
+};
+
+class PointerIndexEncoder {
+ public:
+  std::vector<uint8_t> EncodeIndex() PMKM_DETERMINISTIC {
+    std::vector<uint8_t> out;
+    for (const auto& entry : index_) {
+      out.push_back(static_cast<uint8_t>(entry.second & 0xff));
+      const uint64_t tag = reinterpret_cast<uintptr_t>(entry.first);
+      out.push_back(static_cast<uint8_t>(tag & 0xff));
+    }
+    return out;
+  }
+
+  void Insert(const Item* item, int rank) { index_[item] = rank; }
+
+ private:
+  std::map<const Item*, int> index_;
+};
+
+std::vector<uint8_t> Touch(PointerIndexEncoder& enc) {
+  return enc.EncodeIndex();
+}
+
+}  // namespace detfix

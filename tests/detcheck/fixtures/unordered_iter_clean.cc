@@ -1,0 +1,33 @@
+// pmkm_detcheck golden fixture — NEGATIVE twin for rule `unordered-iter`
+// (D1): the same encoder over an ordered std::map. Iteration order is
+// the key order, a pure function of the inserted data, so the bytes are
+// stable and the analyzer must stay silent.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/annotations.h"
+
+namespace detfix {
+
+class TableEncoder {
+ public:
+  std::vector<uint8_t> EncodeTable() PMKM_DETERMINISTIC {
+    std::vector<uint8_t> out;
+    for (const auto& entry : table_) {
+      out.push_back(static_cast<uint8_t>(entry.second & 0xff));
+    }
+    return out;
+  }
+
+  void Insert(const std::string& key, int value) { table_[key] = value; }
+
+ private:
+  std::map<std::string, int> table_;
+};
+
+std::vector<uint8_t> Touch(TableEncoder& enc) { return enc.EncodeTable(); }
+
+}  // namespace detfix

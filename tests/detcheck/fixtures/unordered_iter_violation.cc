@@ -1,0 +1,36 @@
+// pmkm_detcheck golden fixture — POSITIVE for rule `unordered-iter` (D1).
+//
+// A PMKM_DETERMINISTIC encoder range-fors over a std::unordered_map
+// member: iteration order depends on hashing, insertion history, and the
+// libstdc++ version, so the emitted bytes differ between runs. The
+// analyzer must report the witness chain EncodeTable -> range-for over
+// table_. This file compiles but is deliberately wrong.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/annotations.h"
+
+namespace detfix {
+
+class TableEncoder {
+ public:
+  std::vector<uint8_t> EncodeTable() PMKM_DETERMINISTIC {
+    std::vector<uint8_t> out;
+    for (const auto& entry : table_) {
+      out.push_back(static_cast<uint8_t>(entry.second & 0xff));
+    }
+    return out;
+  }
+
+  void Insert(const std::string& key, int value) { table_[key] = value; }
+
+ private:
+  std::unordered_map<std::string, int> table_;
+};
+
+std::vector<uint8_t> Touch(TableEncoder& enc) { return enc.EncodeTable(); }
+
+}  // namespace detfix

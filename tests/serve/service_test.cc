@@ -214,6 +214,58 @@ TEST_F(ServiceTest, LocalDrainKeepsAcceptedJobsAndRejectsNew) {
   EXPECT_EQ(cells->size(), 1u);
 }
 
+TEST_F(ServiceTest, ListJobsIsAscendingUnderAdversarialCompletionOrder) {
+  // ListJobs and /jobz promise strictly ascending job_id order
+  // (service.h) no matter in what order jobs reach terminal states.
+  // Pin the single worker, queue five more jobs, then terminalize the
+  // queued ones in a deliberately scrambled order via CancelJob.
+  LocalServiceOptions options;
+  options.num_workers = 1;
+  LocalService service(options);
+  const std::string fifo = MakeBlockingFifo();
+
+  auto blocker = service.SubmitJob(MakeSpec({fifo}, "pin"));
+  ASSERT_TRUE(blocker.ok()) << blocker.status();
+  std::vector<uint64_t> queued;
+  for (int i = 0; i < 5; ++i) {
+    auto id = service.SubmitJob(
+        MakeSpec({fifo}, "client" + std::to_string(i)));
+    ASSERT_TRUE(id.ok()) << id.status();
+    queued.push_back(id.value());
+  }
+  // Adversarial terminal order: 3rd, 1st, 5th, 2nd, 4th.
+  for (const int idx : {2, 0, 4, 1, 3}) {
+    ASSERT_TRUE(service.CancelJob(queued[idx]).ok());
+  }
+  ReleaseFifo(fifo);
+  auto final_info = service.AwaitJob(blocker.value(), 120000);
+  ASSERT_TRUE(final_info.ok()) << final_info.status();
+
+  auto jobs = service.ListJobs();
+  ASSERT_TRUE(jobs.ok());
+  ASSERT_EQ(jobs->size(), 6u);
+  for (size_t i = 1; i < jobs->size(); ++i) {
+    EXPECT_LT(jobs->at(i - 1).job_id, jobs->at(i).job_id)
+        << "ListJobs not strictly ascending at index " << i;
+  }
+
+  // /jobz emits the same ascending order: pull the "job_id" values out
+  // of the JSON in document order.
+  const std::string json = service.JobsJson();
+  std::vector<uint64_t> jobz_ids;
+  size_t pos = 0;
+  while ((pos = json.find("\"job_id\"", pos)) != std::string::npos) {
+    pos = json.find(':', pos);
+    ASSERT_NE(pos, std::string::npos);
+    jobz_ids.push_back(std::stoull(json.substr(pos + 1)));
+  }
+  ASSERT_EQ(jobz_ids.size(), 6u);
+  for (size_t i = 1; i < jobz_ids.size(); ++i) {
+    EXPECT_LT(jobz_ids[i - 1], jobz_ids[i])
+        << "/jobz not strictly ascending at index " << i;
+  }
+}
+
 TEST_F(ServiceTest, RemoteMatchesLocalByteForByte) {
   const std::vector<std::string> paths = {WriteBucket(1, 600, 2),
                                           WriteBucket(2, 400, 3)};

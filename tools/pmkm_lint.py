@@ -4,10 +4,14 @@
 Enforces the invariants that make the partial/merge k-means engine
 trustworthy at scale but that no compiler checks (DESIGN.md §11):
 
-  rng           All randomness flows through common/rng.h (seeded,
-                reproducible). `rand()`, `srand()`, `std::random_device`,
-                and raw `std::mt19937` are banned everywhere else: one
-                unseeded draw makes a TB-scale run unreproducible.
+  raw-random    All randomness flows through common/rng.h (seeded,
+                reproducible). `rand()`/`srand()`/`random()`, the
+                drand48 family, `std::random_device`, raw `std::mt19937`
+                engines, `std::default_random_engine`, and
+                `std::random_shuffle` are banned everywhere else: one
+                unseeded draw makes a TB-scale run unreproducible (and
+                pmkm_detcheck's nondet-source rule proves the same
+                property path-sensitively on output paths).
   naked-new     Library code (src/) never uses naked new/delete; ownership
                 is expressed with containers and smart pointers so leaks
                 are structurally impossible.
@@ -89,7 +93,7 @@ EX_OK, EX_USAGE, EX_DATAERR, EX_IOERR = 0, 64, 65, 74
 
 # (rule id, human description) — keep in sync with the docstring.
 RULES = {
-    "rng": "randomness outside common/rng.h",
+    "raw-random": "randomness outside common/rng.h",
     "naked-new": "naked new/delete in library code",
     "stdio": "std::cout/std::cerr/printf in library code",
     "sleep": "sleep_for outside retry/fault code",
@@ -109,7 +113,9 @@ SOURCE_EXTENSIONS = (".h", ".cc", ".cpp")
 SUPPRESS_RE = re.compile(r"pmkm-lint:\s*allow\(([a-z\-]+(?:\s*,\s*[a-z\-]+)*)\)")
 
 RNG_RE = re.compile(
-    r"\b(?:rand|srand)\s*\(|std::random_device|std::mt19937")
+    r"\b(?:rand|srand|random|srandom|rand_r|[demn]rand48|[jln]rand48|"
+    r"srand48|seed48|lcong48)\s*\(|std::random_device|std::mt19937|"
+    r"std::default_random_engine|std::minstd_rand|std::random_shuffle")
 NEW_RE = re.compile(r"(?<![\w.:])new\b(?!\s*\()")
 DELETE_RE = re.compile(r"(?<![\w.:])delete(?:\s*\[\s*\])?\s+[\w*(]")
 STDIO_RE = re.compile(r"std::c(?:out|err)\b|(?<![\w.:])f?printf\s*\(")
@@ -300,7 +306,7 @@ def lint_file(root, relpath):
 
     for lineno, line in enumerate(code_lines, start=1):
         if not rng_exempt and RNG_RE.search(line):
-            check(lineno, "rng",
+            check(lineno, "raw-random",
                   "unseeded randomness; draw from common/rng.h Rng instead")
         if is_src:
             if NEW_RE.search(line):
